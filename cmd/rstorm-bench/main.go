@@ -1,0 +1,79 @@
+// Command rstorm-bench regenerates the paper's evaluation figures: it runs
+// each experiment (default Storm vs R-Storm on the simulated testbed) and
+// prints the comparison alongside the paper's claim.
+//
+// Usage:
+//
+//	rstorm-bench -list
+//	rstorm-bench -figure fig8a
+//	rstorm-bench -all -duration 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rstorm/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rstorm-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rstorm-bench", flag.ContinueOnError)
+	var (
+		figure   = fs.String("figure", "", "experiment ID to run (see -list)")
+		all      = fs.Bool("all", false, "run every experiment")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		duration = fs.Duration("duration", 30*time.Second, "simulated duration per run")
+		window   = fs.Duration("window", 10*time.Second, "metrics window (paper reports tuples/10s)")
+		seed     = fs.Int64("seed", 1, "simulation RNG seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n           paper: %s\n", e.ID, e.Title, e.PaperClaim)
+		}
+		return nil
+	}
+
+	opts := experiments.Options{
+		Duration:      *duration,
+		MetricsWindow: *window,
+		Seed:          *seed,
+	}
+
+	var toRun []experiments.Experiment
+	switch {
+	case *all:
+		toRun = experiments.All()
+	case *figure != "":
+		e, ok := experiments.ByID(*figure)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *figure)
+		}
+		toRun = []experiments.Experiment{e}
+	default:
+		return fmt.Errorf("nothing to do: pass -figure <id>, -all, or -list")
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		report, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println(report.Render())
+		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("-list: %v", err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	err := run([]string{"-figure", "fig99"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRequiresAction(t *testing.T) {
+	err := run(nil)
+	if err == nil || !strings.Contains(err.Error(), "nothing to do") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunSingleFigureShort(t *testing.T) {
+	// fig9b is the cheapest figure (compute-bound, low event rate).
+	if err := run([]string{"-figure", "fig9b", "-duration", "4s", "-window", "2s"}); err != nil {
+		t.Fatalf("fig9b: %v", err)
+	}
+}

@@ -1,0 +1,190 @@
+// Command rstorm-sim runs a topology on the simulated cluster under a
+// chosen scheduler and prints throughput, utilization and latency.
+//
+// Usage:
+//
+//	rstorm-sim -topology topo.json [-cluster cluster.yaml] \
+//	           [-scheduler r-storm|default-even|offline-linear] \
+//	           [-duration 60s] [-fail node-0-3@20s]
+//
+// Without -topology it runs the built-in network-bound Linear benchmark.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/core"
+	"rstorm/internal/simulator"
+	"rstorm/internal/topology"
+	"rstorm/internal/viz"
+	"rstorm/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rstorm-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rstorm-sim", flag.ContinueOnError)
+	var (
+		topoPath    = fs.String("topology", "", "JSON topology spec (default: built-in linear benchmark)")
+		clusterPath = fs.String("cluster", "", "YAML cluster description (default: paper's 12-node testbed)")
+		schedName   = fs.String("scheduler", "r-storm", "scheduler: r-storm, default-even, or offline-linear")
+		duration    = fs.Duration("duration", 60*time.Second, "simulated duration")
+		window      = fs.Duration("window", 10*time.Second, "metrics window")
+		seed        = fs.Int64("seed", 1, "RNG seed")
+		failSpec    = fs.String("fail", "", "inject a node failure, e.g. node-0-3@20s")
+		showAssign  = fs.Bool("assignment", false, "print the task placement")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c, err := loadCluster(*clusterPath)
+	if err != nil {
+		return err
+	}
+	topo, err := loadTopology(*topoPath)
+	if err != nil {
+		return err
+	}
+	sched, err := pickScheduler(*schedName)
+	if err != nil {
+		return err
+	}
+
+	state := core.NewGlobalState(c)
+	a, err := sched.Schedule(topo, c, state)
+	if err != nil {
+		return fmt.Errorf("schedule: %w", err)
+	}
+	if err := state.Apply(topo, a); err != nil {
+		return fmt.Errorf("apply: %w", err)
+	}
+	if *showAssign {
+		fmt.Println(a)
+	}
+
+	sim, err := simulator.New(c, simulator.Config{
+		Duration:      *duration,
+		MetricsWindow: *window,
+		Seed:          *seed,
+	})
+	if err != nil {
+		return err
+	}
+	if err := sim.AddTopology(topo, a); err != nil {
+		return err
+	}
+	if *failSpec != "" {
+		node, at, err := parseFailure(*failSpec)
+		if err != nil {
+			return err
+		}
+		if err := sim.FailNodeAt(node, at); err != nil {
+			return err
+		}
+	}
+	result, err := sim.Run()
+	if err != nil {
+		return err
+	}
+	printResult(topo, a, result, c)
+	return nil
+}
+
+func loadCluster(path string) (*cluster.Cluster, error) {
+	if path == "" {
+		return cluster.Emulab12()
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return cluster.FromYAML(f)
+}
+
+func loadTopology(path string) (*topology.Topology, error) {
+	if path == "" {
+		return workloads.LinearTopology(workloads.NetworkBound)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	spec, err := topology.ParseSpec(f)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build()
+}
+
+func pickScheduler(name string) (core.Scheduler, error) {
+	switch name {
+	case "r-storm":
+		return core.NewResourceAwareScheduler(), nil
+	case "default-even":
+		return core.EvenScheduler{}, nil
+	case "offline-linear":
+		return core.OfflineLinearScheduler{}, nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
+
+func parseFailure(spec string) (cluster.NodeID, time.Duration, error) {
+	parts := strings.SplitN(spec, "@", 2)
+	if len(parts) != 2 {
+		return "", 0, fmt.Errorf("failure spec %q, want node@time (e.g. node-0-3@20s)", spec)
+	}
+	at, err := time.ParseDuration(parts[1])
+	if err != nil {
+		return "", 0, fmt.Errorf("failure time: %w", err)
+	}
+	return cluster.NodeID(parts[0]), at, nil
+}
+
+func printResult(topo *topology.Topology, a *core.Assignment, result *simulator.Result, c *cluster.Cluster) {
+	tr := result.Topology(topo.Name())
+	fmt.Printf("topology    %s (%d tasks, %d components)\n",
+		topo.Name(), topo.TotalTasks(), len(topo.Components()))
+	fmt.Printf("scheduler   %s\n", a.Scheduler)
+	fmt.Printf("placement   %d nodes, %d workers, network cost %.1f\n",
+		len(a.NodesUsed()), a.WorkersUsed(), a.NetworkCost(topo, c))
+	fmt.Printf("throughput  %.0f tuples/%s (mean after warmup)\n",
+		tr.MeanSinkThroughput, result.Window)
+	fmt.Printf("totals      emitted=%d processed=%d delivered=%d dropped=%d\n",
+		tr.TuplesEmitted, tr.TuplesProcessed, tr.TuplesDelivered, result.TuplesDropped)
+	fmt.Printf("latency     %v mean spout-to-sink\n", tr.MeanLatency)
+	fmt.Printf("cpu util    %.1f%% mean over used nodes\n", result.MeanUtilizationUsed*100)
+
+	fmt.Println()
+	fmt.Print(viz.LineChart(
+		fmt.Sprintf("sink throughput per %s window", result.Window),
+		[]viz.Series{{Name: topo.Name(), Values: tr.SinkSeries}}, 72, 12))
+
+	var names []string
+	for comp := range tr.ComponentSeries {
+		names = append(names, comp)
+	}
+	sort.Strings(names)
+	fmt.Println("\nper-component processed totals:")
+	for _, comp := range names {
+		var total float64
+		for _, v := range tr.ComponentSeries[comp] {
+			total += v
+		}
+		fmt.Printf("  %-16s %12.0f tuples\n", comp, total)
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFailure(t *testing.T) {
+	node, at, err := parseFailure("node-0-3@20s")
+	if err != nil {
+		t.Fatalf("parseFailure: %v", err)
+	}
+	if string(node) != "node-0-3" || at != 20*time.Second {
+		t.Errorf("parsed %s @ %v", node, at)
+	}
+	if _, _, err := parseFailure("node-0-3"); err == nil {
+		t.Error("missing @time accepted")
+	}
+	if _, _, err := parseFailure("n@xyz"); err == nil {
+		t.Error("bad duration accepted")
+	}
+}
+
+func TestPickScheduler(t *testing.T) {
+	for _, name := range []string{"r-storm", "default-even", "offline-linear"} {
+		s, err := pickScheduler(name)
+		if err != nil || s.Name() != name {
+			t.Errorf("pickScheduler(%s) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := pickScheduler("quantum"); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestLoadDefaults(t *testing.T) {
+	c, err := loadCluster("")
+	if err != nil || c.Size() != 12 {
+		t.Fatalf("default cluster: %v, %v", c, err)
+	}
+	topo, err := loadTopology("")
+	if err != nil || topo.TotalTasks() == 0 {
+		t.Fatalf("default topology: %v, %v", topo, err)
+	}
+	if _, err := loadCluster("/does/not/exist.yaml"); err == nil {
+		t.Error("missing cluster file accepted")
+	}
+	if _, err := loadTopology("/does/not/exist.json"); err == nil {
+		t.Error("missing topology file accepted")
+	}
+}
+
+func TestLoadTopologyFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "topo.json")
+	spec := `{
+	  "name": "filetest",
+	  "components": [
+	    {"name": "s", "kind": "spout", "parallelism": 2, "cpuLoad": 10, "memoryLoadMb": 128},
+	    {"name": "b", "kind": "bolt", "parallelism": 2, "cpuLoad": 10, "memoryLoadMb": 128,
+	     "inputs": [{"from": "s"}]}
+	  ]
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := loadTopology(path)
+	if err != nil {
+		t.Fatalf("loadTopology: %v", err)
+	}
+	if topo.Name() != "filetest" || topo.TotalTasks() != 4 {
+		t.Errorf("loaded %q with %d tasks", topo.Name(), topo.TotalTasks())
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Exercise the whole command with a tiny duration and an injected
+	// failure; it must complete without error.
+	err := run([]string{
+		"-duration", "2s", "-window", "1s",
+		"-scheduler", "r-storm",
+		"-fail", "node-0-0@1s",
+		"-assignment",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-scheduler", "nope", "-duration", "1s"}); err == nil {
+		t.Error("bad scheduler accepted")
+	}
+	if err := run([]string{"-fail", "garbage", "-duration", "2s", "-window", "1s"}); err == nil ||
+		!strings.Contains(err.Error(), "failure spec") {
+		t.Errorf("bad failure spec err = %v", err)
+	}
+}

@@ -1,0 +1,162 @@
+// Command rstorm-topo inspects topologies and the schedules different
+// schedulers produce for them, without running a simulation.
+//
+// Usage:
+//
+//	rstorm-topo -builtin linear-network          # describe + schedule
+//	rstorm-topo -topology topo.json -compare     # all schedulers side by side
+//	rstorm-topo -builtin pageload -export        # print the JSON spec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/core"
+	"rstorm/internal/topology"
+	"rstorm/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rstorm-topo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rstorm-topo", flag.ContinueOnError)
+	var (
+		topoPath    = fs.String("topology", "", "JSON topology spec")
+		builtin     = fs.String("builtin", "", "built-in topology: linear-network, linear-compute, diamond-network, diamond-compute, star-network, star-compute, pageload, processing")
+		clusterPath = fs.String("cluster", "", "YAML cluster description (default: 12-node testbed)")
+		compare     = fs.Bool("compare", false, "compare all schedulers")
+		export      = fs.Bool("export", false, "print the topology's JSON spec and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	topo, err := loadTopology(*topoPath, *builtin)
+	if err != nil {
+		return err
+	}
+	if *export {
+		return topology.SpecOf(topo).Encode(os.Stdout)
+	}
+
+	c, err := loadCluster(*clusterPath)
+	if err != nil {
+		return err
+	}
+
+	describe(topo)
+	schedulers := []core.Scheduler{core.NewResourceAwareScheduler()}
+	if *compare {
+		schedulers = []core.Scheduler{
+			core.NewResourceAwareScheduler(),
+			core.EvenScheduler{},
+			core.OfflineLinearScheduler{},
+		}
+	}
+	for _, sched := range schedulers {
+		fmt.Printf("\n--- scheduler %s\n", sched.Name())
+		a, err := sched.Schedule(topo, c, core.NewGlobalState(c))
+		if err != nil {
+			fmt.Printf("    scheduling failed: %v\n", err)
+			continue
+		}
+		fmt.Printf("    nodes used    %d\n", len(a.NodesUsed()))
+		fmt.Printf("    workers used  %d\n", a.WorkersUsed())
+		fmt.Printf("    network cost  %.1f (expected distance per hand-off, lower is better)\n",
+			a.NetworkCost(topo, c))
+		fmt.Printf("    cross pairs   %d of %d adjacent task pairs on different nodes\n",
+			a.CrossNodePairs(topo), totalPairs(topo))
+		for _, node := range a.NodesUsed() {
+			used := a.UsedPerNode(topo)[node]
+			flag := ""
+			if used.CPU > c.Node(node).Spec.Capacity.CPU {
+				flag = "  << CPU OVERCOMMITTED"
+			}
+			fmt.Printf("    %-12s tasks=%v cpu=%.0f mem=%.0fMB%s\n",
+				node, a.TasksOnNode(node), used.CPU, used.MemoryMB, flag)
+		}
+	}
+	return nil
+}
+
+func describe(topo *topology.Topology) {
+	fmt.Printf("topology %q: %d components, %d tasks, total demand %v\n",
+		topo.Name(), len(topo.Components()), topo.TotalTasks(), topo.TotalDemand())
+	fmt.Printf("BFS order: %s\n", strings.Join(topo.BFSOrder(), " -> "))
+	for _, comp := range topo.Components() {
+		fmt.Printf("  %-14s %-5s par=%-3d cpu=%-5.0f mem=%-6.0fMB",
+			comp.Name, comp.Kind, comp.Parallelism, comp.CPULoad, comp.MemoryLoad)
+		if in := topo.Incoming(comp.Name); len(in) > 0 {
+			var srcs []string
+			for _, s := range in {
+				srcs = append(srcs, fmt.Sprintf("%s(%s)", s.From, s.Grouping))
+			}
+			fmt.Printf("  <- %s", strings.Join(srcs, ", "))
+		}
+		fmt.Println()
+	}
+}
+
+func totalPairs(topo *topology.Topology) int {
+	total := 0
+	for _, s := range topo.Streams() {
+		total += topo.Component(s.From).Parallelism * topo.Component(s.To).Parallelism
+	}
+	return total
+}
+
+func loadTopology(path, builtin string) (*topology.Topology, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		spec, err := topology.ParseSpec(f)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Build()
+	}
+	switch builtin {
+	case "", "linear-network":
+		return workloads.LinearTopology(workloads.NetworkBound)
+	case "linear-compute":
+		return workloads.LinearTopology(workloads.ComputeBound)
+	case "diamond-network":
+		return workloads.DiamondTopology(workloads.NetworkBound)
+	case "diamond-compute":
+		return workloads.DiamondTopology(workloads.ComputeBound)
+	case "star-network":
+		return workloads.StarTopology(workloads.NetworkBound)
+	case "star-compute":
+		return workloads.StarTopology(workloads.ComputeBound)
+	case "pageload":
+		return workloads.PageLoadTopology()
+	case "processing":
+		return workloads.ProcessingTopology()
+	default:
+		return nil, fmt.Errorf("unknown builtin %q", builtin)
+	}
+}
+
+func loadCluster(path string) (*cluster.Cluster, error) {
+	if path == "" {
+		return cluster.Emulab12()
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return cluster.FromYAML(f)
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestLoadBuiltinTopologies(t *testing.T) {
+	builtins := []string{
+		"", "linear-network", "linear-compute",
+		"diamond-network", "diamond-compute",
+		"star-network", "star-compute",
+		"pageload", "processing",
+	}
+	for _, name := range builtins {
+		topo, err := loadTopology("", name)
+		if err != nil {
+			t.Errorf("builtin %q: %v", name, err)
+			continue
+		}
+		if topo.TotalTasks() == 0 {
+			t.Errorf("builtin %q has no tasks", name)
+		}
+	}
+	if _, err := loadTopology("", "mystery"); err == nil {
+		t.Error("unknown builtin accepted")
+	}
+}
+
+func TestTotalPairs(t *testing.T) {
+	topo, err := loadTopology("", "linear-network")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 streams x 6 producers x 6 consumers.
+	if got := totalPairs(topo); got != 108 {
+		t.Errorf("totalPairs = %d, want 108", got)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	if err := run([]string{"-builtin", "star-compute", "-compare"}); err != nil {
+		t.Fatalf("run -compare: %v", err)
+	}
+}
+
+func TestRunExport(t *testing.T) {
+	if err := run([]string{"-builtin", "pageload", "-export"}); err != nil {
+		t.Fatalf("run -export: %v", err)
+	}
+}
+
+func TestRunRejectsUnknownBuiltin(t *testing.T) {
+	if err := run([]string{"-builtin", "mystery"}); err == nil {
+		t.Error("unknown builtin accepted")
+	}
+}

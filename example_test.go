@@ -1,0 +1,74 @@
+package rstorm_test
+
+import (
+	"fmt"
+	"time"
+
+	"rstorm"
+)
+
+// ExampleScheduleAndSimulate builds a small topology, schedules it with
+// R-Storm on the paper's testbed, and runs it for ten simulated seconds.
+func ExampleScheduleAndSimulate() {
+	b := rstorm.NewTopologyBuilder("example")
+	b.SetSpout("numbers", 2).SetCPULoad(20).SetMemoryLoad(256).
+		SetProfile(rstorm.ExecProfile{CPUPerTuple: time.Millisecond, TupleBytes: 128})
+	b.SetBolt("doubler", 2).ShuffleGrouping("numbers").
+		SetCPULoad(20).SetMemoryLoad(256).
+		SetProfile(rstorm.ExecProfile{CPUPerTuple: time.Millisecond, TupleBytes: 128})
+	topo, err := b.Build()
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	c, err := rstorm.Emulab12()
+	if err != nil {
+		fmt.Println("cluster:", err)
+		return
+	}
+	result, err := rstorm.ScheduleAndSimulate(c,
+		rstorm.SimConfig{Duration: 10 * time.Second, MetricsWindow: 10 * time.Second},
+		rstorm.NewResourceAwareScheduler(), topo)
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	tr := result.Topology("example")
+	fmt.Printf("nodes used: %d\n", tr.NodesUsed)
+	fmt.Printf("delivered > 0: %v\n", tr.TuplesDelivered > 0)
+	// Output:
+	// nodes used: 1
+	// delivered > 0: true
+}
+
+// ExampleNewResourceAwareScheduler shows the schedule R-Storm produces for
+// a compute-bound chain: two 50-point tasks per node, no overcommit.
+func ExampleNewResourceAwareScheduler() {
+	b := rstorm.NewTopologyBuilder("chain")
+	b.SetSpout("src", 2).SetCPULoad(50).SetMemoryLoad(1024)
+	b.SetBolt("dst", 2).ShuffleGrouping("src").SetCPULoad(50).SetMemoryLoad(1024)
+	topo, err := b.Build()
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	c, err := rstorm.Emulab12()
+	if err != nil {
+		fmt.Println("cluster:", err)
+		return
+	}
+	a, err := rstorm.NewResourceAwareScheduler().Schedule(topo, c, rstorm.NewGlobalState(c))
+	if err != nil {
+		fmt.Println("schedule:", err)
+		return
+	}
+	fmt.Printf("nodes used: %d\n", len(a.NodesUsed()))
+	for _, node := range a.NodesUsed() {
+		used := a.UsedPerNode(topo)[node]
+		fmt.Printf("%s: cpu %.0f, mem %.0f\n", node, used.CPU, used.MemoryMB)
+	}
+	// Output:
+	// nodes used: 2
+	// node-0-0: cpu 100, mem 2048
+	// node-0-1: cpu 100, mem 2048
+}

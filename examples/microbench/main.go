@@ -1,0 +1,73 @@
+// Microbench: run the paper's network-bound Linear micro-benchmark
+// (Fig. 8a) under default Storm and under R-Storm, side by side, and chart
+// both throughput timelines — the shape of the paper's headline result.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rstorm"
+	"rstorm/internal/viz"
+	"rstorm/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	c, err := rstorm.Emulab12()
+	if err != nil {
+		return err
+	}
+	cfg := rstorm.SimConfig{Duration: 30 * time.Second, MetricsWindow: 5 * time.Second}
+
+	type outcome struct {
+		name   string
+		series []float64
+		mean   float64
+		nodes  int
+		util   float64
+	}
+	var outcomes []outcome
+	for _, sched := range []rstorm.Scheduler{
+		rstorm.NewEvenScheduler(),
+		rstorm.NewResourceAwareScheduler(),
+	} {
+		topo, err := workloads.LinearTopology(workloads.NetworkBound)
+		if err != nil {
+			return err
+		}
+		result, err := rstorm.ScheduleAndSimulate(c, cfg, sched, topo)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sched.Name(), err)
+		}
+		tr := result.Topology(topo.Name())
+		outcomes = append(outcomes, outcome{
+			name:   sched.Name(),
+			series: tr.SinkSeries,
+			mean:   tr.MeanSinkThroughput,
+			nodes:  tr.NodesUsed,
+			util:   result.MeanUtilizationUsed,
+		})
+	}
+
+	base, rstormRun := outcomes[0], outcomes[1]
+	fmt.Println("network-bound Linear topology (paper Fig. 8a)")
+	fmt.Printf("  %-14s %14s %8s %8s\n", "scheduler", "tuples/window", "nodes", "cpu%")
+	for _, o := range outcomes {
+		fmt.Printf("  %-14s %14.0f %8d %7.1f%%\n", o.name, o.mean, o.nodes, o.util*100)
+	}
+	fmt.Printf("  improvement: %+.1f%% (paper reports ~+50%%)\n\n",
+		(rstormRun.mean-base.mean)/base.mean*100)
+
+	fmt.Print(viz.LineChart("throughput per window", []viz.Series{
+		{Name: base.name, Values: base.series},
+		{Name: rstormRun.name, Values: rstormRun.series},
+	}, 64, 12))
+	return nil
+}

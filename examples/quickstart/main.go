@@ -1,0 +1,85 @@
+// Quickstart: build a topology with declared resource demands, schedule
+// it with R-Storm on the paper's 12-node testbed, simulate a minute of
+// execution, and print throughput.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rstorm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A word-count-style topology: the spout emits sentences, a splitter
+	// fans words out, and a keyed counter aggregates per word. Resource
+	// demands follow the paper's user API (§5.2): CPU in points (100 =
+	// one core), memory in MB.
+	b := rstorm.NewTopologyBuilder("wordcount")
+	b.SetSpout("sentences", 4).
+		SetCPULoad(25).SetMemoryLoad(512).
+		SetProfile(rstorm.ExecProfile{CPUPerTuple: 200 * time.Microsecond, TupleBytes: 512})
+	b.SetBolt("split", 4).ShuffleGrouping("sentences").
+		SetCPULoad(30).SetMemoryLoad(512).
+		SetProfile(rstorm.ExecProfile{CPUPerTuple: 150 * time.Microsecond, TupleBytes: 128, OutRatio: 4})
+	b.SetBolt("count", 4).FieldsGrouping("split", "word").
+		SetCPULoad(40).SetMemoryLoad(768).
+		SetProfile(rstorm.ExecProfile{CPUPerTuple: 80 * time.Microsecond, TupleBytes: 64, KeyCardinality: 50000})
+	topo, err := b.Build()
+	if err != nil {
+		return fmt.Errorf("build topology: %w", err)
+	}
+
+	c, err := rstorm.Emulab12()
+	if err != nil {
+		return fmt.Errorf("build cluster: %w", err)
+	}
+
+	// Schedule with R-Storm and inspect the placement before running.
+	sched := rstorm.NewResourceAwareScheduler()
+	state := rstorm.NewGlobalState(c)
+	assignment, err := sched.Schedule(topo, c, state)
+	if err != nil {
+		return fmt.Errorf("schedule: %w", err)
+	}
+	fmt.Printf("R-Storm placed %d tasks on %d of %d nodes (%d workers)\n",
+		topo.TotalTasks(), len(assignment.NodesUsed()), c.Size(), assignment.WorkersUsed())
+	for _, node := range assignment.NodesUsed() {
+		used := assignment.UsedPerNode(topo)[node]
+		fmt.Printf("  %-10s tasks %v  (cpu %.0f pts, mem %.0f MB)\n",
+			node, assignment.TasksOnNode(node), used.CPU, used.MemoryMB)
+	}
+
+	// Execute one simulated minute.
+	if err := state.Apply(topo, assignment); err != nil {
+		return err
+	}
+	sim, err := rstorm.NewSimulation(c, rstorm.SimConfig{Duration: time.Minute})
+	if err != nil {
+		return err
+	}
+	if err := sim.AddTopology(topo, assignment); err != nil {
+		return err
+	}
+	result, err := sim.Run()
+	if err != nil {
+		return fmt.Errorf("simulate: %w", err)
+	}
+
+	tr := result.Topology("wordcount")
+	fmt.Printf("\nafter %v simulated:\n", result.Duration)
+	fmt.Printf("  throughput  %.0f tuples/%v at the sinks\n", tr.MeanSinkThroughput, result.Window)
+	fmt.Printf("  latency     %v mean spout-to-sink\n", tr.MeanLatency)
+	fmt.Printf("  emitted     %d roots, delivered %d counted words\n",
+		tr.TuplesEmitted, tr.TuplesDelivered)
+	fmt.Printf("  cpu util    %.0f%% mean over the %d used nodes\n",
+		result.MeanUtilizationUsed*100, result.NodesUsed)
+	return nil
+}

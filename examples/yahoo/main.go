@@ -1,0 +1,62 @@
+// Yahoo: run the two production topologies of the paper's §6.4 — PageLoad
+// and Processing — each alone on the 12-node testbed under both schedulers,
+// reproducing the Fig. 12 comparisons.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rstorm"
+	"rstorm/internal/workloads"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	c, err := rstorm.Emulab12()
+	if err != nil {
+		return err
+	}
+	cfg := rstorm.SimConfig{Duration: 30 * time.Second, MetricsWindow: 10 * time.Second}
+
+	topologies := []struct {
+		label string
+		build func() (*rstorm.Topology, error)
+		paper string
+	}{
+		{"PageLoad (Fig. 12a)", workloads.PageLoadTopology, "~+50%"},
+		{"Processing (Fig. 12b)", workloads.ProcessingTopology, "~+47%"},
+	}
+	for _, tc := range topologies {
+		var means [2]float64
+		var nodes [2]int
+		for i, sched := range []rstorm.Scheduler{
+			rstorm.NewEvenScheduler(),
+			rstorm.NewResourceAwareScheduler(),
+		} {
+			topo, err := tc.build()
+			if err != nil {
+				return err
+			}
+			result, err := rstorm.ScheduleAndSimulate(c, cfg, sched, topo)
+			if err != nil {
+				return fmt.Errorf("%s under %s: %w", tc.label, sched.Name(), err)
+			}
+			tr := result.Topology(topo.Name())
+			means[i] = tr.MeanSinkThroughput
+			nodes[i] = tr.NodesUsed
+		}
+		fmt.Printf("%s\n", tc.label)
+		fmt.Printf("  default Storm   %10.0f tuples/10s on %2d nodes\n", means[0], nodes[0])
+		fmt.Printf("  R-Storm         %10.0f tuples/10s on %2d nodes\n", means[1], nodes[1])
+		fmt.Printf("  improvement     %+.1f%%   (paper: %s)\n\n",
+			(means[1]-means[0])/means[0]*100, tc.paper)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"fmt"
+
+	"rstorm/internal/resource"
+)
+
+// Cluster is an immutable description of racks, nodes, and the network
+// model. Build one with a Builder or a preset.
+type Cluster struct {
+	nodes     map[NodeID]*Node
+	order     []NodeID
+	racks     []RackID
+	rackNodes map[RackID][]NodeID
+	network   NetworkModel
+}
+
+// Builder assembles a Cluster.
+type Builder struct {
+	nodes   []*Node
+	network NetworkModel
+	errs    []error
+}
+
+// NewBuilder returns a Builder using the default network model.
+func NewBuilder() *Builder {
+	return &Builder{network: DefaultNetworkModel()}
+}
+
+// SetNetworkModel overrides the network model.
+func (b *Builder) SetNetworkModel(m NetworkModel) *Builder {
+	b.network = m
+	return b
+}
+
+// AddNode declares a node on a rack.
+func (b *Builder) AddNode(id NodeID, rack RackID, spec NodeSpec) *Builder {
+	if id == "" {
+		b.errs = append(b.errs, fmt.Errorf("node with empty ID"))
+		return b
+	}
+	if rack == "" {
+		b.errs = append(b.errs, fmt.Errorf("node %q has empty rack", id))
+		return b
+	}
+	b.nodes = append(b.nodes, &Node{ID: id, Rack: rack, Spec: spec.withDefaults()})
+	return b
+}
+
+// Build validates the declarations and returns the Cluster.
+func (b *Builder) Build() (*Cluster, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if len(b.nodes) == 0 {
+		return nil, fmt.Errorf("cluster has no nodes")
+	}
+	if err := b.network.validate(); err != nil {
+		return nil, fmt.Errorf("network model: %w", err)
+	}
+	c := &Cluster{
+		nodes:     make(map[NodeID]*Node, len(b.nodes)),
+		rackNodes: make(map[RackID][]NodeID),
+		network:   b.network,
+	}
+	for _, n := range b.nodes {
+		if _, dup := c.nodes[n.ID]; dup {
+			return nil, fmt.Errorf("node %q declared twice", n.ID)
+		}
+		if err := n.Spec.validate(); err != nil {
+			return nil, fmt.Errorf("node %q: %w", n.ID, err)
+		}
+		nn := *n
+		c.nodes[n.ID] = &nn
+		c.order = append(c.order, n.ID)
+		if _, seen := c.rackNodes[n.Rack]; !seen {
+			c.racks = append(c.racks, n.Rack)
+		}
+		c.rackNodes[n.Rack] = append(c.rackNodes[n.Rack], n.ID)
+	}
+	return c, nil
+}
+
+// Node returns the node with the given ID, or nil.
+func (c *Cluster) Node(id NodeID) *Node { return c.nodes[id] }
+
+// Nodes returns every node in declaration order. Node values are shared
+// and must be treated as read-only.
+func (c *Cluster) Nodes() []*Node {
+	out := make([]*Node, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.nodes[id])
+	}
+	return out
+}
+
+// NodeIDs returns node IDs in declaration order.
+func (c *Cluster) NodeIDs() []NodeID {
+	out := make([]NodeID, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.order) }
+
+// Racks returns rack IDs in first-seen order.
+func (c *Cluster) Racks() []RackID {
+	out := make([]RackID, len(c.racks))
+	copy(out, c.racks)
+	return out
+}
+
+// NodesInRack returns the node IDs on a rack, in declaration order.
+func (c *Cluster) NodesInRack(rack RackID) []NodeID {
+	src := c.rackNodes[rack]
+	out := make([]NodeID, len(src))
+	copy(out, src)
+	return out
+}
+
+// Network returns the cluster's network model.
+func (c *Cluster) Network() NetworkModel { return c.network }
+
+// NetworkDistance returns the scheduler-visible distance between two nodes:
+// 0 for the same node, the intra-rack distance within a rack, and the
+// inter-rack distance across racks. Unknown nodes are treated as maximally
+// distant.
+func (c *Cluster) NetworkDistance(a, b NodeID) float64 {
+	if a == b {
+		return c.network.DistanceIntraNode
+	}
+	na, nb := c.nodes[a], c.nodes[b]
+	if na == nil || nb == nil {
+		return c.network.DistanceInterRack
+	}
+	if na.Rack == nb.Rack {
+		return c.network.DistanceIntraRack
+	}
+	return c.network.DistanceInterRack
+}
+
+// PathBetween classifies the network path between two placements.
+// sameWorker matters only when both tasks share a node.
+func (c *Cluster) PathBetween(a, b NodeID, sameWorker bool) PathLevel {
+	if a == b {
+		if sameWorker {
+			return PathIntraProcess
+		}
+		return PathInterProcess
+	}
+	na, nb := c.nodes[a], c.nodes[b]
+	if na != nil && nb != nil && na.Rack == nb.Rack {
+		return PathInterNode
+	}
+	return PathInterRack
+}
+
+// TotalCapacity sums the capacity of every node.
+func (c *Cluster) TotalCapacity() resource.Vector {
+	var total resource.Vector
+	for _, id := range c.order {
+		total = total.Add(c.nodes[id].Spec.Capacity)
+	}
+	return total
+}
+
+// RackCapacity sums the capacity of every node on a rack.
+func (c *Cluster) RackCapacity(rack RackID) resource.Vector {
+	var total resource.Vector
+	for _, id := range c.rackNodes[rack] {
+		total = total.Add(c.nodes[id].Spec.Capacity)
+	}
+	return total
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// PathLevel classifies the network path between two tasks, ordered from
+// fastest to slowest per the paper's §4 insight.
+type PathLevel int
+
+const (
+	// PathIntraProcess: both tasks in the same worker process.
+	PathIntraProcess PathLevel = iota + 1
+	// PathInterProcess: same node, different worker processes.
+	PathInterProcess
+	// PathInterNode: different nodes on the same rack.
+	PathInterNode
+	// PathInterRack: different racks.
+	PathInterRack
+)
+
+// String implements fmt.Stringer.
+func (p PathLevel) String() string {
+	switch p {
+	case PathIntraProcess:
+		return "intra-process"
+	case PathInterProcess:
+		return "inter-process"
+	case PathInterNode:
+		return "inter-node"
+	case PathInterRack:
+		return "inter-rack"
+	default:
+		return fmt.Sprintf("PathLevel(%d)", int(p))
+	}
+}
+
+// CrossesNetwork reports whether the path leaves the node, consuming NIC
+// bandwidth.
+func (p PathLevel) CrossesNetwork() bool {
+	return p == PathInterNode || p == PathInterRack
+}
+
+// NetworkModel captures latency per path level and the abstract network
+// distances fed to the scheduler's Distance procedure.
+type NetworkModel struct {
+	// LatencyIntraProcess is the in-memory hand-off delay.
+	LatencyIntraProcess time.Duration
+	// LatencyInterProcess is the local-socket delay between worker
+	// processes on one node.
+	LatencyInterProcess time.Duration
+	// LatencyInterNode is the one-way delay between nodes on a rack.
+	LatencyInterNode time.Duration
+	// LatencyInterRack is the one-way delay across the aggregation
+	// switch (the paper's testbed has a 4 ms inter-rack RTT, i.e. 2 ms
+	// one-way).
+	LatencyInterRack time.Duration
+
+	// InterRackMbps is the bandwidth of each rack's uplink to the
+	// aggregation switch (Fig. 4: top-of-rack switches connected by a
+	// shared switch). All inter-rack traffic leaving a rack shares this
+	// pipe. Zero means unlimited.
+	InterRackMbps float64
+
+	// DistanceIntraNode is the scheduler-visible network distance
+	// between a node and itself.
+	DistanceIntraNode float64
+	// DistanceIntraRack is the distance between two nodes on one rack.
+	DistanceIntraRack float64
+	// DistanceInterRack is the distance between nodes on different
+	// racks.
+	DistanceInterRack float64
+}
+
+// DefaultNetworkModel returns the model calibrated to the paper's Emulab
+// setup: 100 Mbps NICs, 4 ms inter-rack RTT, and unit rack distances.
+func DefaultNetworkModel() NetworkModel {
+	return NetworkModel{
+		LatencyIntraProcess: 1 * time.Microsecond,
+		LatencyInterProcess: 25 * time.Microsecond,
+		LatencyInterNode:    500 * time.Microsecond,
+		LatencyInterRack:    2 * time.Millisecond,
+		InterRackMbps:       300,
+		DistanceIntraNode:   0,
+		DistanceIntraRack:   1,
+		DistanceInterRack:   2,
+	}
+}
+
+// Latency returns the one-way delay for a path level.
+func (m NetworkModel) Latency(p PathLevel) time.Duration {
+	switch p {
+	case PathIntraProcess:
+		return m.LatencyIntraProcess
+	case PathInterProcess:
+		return m.LatencyInterProcess
+	case PathInterNode:
+		return m.LatencyInterNode
+	case PathInterRack:
+		return m.LatencyInterRack
+	default:
+		return m.LatencyInterRack
+	}
+}
+
+// validate rejects nonsensical models.
+func (m NetworkModel) validate() error {
+	if m.LatencyIntraProcess < 0 || m.LatencyInterProcess < 0 ||
+		m.LatencyInterNode < 0 || m.LatencyInterRack < 0 {
+		return fmt.Errorf("network latencies must be non-negative: %+v", m)
+	}
+	if m.DistanceIntraNode < 0 || m.DistanceIntraRack < 0 || m.DistanceInterRack < 0 {
+		return fmt.Errorf("network distances must be non-negative: %+v", m)
+	}
+	if m.InterRackMbps < 0 {
+		return fmt.Errorf("inter-rack bandwidth %v Mbps must be non-negative", m.InterRackMbps)
+	}
+	if m.DistanceIntraRack > m.DistanceInterRack {
+		return fmt.Errorf("intra-rack distance %v exceeds inter-rack distance %v",
+			m.DistanceIntraRack, m.DistanceInterRack)
+	}
+	return nil
+}

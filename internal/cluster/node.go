@@ -1,0 +1,72 @@
+// Package cluster models the physical substrate R-Storm schedules onto:
+// racks of worker nodes with declared resource capacities, worker slots,
+// and a network whose cost hierarchy follows the paper's insight (§4):
+// inter-rack is the slowest, then inter-node, then inter-process, and
+// intra-process is the fastest.
+package cluster
+
+import (
+	"fmt"
+
+	"rstorm/internal/resource"
+)
+
+// NodeID identifies a worker node.
+type NodeID string
+
+// RackID identifies a server rack (the paper emulates racks with VLANs).
+type RackID string
+
+// NodeSpec declares a node's capacity, mirroring the storm.yaml settings
+// supervisor.cpu.capacity and supervisor.memory.capacity.mb (paper §5.2).
+type NodeSpec struct {
+	// Capacity is the node's total resource availability: CPU points
+	// (100 per core), memory MB, and bandwidth budget.
+	Capacity resource.Vector
+	// Slots is the number of worker processes the supervisor can host
+	// (Storm's supervisor.slots.ports). Defaults to 4.
+	Slots int
+	// NICMbps is the network interface bandwidth in megabits per second
+	// used by the simulator. Defaults to 100 (the paper's testbed).
+	NICMbps float64
+}
+
+// withDefaults fills unset spec fields.
+func (s NodeSpec) withDefaults() NodeSpec {
+	if s.Slots == 0 {
+		s.Slots = 4
+	}
+	if s.NICMbps == 0 {
+		s.NICMbps = 100
+	}
+	return s
+}
+
+// validate rejects malformed specs.
+func (s NodeSpec) validate() error {
+	if err := s.Capacity.Validate(); err != nil {
+		return err
+	}
+	if s.Slots < 1 {
+		return fmt.Errorf("slots %d, want >= 1", s.Slots)
+	}
+	if s.NICMbps <= 0 {
+		return fmt.Errorf("NIC bandwidth %v Mbps, want > 0", s.NICMbps)
+	}
+	return nil
+}
+
+// Node is one worker machine.
+type Node struct {
+	// ID is the node's unique identifier.
+	ID NodeID
+	// Rack is the rack holding this node.
+	Rack RackID
+	// Spec is the node's declared capacity.
+	Spec NodeSpec
+}
+
+// String implements fmt.Stringer.
+func (n *Node) String() string {
+	return fmt.Sprintf("%s@%s%s", n.ID, n.Rack, n.Spec.Capacity)
+}

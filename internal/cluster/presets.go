@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"fmt"
+
+	"rstorm/internal/resource"
+)
+
+// EmulabNodeSpec mirrors one worker of the paper's testbed (§6.1): a single
+// 3 GHz core (100 CPU points), 2 GB of RAM, and a 100 Mbps NIC. The
+// bandwidth budget mirrors the NIC in abstract units.
+func EmulabNodeSpec() NodeSpec {
+	return NodeSpec{
+		Capacity: resource.Vector{CPU: 100, MemoryMB: 2048, Bandwidth: 100},
+		Slots:    4,
+		NICMbps:  100,
+	}
+}
+
+// TwoRack builds a cluster of `racks` racks with `nodesPerRack` identical
+// nodes each. Node IDs are "node-<rack>-<i>", rack IDs "rack-<r>".
+func TwoRack(racks, nodesPerRack int, spec NodeSpec) (*Cluster, error) {
+	if racks < 1 || nodesPerRack < 1 {
+		return nil, fmt.Errorf("need at least one rack and one node, got %d racks x %d nodes",
+			racks, nodesPerRack)
+	}
+	b := NewBuilder()
+	for r := 0; r < racks; r++ {
+		rack := RackID(fmt.Sprintf("rack-%d", r))
+		for i := 0; i < nodesPerRack; i++ {
+			id := NodeID(fmt.Sprintf("node-%d-%d", r, i))
+			b.AddNode(id, rack, spec)
+		}
+	}
+	return b.Build()
+}
+
+// Emulab12 reproduces the paper's main evaluation cluster: 12 worker nodes
+// split across two racks (VLANs) of 6 (§6.1).
+func Emulab12() (*Cluster, error) {
+	return TwoRack(2, 6, EmulabNodeSpec())
+}
+
+// Emulab24 reproduces the multi-topology cluster: 24 machines separated
+// into two 12-machine subclusters (§6.5).
+func Emulab24() (*Cluster, error) {
+	return TwoRack(2, 12, EmulabNodeSpec())
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"rstorm/internal/stormyaml"
+)
+
+// FromYAML builds a Cluster from a storm.yaml-style document:
+//
+//	network.interrack.mbps: 300
+//	network.interrack.latency.ms: 2
+//	defaults:
+//	  supervisor.cpu.capacity: 100.0
+//	  supervisor.memory.capacity.mb: 2048.0
+//	  supervisor.slots: 4
+//	  supervisor.nic.mbps: 100
+//	racks:
+//	  rack-0:
+//	    nodes:
+//	      - node-0-0
+//	      - node-0-1
+//	  rack-1:
+//	    nodes:
+//	      - node-1-0
+//
+// Per-node overrides may appear as nested maps under a node name instead of
+// a bare list entry; this loader keeps to the flat common case.
+func FromYAML(r io.Reader) (*Cluster, error) {
+	cfg, err := stormyaml.Parse(r)
+	if err != nil {
+		return nil, fmt.Errorf("cluster config: %w", err)
+	}
+	return FromConfig(cfg)
+}
+
+// FromConfig builds a Cluster from a parsed configuration document.
+func FromConfig(cfg stormyaml.Config) (*Cluster, error) {
+	spec := EmulabNodeSpec()
+	if defaults, ok := cfg.Map("defaults"); ok {
+		if v, ok := defaults.Float("supervisor.cpu.capacity"); ok {
+			spec.Capacity.CPU = v
+		}
+		if v, ok := defaults.Float("supervisor.memory.capacity.mb"); ok {
+			spec.Capacity.MemoryMB = v
+		}
+		if v, ok := defaults.Float("supervisor.bandwidth.capacity"); ok {
+			spec.Capacity.Bandwidth = v
+		}
+		if v, ok := defaults.Int("supervisor.slots"); ok {
+			spec.Slots = int(v)
+		}
+		if v, ok := defaults.Float("supervisor.nic.mbps"); ok {
+			spec.NICMbps = v
+		}
+	}
+	if err := spec.Capacity.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster config defaults: %w", err)
+	}
+
+	network := DefaultNetworkModel()
+	if v, ok := cfg.Float("network.interrack.mbps"); ok {
+		network.InterRackMbps = v
+	}
+	if v, ok := cfg.Float("network.interrack.latency.ms"); ok {
+		network.LatencyInterRack = time.Duration(v * float64(time.Millisecond))
+	}
+	if v, ok := cfg.Float("network.internode.latency.ms"); ok {
+		network.LatencyInterNode = time.Duration(v * float64(time.Millisecond))
+	}
+
+	racks, ok := cfg.Map("racks")
+	if !ok {
+		return nil, fmt.Errorf("cluster config: missing racks section")
+	}
+	b := NewBuilder().SetNetworkModel(network)
+	// stormyaml maps are unordered; iterate rack names sorted for
+	// deterministic node ordering.
+	for _, rackName := range sortedKeys(racks) {
+		rackCfg, ok := racks.Map(rackName)
+		if !ok {
+			return nil, fmt.Errorf("cluster config: rack %q is not a mapping", rackName)
+		}
+		nodes, ok := rackCfg.List("nodes")
+		if !ok {
+			return nil, fmt.Errorf("cluster config: rack %q has no nodes list", rackName)
+		}
+		for _, n := range nodes {
+			name, ok := n.(string)
+			if !ok {
+				return nil, fmt.Errorf("cluster config: rack %q has non-string node %v", rackName, n)
+			}
+			b.AddNode(NodeID(name), RackID(rackName), spec)
+		}
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("cluster config: %w", err)
+	}
+	return c, nil
+}
+
+func sortedKeys(m stormyaml.Config) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

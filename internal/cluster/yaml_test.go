@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleClusterYAML = `
+# testbed description
+network.interrack.mbps: 250
+network.interrack.latency.ms: 3
+network.internode.latency.ms: 0.7
+defaults:
+  supervisor.cpu.capacity: 200.0
+  supervisor.memory.capacity.mb: 4096.0
+  supervisor.slots: 2
+  supervisor.nic.mbps: 1000
+racks:
+  rack-a:
+    nodes:
+      - a1
+      - a2
+  rack-b:
+    nodes:
+      - b1
+`
+
+func TestFromYAML(t *testing.T) {
+	c, err := FromYAML(strings.NewReader(sampleClusterYAML))
+	if err != nil {
+		t.Fatalf("FromYAML: %v", err)
+	}
+	if c.Size() != 3 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	if len(c.Racks()) != 2 {
+		t.Fatalf("racks = %v", c.Racks())
+	}
+	n := c.Node("a1")
+	if n == nil {
+		t.Fatal("a1 missing")
+	}
+	if n.Spec.Capacity.CPU != 200 || n.Spec.Capacity.MemoryMB != 4096 {
+		t.Errorf("capacity = %v", n.Spec.Capacity)
+	}
+	if n.Spec.Slots != 2 || n.Spec.NICMbps != 1000 {
+		t.Errorf("spec = %+v", n.Spec)
+	}
+	net := c.Network()
+	if net.InterRackMbps != 250 {
+		t.Errorf("uplink = %v", net.InterRackMbps)
+	}
+	if net.LatencyInterRack != 3*time.Millisecond {
+		t.Errorf("inter-rack latency = %v", net.LatencyInterRack)
+	}
+	if net.LatencyInterNode != 700*time.Microsecond {
+		t.Errorf("inter-node latency = %v", net.LatencyInterNode)
+	}
+	if d := c.NetworkDistance("a1", "b1"); d != 2 {
+		t.Errorf("cross-rack distance = %v", d)
+	}
+}
+
+func TestFromYAMLDefaultsApplied(t *testing.T) {
+	doc := `
+racks:
+  r:
+    nodes:
+      - only
+`
+	c, err := FromYAML(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("FromYAML: %v", err)
+	}
+	n := c.Node("only")
+	if n.Spec.Capacity != EmulabNodeSpec().Capacity {
+		t.Errorf("defaults not applied: %v", n.Spec.Capacity)
+	}
+}
+
+func TestFromYAMLErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		doc  string
+		sub  string
+	}{
+		{"no racks", "defaults:\n  supervisor.slots: 2\n", "missing racks"},
+		{"rack not map", "racks:\n  r: 5\n", "not a mapping"},
+		{"rack without nodes", "racks:\n  r:\n    other: 1\n", "no nodes list"},
+		{"non-string node", "racks:\n  r:\n    nodes:\n      - 42\n", "non-string node"},
+		{"bad yaml", "racks\n", "expected 'key: value'"},
+		{"negative capacity", "defaults:\n  supervisor.cpu.capacity: -5\nracks:\n  r:\n    nodes:\n      - a\n", "negative"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := FromYAML(strings.NewReader(tt.doc))
+			if err == nil || !strings.Contains(err.Error(), tt.sub) {
+				t.Fatalf("err = %v, want %q", err, tt.sub)
+			}
+		})
+	}
+}
+
+func TestFromYAMLDeterministicNodeOrder(t *testing.T) {
+	c1, err := FromYAML(strings.NewReader(sampleClusterYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := FromYAML(strings.NewReader(sampleClusterYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids1, ids2 := c1.NodeIDs(), c2.NodeIDs()
+	for i := range ids1 {
+		if ids1[i] != ids2[i] {
+			t.Fatalf("node order nondeterministic: %v vs %v", ids1, ids2)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/resource"
+	"rstorm/internal/topology"
+)
+
+// Placement locates one task: a node and a worker-slot index on that node.
+// Tasks sharing (Node, Slot) run in the same worker process and communicate
+// intra-process.
+type Placement struct {
+	Node cluster.NodeID
+	Slot int
+}
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	return fmt.Sprintf("%s/slot%d", p.Node, p.Slot)
+}
+
+// Assignment is a complete task → placement mapping for one topology.
+type Assignment struct {
+	// Topology is the scheduled topology's name.
+	Topology string
+	// Scheduler is the name of the scheduler that produced the mapping.
+	Scheduler string
+	// Placements maps task ID to placement.
+	Placements map[int]Placement
+}
+
+// NewAssignment returns an empty assignment for the named topology.
+func NewAssignment(topo, scheduler string) *Assignment {
+	return &Assignment{
+		Topology:   topo,
+		Scheduler:  scheduler,
+		Placements: make(map[int]Placement),
+	}
+}
+
+// Place records the placement for a task.
+func (a *Assignment) Place(taskID int, p Placement) {
+	a.Placements[taskID] = p
+}
+
+// PlacementOf returns the placement of a task.
+func (a *Assignment) PlacementOf(taskID int) (Placement, bool) {
+	p, ok := a.Placements[taskID]
+	return p, ok
+}
+
+// NodesUsed returns the distinct nodes hosting at least one task, sorted.
+func (a *Assignment) NodesUsed() []cluster.NodeID {
+	set := make(map[cluster.NodeID]bool)
+	for _, p := range a.Placements {
+		set[p.Node] = true
+	}
+	out := make([]cluster.NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WorkersUsed returns the number of distinct (node, slot) worker processes.
+func (a *Assignment) WorkersUsed() int {
+	set := make(map[Placement]bool)
+	for _, p := range a.Placements {
+		set[p] = true
+	}
+	return len(set)
+}
+
+// TasksOnNode returns the task IDs placed on a node, sorted.
+func (a *Assignment) TasksOnNode(n cluster.NodeID) []int {
+	var out []int
+	for id, p := range a.Placements {
+		if p.Node == n {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// UsedPerNode sums the demand of the tasks placed on each node.
+func (a *Assignment) UsedPerNode(topo *topology.Topology) map[cluster.NodeID]resource.Vector {
+	byID := make(map[int]topology.Task, topo.TotalTasks())
+	for _, task := range topo.Tasks() {
+		byID[task.ID] = task
+	}
+	out := make(map[cluster.NodeID]resource.Vector)
+	for id, p := range a.Placements {
+		task, ok := byID[id]
+		if !ok {
+			continue
+		}
+		out[p.Node] = out[p.Node].Add(topo.TaskDemand(task))
+	}
+	return out
+}
+
+// Complete reports whether every task of topo has a placement.
+func (a *Assignment) Complete(topo *topology.Topology) bool {
+	for _, task := range topo.Tasks() {
+		if _, ok := a.Placements[task.ID]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the assignment against the cluster: every task placed on
+// an existing node and valid slot, and — when classes mark memory hard —
+// that no node's memory capacity is exceeded by this assignment alone.
+func (a *Assignment) Validate(topo *topology.Topology, c *cluster.Cluster, classes resource.Classes) error {
+	if !a.Complete(topo) {
+		return fmt.Errorf("assignment for %q is incomplete: %d of %d tasks placed",
+			a.Topology, len(a.Placements), topo.TotalTasks())
+	}
+	for id, p := range a.Placements {
+		n := c.Node(p.Node)
+		if n == nil {
+			return fmt.Errorf("task %d placed on unknown node %q", id, p.Node)
+		}
+		if p.Slot < 0 || p.Slot >= n.Spec.Slots {
+			return fmt.Errorf("task %d placed on invalid slot %d of node %q (has %d slots)",
+				id, p.Slot, p.Node, n.Spec.Slots)
+		}
+	}
+	for nodeID, used := range a.UsedPerNode(topo) {
+		capa := c.Node(nodeID).Spec.Capacity
+		if !resource.SatisfiesHard(capa, used, classes) {
+			return fmt.Errorf("node %q hard constraint violated: used %v of %v",
+				nodeID, used, capa)
+		}
+	}
+	return nil
+}
+
+// NetworkCost returns the expected scheduler-visible network distance per
+// tuple hand-off, summed over all streams. For each stream, each producer
+// task contributes the mean distance to the consumer tasks it can reach
+// under the stream's grouping. Lower is better; zero means every hand-off
+// is node-local.
+func (a *Assignment) NetworkCost(topo *topology.Topology, c *cluster.Cluster) float64 {
+	var total float64
+	for _, s := range topo.Streams() {
+		producers := topo.TasksOf(s.From)
+		consumers := topo.TasksOf(s.To)
+		if len(producers) == 0 || len(consumers) == 0 {
+			continue
+		}
+		for _, pt := range producers {
+			pp, ok := a.Placements[pt.ID]
+			if !ok {
+				continue
+			}
+			targets := consumers
+			if s.Grouping == topology.GroupingGlobal {
+				targets = consumers[:1]
+			}
+			if s.Grouping == topology.GroupingLocalOrShuffle {
+				// A worker-local consumer absorbs all of this
+				// producer's traffic at zero network distance.
+				local := false
+				for _, ct := range targets {
+					if cp, ok := a.Placements[ct.ID]; ok && cp == pp {
+						local = true
+						break
+					}
+				}
+				if local {
+					continue
+				}
+			}
+			var sum float64
+			for _, ct := range targets {
+				cp, ok := a.Placements[ct.ID]
+				if !ok {
+					continue
+				}
+				sum += c.NetworkDistance(pp.Node, cp.Node)
+			}
+			if s.Grouping == topology.GroupingAll {
+				total += sum // replicated: every consumer pays
+			} else {
+				total += sum / float64(len(targets))
+			}
+		}
+	}
+	return total
+}
+
+// CrossNodePairs counts adjacent (producer task, consumer task) pairs whose
+// placements are on different nodes, a coarse colocation metric.
+func (a *Assignment) CrossNodePairs(topo *topology.Topology) int {
+	var crossings int
+	for _, s := range topo.Streams() {
+		for _, pt := range topo.TasksOf(s.From) {
+			pp, ok := a.Placements[pt.ID]
+			if !ok {
+				continue
+			}
+			for _, ct := range topo.TasksOf(s.To) {
+				cp, ok := a.Placements[ct.ID]
+				if !ok {
+					continue
+				}
+				if pp.Node != cp.Node {
+					crossings++
+				}
+			}
+		}
+	}
+	return crossings
+}
+
+// String renders a compact node → tasks table.
+func (a *Assignment) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "assignment %q (%s):", a.Topology, a.Scheduler)
+	for _, n := range a.NodesUsed() {
+		fmt.Fprintf(&b, " %s=%v", n, a.TasksOnNode(n))
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"rstorm/internal/resource"
+	"rstorm/internal/topology"
+)
+
+// TestCPUAsHardConstraint exercises the paper's §3 statement that "the
+// number of constraints to use and whether a constraint is soft or hard is
+// specified by the user": with CPU reclassified as hard, R-Storm refuses
+// CPU overcommit instead of degrading.
+func TestCPUAsHardConstraint(t *testing.T) {
+	strict := resource.Classes{
+		resource.AxisCPU:       resource.Hard,
+		resource.AxisMemory:    resource.Hard,
+		resource.AxisBandwidth: resource.Soft,
+	}
+	c := emulab12(t)
+
+	// 24 tasks x 60 points = 1440 > 1200 cluster points. Memory fits.
+	topo := linearTopo(t, 6, 60, 100)
+
+	// Default classes: soft CPU, so scheduling succeeds overcommitted.
+	if _, err := NewResourceAwareScheduler().Schedule(topo, c, NewGlobalState(c)); err != nil {
+		t.Fatalf("soft CPU: %v", err)
+	}
+
+	// Hard CPU: impossible, and said so.
+	_, err := NewResourceAwareScheduler(WithClasses(strict)).Schedule(topo, c, NewGlobalState(c))
+	if !errors.Is(err, ErrInsufficientResources) {
+		t.Fatalf("hard CPU err = %v, want ErrInsufficientResources", err)
+	}
+
+	// A topology that fits under hard CPU schedules without overcommit
+	// anywhere.
+	fits := linearTopo(t, 6, 45, 100) // 24 x 45 = 1080 <= 1200
+	a, err := NewResourceAwareScheduler(WithClasses(strict)).Schedule(fits, c, NewGlobalState(c))
+	if err != nil {
+		t.Fatalf("fitting topology: %v", err)
+	}
+	for node, used := range a.UsedPerNode(fits) {
+		if used.CPU > c.Node(node).Spec.Capacity.CPU {
+			t.Errorf("node %s overcommitted under hard CPU: %v", node, used.CPU)
+		}
+	}
+}
+
+// TestGlobalStateSharedAcrossSchedulers verifies that reservations from
+// one topology constrain the next even under a different scheduler — the
+// master mixes schedulers freely over one GlobalState.
+func TestGlobalStateSharedAcrossSchedulers(t *testing.T) {
+	c := emulab12(t)
+	state := NewGlobalState(c)
+
+	first := linearTopo(t, 6, 25, 900) // 24 tasks x 900 MB: 2 per node, fills all 12 nodes
+	a1, err := NewResourceAwareScheduler().Schedule(first, c, state)
+	if err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	if err := state.Apply(first, a1); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+
+	// Remaining memory per node is at most 2048 - 1800 = 248 MB; a
+	// 400 MB-per-task topology cannot fit anywhere. The second topology
+	// gets a distinct name so GlobalState accepts it.
+	b := topology.NewBuilder("second")
+	b.SetSpout("s", 2).SetCPULoad(10).SetMemoryLoad(400)
+	b.SetBolt("b", 2).ShuffleGrouping("s").SetCPULoad(10).SetMemoryLoad(400)
+	second, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	_, err = NewResourceAwareScheduler().Schedule(second, c, state)
+	if !errors.Is(err, ErrInsufficientResources) {
+		t.Fatalf("second err = %v, want ErrInsufficientResources", err)
+	}
+}

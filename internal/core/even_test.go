@@ -1,0 +1,162 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/topology"
+)
+
+func TestEvenSpreadsAcrossAllNodes(t *testing.T) {
+	topo := linearTopo(t, 6, 50, 512) // 24 tasks
+	c := emulab12(t)
+	a, err := EvenScheduler{}.Schedule(topo, c, NewGlobalState(c))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if got := len(a.NodesUsed()); got != 12 {
+		t.Errorf("nodes used = %d, want 12", got)
+	}
+	// 24 tasks over 12 single-slot workers: 2 tasks per node.
+	for _, n := range a.NodesUsed() {
+		if got := len(a.TasksOnNode(n)); got != 2 {
+			t.Errorf("node %s has %d tasks, want 2", n, got)
+		}
+	}
+}
+
+func TestEvenIgnoresResources(t *testing.T) {
+	// Tasks that monstrously exceed node memory still get placed: the
+	// default scheduler is resource-blind by design.
+	topo := linearTopo(t, 6, 500, 100000)
+	c := emulab12(t)
+	a, err := EvenScheduler{}.Schedule(topo, c, NewGlobalState(c))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if !a.Complete(topo) {
+		t.Fatal("even scheduler should place everything regardless of demand")
+	}
+}
+
+func TestEvenHonorsNumWorkers(t *testing.T) {
+	b := topology.NewBuilder("small").SetNumWorkers(3)
+	b.SetSpout("s", 3)
+	b.SetBolt("b", 3).ShuffleGrouping("s")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	c := emulab12(t)
+	a, err := EvenScheduler{}.Schedule(topo, c, NewGlobalState(c))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if got := a.WorkersUsed(); got != 3 {
+		t.Errorf("workers used = %d, want 3", got)
+	}
+	if got := len(a.NodesUsed()); got != 3 {
+		t.Errorf("nodes used = %d, want 3 (one worker per node)", got)
+	}
+}
+
+func TestEvenRoundRobinOrder(t *testing.T) {
+	topo := linearTopo(t, 3, 10, 100) // 12 tasks over 12 nodes
+	c := emulab12(t)
+	a, err := EvenScheduler{}.Schedule(topo, c, NewGlobalState(c))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	// Task i lands on node i (mod 12) in declaration order.
+	ids := c.NodeIDs()
+	for _, task := range topo.Tasks() {
+		want := ids[task.ID%len(ids)]
+		if got := a.Placements[task.ID].Node; got != want {
+			t.Errorf("task %d on %s, want %s", task.ID, got, want)
+		}
+	}
+}
+
+func TestEvenNoSlots(t *testing.T) {
+	topo := linearTopo(t, 1, 10, 100)
+	c := emulab12(t)
+	state := NewGlobalState(c)
+	// Exhaust every slot with fake topologies.
+	for _, id := range c.NodeIDs() {
+		for _, slot := range state.FreeSlots(id) {
+			occupySlot(t, state, id, slot)
+		}
+	}
+	_, err := EvenScheduler{}.Schedule(topo, c, state)
+	if !errors.Is(err, ErrNoSlots) {
+		t.Fatalf("err = %v, want ErrNoSlots", err)
+	}
+}
+
+// occupySlot reserves a slot via a single-task topology, so tests can
+// exhaust slot capacity through the public API.
+func occupySlot(t *testing.T, state *GlobalState, node cluster.NodeID, slot int) {
+	t.Helper()
+	name := "occupier-" + string(node) + "-" + string(rune('0'+slot))
+	b := topology.NewBuilder(name)
+	b.SetSpout("s", 1)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	a := NewAssignment(name, "test")
+	a.Place(0, Placement{Node: node, Slot: slot})
+	if err := state.Apply(topo, a); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+}
+
+func TestOfflineLinearColocatesChains(t *testing.T) {
+	topo := linearTopo(t, 6, 20, 256)
+	c := emulab12(t)
+	oa, err := OfflineLinearScheduler{}.Schedule(topo, c, NewGlobalState(c))
+	if err != nil {
+		t.Fatalf("offline: %v", err)
+	}
+	ea, err := EvenScheduler{}.Schedule(topo, c, NewGlobalState(c))
+	if err != nil {
+		t.Fatalf("even: %v", err)
+	}
+	if !oa.Complete(topo) {
+		t.Fatal("offline incomplete")
+	}
+	if oc, ec := oa.NetworkCost(topo, c), ea.NetworkCost(topo, c); oc >= ec {
+		t.Errorf("offline network cost %v not better than even %v", oc, ec)
+	}
+}
+
+func TestOfflineLinearNoSlots(t *testing.T) {
+	topo := linearTopo(t, 1, 10, 100)
+	c := emulab12(t)
+	state := NewGlobalState(c)
+	for _, id := range c.NodeIDs() {
+		for _, slot := range state.FreeSlots(id) {
+			occupySlot(t, state, id, slot)
+		}
+	}
+	_, err := OfflineLinearScheduler{}.Schedule(topo, c, state)
+	if !errors.Is(err, ErrNoSlots) {
+		t.Fatalf("err = %v, want ErrNoSlots", err)
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	if NewResourceAwareScheduler().Name() != "r-storm" {
+		t.Error("r-storm name")
+	}
+	if (EvenScheduler{}).Name() != "default-even" {
+		t.Error("even name")
+	}
+	if (OfflineLinearScheduler{}).Name() != "offline-linear" {
+		t.Error("offline name")
+	}
+	if NewExactScheduler().Name() != "exact-bnb" {
+		t.Error("exact name")
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/resource"
+	"rstorm/internal/topology"
+)
+
+// ExactScheduler solves small instances of the paper's QM3DKP formulation
+// (§3) by branch-and-bound over the full assignment space. It minimizes
+//
+//	cost = Σ_{adjacent task pairs (a,b)} networkDistance(node(a), node(b))
+//	     + OverloadPenalty · Σ_nodes max(0, cpuUsed − cpuCapacity)/100
+//
+// subject to the hard memory constraint on every node. The network term is
+// the quadratic profit of the QKP view (colocating communicating tasks);
+// the penalty term expresses the soft CPU constraint.
+//
+// It exists to bound the greedy heuristic's optimality gap in Ablation B
+// and is limited to instances with TotalTasks ≤ MaxTasks, because the
+// search space is |nodes|^|tasks|.
+type ExactScheduler struct {
+	// MaxTasks caps instance size; Schedule errors above it. Default 10.
+	MaxTasks int
+	// OverloadPenalty scales the soft CPU overcommit term. Default 10.
+	OverloadPenalty float64
+	classes         resource.Classes
+}
+
+var _ Scheduler = (*ExactScheduler)(nil)
+
+// NewExactScheduler returns an exact solver with default limits.
+func NewExactScheduler() *ExactScheduler {
+	return &ExactScheduler{
+		MaxTasks:        10,
+		OverloadPenalty: 10,
+		classes:         resource.DefaultClasses(),
+	}
+}
+
+// Name implements Scheduler.
+func (s *ExactScheduler) Name() string { return "exact-bnb" }
+
+// Schedule implements Scheduler.
+func (s *ExactScheduler) Schedule(
+	topo *topology.Topology,
+	c *cluster.Cluster,
+	state *GlobalState,
+) (*Assignment, error) {
+	tasks := topo.Tasks()
+	if len(tasks) > s.MaxTasks {
+		return nil, fmt.Errorf("exact scheduler limited to %d tasks, topology has %d",
+			s.MaxTasks, len(tasks))
+	}
+	nodes := c.NodeIDs()
+	// Only consider nodes with at least one free slot.
+	eligible := nodes[:0:0]
+	for _, id := range nodes {
+		if len(state.FreeSlots(id)) > 0 {
+			eligible = append(eligible, id)
+		}
+	}
+	if len(eligible) == 0 {
+		return nil, fmt.Errorf("topology %q: %w", topo.Name(), ErrNoSlots)
+	}
+
+	// Adjacency between tasks: every (producer task, consumer task) pair
+	// of every stream communicates; weight 1 per pair.
+	type pair struct{ a, b int }
+	var pairs []pair
+	for _, st := range topo.Streams() {
+		for _, pt := range topo.TasksOf(st.From) {
+			for _, ct := range topo.TasksOf(st.To) {
+				pairs = append(pairs, pair{pt.ID, ct.ID})
+			}
+		}
+	}
+	pairsByTask := make(map[int][]pair)
+	for _, p := range pairs {
+		pairsByTask[p.a] = append(pairsByTask[p.a], p)
+		pairsByTask[p.b] = append(pairsByTask[p.b], p)
+	}
+
+	demands := make([]resource.Vector, len(tasks))
+	for i, task := range tasks {
+		demands[i] = topo.TaskDemand(task)
+	}
+	availBase := state.AvailableAll()
+
+	assigned := make(map[int]cluster.NodeID, len(tasks))
+	bestCost := -1.0
+	var bestAssign map[int]cluster.NodeID
+
+	used := make(map[cluster.NodeID]resource.Vector, len(eligible))
+
+	// partialCost returns the network cost of pairs fully placed so far
+	// plus the current CPU overload penalty — both monotone
+	// non-decreasing as tasks are added, so they are a valid bound.
+	partialCost := func() float64 {
+		var cost float64
+		seen := make(map[pair]bool)
+		for id, node := range assigned {
+			for _, p := range pairsByTask[id] {
+				if seen[p] {
+					continue
+				}
+				na, aOK := assigned[p.a]
+				nb, bOK := assigned[p.b]
+				if aOK && bOK {
+					seen[p] = true
+					cost += c.NetworkDistance(na, nb)
+				}
+			}
+			_ = node
+		}
+		for nodeID, u := range used {
+			if over := u.CPU - availBase[nodeID].CPU; over > 0 {
+				cost += s.OverloadPenalty * over / 100
+			}
+		}
+		return cost
+	}
+
+	var dfs func(i int)
+	dfs = func(i int) {
+		if i == len(tasks) {
+			cost := partialCost()
+			if bestCost < 0 || cost < bestCost {
+				bestCost = cost
+				bestAssign = make(map[int]cluster.NodeID, len(assigned))
+				for k, v := range assigned {
+					bestAssign[k] = v
+				}
+			}
+			return
+		}
+		task := tasks[i]
+		for _, node := range eligible {
+			u := used[node].Add(demands[i])
+			remaining := availBase[node].Sub(used[node])
+			if !resource.SatisfiesHard(remaining, demands[i], s.classes) {
+				continue
+			}
+			assigned[task.ID] = node
+			prev := used[node]
+			used[node] = u
+			if bestCost < 0 || partialCost() < bestCost {
+				dfs(i + 1)
+			}
+			used[node] = prev
+			delete(assigned, task.ID)
+		}
+	}
+	dfs(0)
+
+	if bestAssign == nil {
+		return nil, fmt.Errorf("topology %q: %w", topo.Name(), ErrInsufficientResources)
+	}
+	assignment := NewAssignment(topo.Name(), s.Name())
+	slotOf := make(map[cluster.NodeID]int)
+	for _, task := range tasks {
+		node := bestAssign[task.ID]
+		slot, ok := slotOf[node]
+		if !ok {
+			slot = state.FreeSlots(node)[0]
+			slotOf[node] = slot
+		}
+		assignment.Place(task.ID, Placement{Node: node, Slot: slot})
+	}
+	return assignment, nil
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/resource"
+	"rstorm/internal/topology"
+)
+
+// tinyTopo builds a 6-task chain small enough for the exact solver.
+func tinyTopo(t *testing.T, cpu, mem float64) *topology.Topology {
+	t.Helper()
+	b := topology.NewBuilder("tiny")
+	b.SetSpout("s", 2).SetCPULoad(cpu).SetMemoryLoad(mem)
+	b.SetBolt("a", 2).ShuffleGrouping("s").SetCPULoad(cpu).SetMemoryLoad(mem)
+	b.SetBolt("z", 2).ShuffleGrouping("a").SetCPULoad(cpu).SetMemoryLoad(mem)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return topo
+}
+
+// tinyCluster builds a 2-rack, 4-node cluster for exact-search tests.
+func tinyCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.TwoRack(2, 2, cluster.EmulabNodeSpec())
+	if err != nil {
+		t.Fatalf("TwoRack: %v", err)
+	}
+	return c
+}
+
+func TestExactProducesValidAssignment(t *testing.T) {
+	topo := tinyTopo(t, 30, 512)
+	c := tinyCluster(t)
+	a, err := NewExactScheduler().Schedule(topo, c, NewGlobalState(c))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := a.Validate(topo, c, resource.DefaultClasses()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestExactAtLeastAsGoodAsGreedy(t *testing.T) {
+	// The exact solver minimizes network cost + overload penalty; the
+	// greedy heuristic must never beat it on that objective.
+	tests := []struct {
+		name     string
+		cpu, mem float64
+	}{
+		{"loose", 10, 128},
+		{"cpu-tight", 45, 128},
+		{"memory-tight", 10, 900},
+	}
+	c := tinyCluster(t)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			topo := tinyTopo(t, tt.cpu, tt.mem)
+			exact, err := NewExactScheduler().Schedule(topo, c, NewGlobalState(c))
+			if err != nil {
+				t.Fatalf("exact: %v", err)
+			}
+			greedy, err := NewResourceAwareScheduler().Schedule(topo, c, NewGlobalState(c))
+			if err != nil {
+				t.Fatalf("greedy: %v", err)
+			}
+			eCost := objectiveCost(exact, topo, c)
+			gCost := objectiveCost(greedy, topo, c)
+			if gCost < eCost-1e-9 {
+				t.Errorf("greedy cost %v beat exact cost %v — exact is not optimal", gCost, eCost)
+			}
+		})
+	}
+}
+
+// objectiveCost mirrors the exact solver's objective for comparison.
+func objectiveCost(a *Assignment, topo *topology.Topology, c *cluster.Cluster) float64 {
+	cost := 0.0
+	for _, st := range topo.Streams() {
+		for _, pt := range topo.TasksOf(st.From) {
+			for _, ct := range topo.TasksOf(st.To) {
+				cost += c.NetworkDistance(a.Placements[pt.ID].Node, a.Placements[ct.ID].Node)
+			}
+		}
+	}
+	for node, used := range a.UsedPerNode(topo) {
+		if over := used.CPU - c.Node(node).Spec.Capacity.CPU; over > 0 {
+			cost += 10 * over / 100
+		}
+	}
+	return cost
+}
+
+func TestExactRefusesLargeInstances(t *testing.T) {
+	topo := linearTopo(t, 6, 10, 100) // 24 tasks
+	c := tinyCluster(t)
+	_, err := NewExactScheduler().Schedule(topo, c, NewGlobalState(c))
+	if err == nil || !strings.Contains(err.Error(), "limited to") {
+		t.Fatalf("err = %v, want size-limit error", err)
+	}
+}
+
+func TestExactHonorsHardMemory(t *testing.T) {
+	// Each task needs 1100 MB; a 2048 MB node fits one task only, and
+	// 6 tasks fit exactly on 4 nodes... they don't: only 4 nodes x 1 =
+	// 4 < 6, so scheduling must fail.
+	topo := tinyTopo(t, 10, 1100)
+	c := tinyCluster(t)
+	_, err := NewExactScheduler().Schedule(topo, c, NewGlobalState(c))
+	if !errors.Is(err, ErrInsufficientResources) {
+		t.Fatalf("err = %v, want ErrInsufficientResources", err)
+	}
+}
+
+func TestExactNoSlots(t *testing.T) {
+	topo := tinyTopo(t, 10, 100)
+	c := tinyCluster(t)
+	state := NewGlobalState(c)
+	for _, id := range c.NodeIDs() {
+		for _, slot := range state.FreeSlots(id) {
+			occupySlot(t, state, id, slot)
+		}
+	}
+	_, err := NewExactScheduler().Schedule(topo, c, state)
+	if !errors.Is(err, ErrNoSlots) {
+		t.Fatalf("err = %v, want ErrNoSlots", err)
+	}
+}
+
+func TestExactColocatesChain(t *testing.T) {
+	// A 3-task chain with generous resources should be fully colocated:
+	// optimal network cost is zero.
+	b := topology.NewBuilder("chain3")
+	b.SetSpout("s", 1).SetCPULoad(10).SetMemoryLoad(100)
+	b.SetBolt("a", 1).ShuffleGrouping("s").SetCPULoad(10).SetMemoryLoad(100)
+	b.SetBolt("z", 1).ShuffleGrouping("a").SetCPULoad(10).SetMemoryLoad(100)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	c := tinyCluster(t)
+	a, err := NewExactScheduler().Schedule(topo, c, NewGlobalState(c))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if got := a.NetworkCost(topo, c); got != 0 {
+		t.Errorf("network cost = %v, want 0 (full colocation): %s", got, a)
+	}
+}

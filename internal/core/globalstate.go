@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/resource"
+	"rstorm/internal/topology"
+)
+
+// GlobalState is the paper's GlobalState module (§5.1): it tracks where
+// every task of every topology is placed, the remaining resource
+// availability of every node, and worker-slot occupancy. Nimbus owns one
+// GlobalState and hands it to schedulers; schedulers read it and Nimbus
+// applies accepted assignments atomically.
+//
+// GlobalState is safe for concurrent use.
+type GlobalState struct {
+	mu        sync.Mutex
+	cluster   *cluster.Cluster
+	available map[cluster.NodeID]resource.Vector
+	slots     map[cluster.NodeID][]string // slot index -> owning topology ("" = free)
+	// reserved remembers, per topology and node, the total reservation so
+	// removal can release exactly what was taken.
+	reserved    map[string]map[cluster.NodeID]resource.Vector
+	assignments map[string]*Assignment
+}
+
+// NewGlobalState returns a GlobalState with every node fully available.
+func NewGlobalState(c *cluster.Cluster) *GlobalState {
+	s := &GlobalState{
+		cluster:     c,
+		available:   make(map[cluster.NodeID]resource.Vector, c.Size()),
+		slots:       make(map[cluster.NodeID][]string, c.Size()),
+		reserved:    make(map[string]map[cluster.NodeID]resource.Vector),
+		assignments: make(map[string]*Assignment),
+	}
+	for _, n := range c.Nodes() {
+		s.available[n.ID] = n.Spec.Capacity
+		s.slots[n.ID] = make([]string, n.Spec.Slots)
+	}
+	return s
+}
+
+// Cluster returns the cluster this state tracks.
+func (s *GlobalState) Cluster() *cluster.Cluster { return s.cluster }
+
+// Available returns the remaining availability of a node. Soft axes may be
+// negative when overcommitted by resource-blind schedulers.
+func (s *GlobalState) Available(id cluster.NodeID) resource.Vector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.available[id]
+}
+
+// AvailableAll returns a copy of the availability map.
+func (s *GlobalState) AvailableAll() map[cluster.NodeID]resource.Vector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[cluster.NodeID]resource.Vector, len(s.available))
+	for k, v := range s.available {
+		out[k] = v
+	}
+	return out
+}
+
+// FreeSlots returns the free worker-slot indexes of a node, ascending.
+func (s *GlobalState) FreeSlots(id cluster.NodeID) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.freeSlotsLocked(id)
+}
+
+func (s *GlobalState) freeSlotsLocked(id cluster.NodeID) []int {
+	var out []int
+	for i, owner := range s.slots[id] {
+		if owner == "" {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SlotOwner returns the topology owning a slot, or "" if free or unknown.
+func (s *GlobalState) SlotOwner(id cluster.NodeID, slot int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sl := s.slots[id]
+	if slot < 0 || slot >= len(sl) {
+		return ""
+	}
+	return sl[slot]
+}
+
+// Assignment returns the recorded assignment of a topology, or nil.
+func (s *GlobalState) Assignment(topo string) *Assignment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.assignments[topo]
+}
+
+// Assignments returns all recorded assignments keyed by topology name.
+func (s *GlobalState) Assignments() map[string]*Assignment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*Assignment, len(s.assignments))
+	for k, v := range s.assignments {
+		out[k] = v
+	}
+	return out
+}
+
+// Topologies returns the names of all scheduled topologies, sorted.
+func (s *GlobalState) Topologies() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.assignments))
+	for name := range s.assignments {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Apply atomically records an assignment, reserving resources and slots.
+// It fails without side effects if the assignment references unknown nodes
+// or slots, a slot owned by another topology, or if the topology is already
+// scheduled. Soft over-reservation is permitted (availability may go
+// negative on any axis) because resource-blind schedulers like default
+// Storm do exactly that; hard-constraint enforcement is the scheduler's
+// job at placement time.
+func (s *GlobalState) Apply(topo *topology.Topology, a *Assignment) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a.Topology != topo.Name() {
+		return fmt.Errorf("assignment is for %q, topology is %q", a.Topology, topo.Name())
+	}
+	if _, dup := s.assignments[topo.Name()]; dup {
+		return fmt.Errorf("topology %q is already scheduled", topo.Name())
+	}
+	if !a.Complete(topo) {
+		return fmt.Errorf("assignment for %q is incomplete", topo.Name())
+	}
+	// Validate before mutating anything.
+	for id, p := range a.Placements {
+		sl, ok := s.slots[p.Node]
+		if !ok {
+			return fmt.Errorf("task %d placed on unknown node %q", id, p.Node)
+		}
+		if p.Slot < 0 || p.Slot >= len(sl) {
+			return fmt.Errorf("task %d placed on invalid slot %d of %q", id, p.Slot, p.Node)
+		}
+		if owner := sl[p.Slot]; owner != "" && owner != topo.Name() {
+			return fmt.Errorf("slot %d of %q is owned by topology %q", p.Slot, p.Node, owner)
+		}
+	}
+
+	perNode := make(map[cluster.NodeID]resource.Vector)
+	for _, task := range topo.Tasks() {
+		p := a.Placements[task.ID]
+		perNode[p.Node] = perNode[p.Node].Add(topo.TaskDemand(task))
+		s.slots[p.Node][p.Slot] = topo.Name()
+	}
+	for node, used := range perNode {
+		s.available[node] = s.available[node].Sub(used)
+	}
+	s.reserved[topo.Name()] = perNode
+	s.assignments[topo.Name()] = a
+	return nil
+}
+
+// Remove releases everything a topology reserved. Removing an unknown
+// topology is a no-op.
+func (s *GlobalState) Remove(topoName string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for node, used := range s.reserved[topoName] {
+		s.available[node] = s.available[node].Add(used)
+	}
+	delete(s.reserved, topoName)
+	delete(s.assignments, topoName)
+	for node, sl := range s.slots {
+		for i, owner := range sl {
+			if owner == topoName {
+				s.slots[node][i] = ""
+			}
+		}
+	}
+}
+
+// ReleaseNode marks a node failed: its slots and reservations disappear and
+// its availability drops to zero. Returns the topologies that had tasks on
+// the node, sorted, so the caller can reschedule them.
+func (s *GlobalState) ReleaseNode(id cluster.NodeID) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	affectedSet := make(map[string]bool)
+	for topoName, perNode := range s.reserved {
+		if _, ok := perNode[id]; ok {
+			affectedSet[topoName] = true
+		}
+	}
+	s.available[id] = resource.Vector{}
+	s.slots[id] = nil
+	out := make([]string, 0, len(affectedSet))
+	for name := range affectedSet {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RestoreNode brings a failed node back with full capacity and fresh slots.
+func (s *GlobalState) RestoreNode(id cluster.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.cluster.Node(id)
+	if n == nil {
+		return fmt.Errorf("unknown node %q", id)
+	}
+	s.available[id] = n.Spec.Capacity
+	s.slots[id] = make([]string, n.Spec.Slots)
+	return nil
+}

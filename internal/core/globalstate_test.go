@@ -1,0 +1,220 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rstorm/internal/resource"
+	"rstorm/internal/topology"
+)
+
+func TestGlobalStateApplyAndRemove(t *testing.T) {
+	topo := linearTopo(t, 6, 25, 256)
+	c := emulab12(t)
+	state := NewGlobalState(c)
+
+	a, err := NewResourceAwareScheduler().Schedule(topo, c, state)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := state.Apply(topo, a); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+
+	// Reservations visible.
+	usedNodes := a.NodesUsed()
+	full := c.Node(usedNodes[0]).Spec.Capacity
+	if avail := state.Available(usedNodes[0]); avail == full {
+		t.Error("availability unchanged after Apply")
+	}
+	if got := state.Topologies(); len(got) != 1 || got[0] != "linear" {
+		t.Errorf("Topologies = %v", got)
+	}
+	if state.Assignment("linear") != a {
+		t.Error("Assignment not recorded")
+	}
+
+	// Remove releases everything.
+	state.Remove("linear")
+	for _, id := range c.NodeIDs() {
+		if avail := state.Available(id); avail != c.Node(id).Spec.Capacity {
+			t.Errorf("node %s not fully released: %v", id, avail)
+		}
+		if got := len(state.FreeSlots(id)); got != c.Node(id).Spec.Slots {
+			t.Errorf("node %s slots not released: %d free", id, got)
+		}
+	}
+	if got := state.Topologies(); len(got) != 0 {
+		t.Errorf("Topologies after remove = %v", got)
+	}
+}
+
+func TestGlobalStateRejectsDoubleApply(t *testing.T) {
+	topo := linearTopo(t, 2, 25, 256)
+	c := emulab12(t)
+	state := NewGlobalState(c)
+	a, err := NewResourceAwareScheduler().Schedule(topo, c, state)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := state.Apply(topo, a); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if err := state.Apply(topo, a); err == nil || !strings.Contains(err.Error(), "already scheduled") {
+		t.Fatalf("double apply err = %v", err)
+	}
+}
+
+func TestGlobalStateRejectsMismatchedAssignment(t *testing.T) {
+	topo := linearTopo(t, 1, 10, 100)
+	c := emulab12(t)
+	state := NewGlobalState(c)
+	a := NewAssignment("other-name", "test")
+	if err := state.Apply(topo, a); err == nil {
+		t.Fatal("mismatched names accepted")
+	}
+}
+
+func TestGlobalStateRejectsIncomplete(t *testing.T) {
+	topo := linearTopo(t, 2, 10, 100)
+	c := emulab12(t)
+	state := NewGlobalState(c)
+	a := NewAssignment("linear", "test")
+	a.Place(0, Placement{Node: c.NodeIDs()[0], Slot: 0})
+	if err := state.Apply(topo, a); err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("incomplete apply err = %v", err)
+	}
+}
+
+func TestGlobalStateRejectsForeignSlot(t *testing.T) {
+	c := emulab12(t)
+	state := NewGlobalState(c)
+	node := c.NodeIDs()[0]
+	occupySlot(t, state, node, 0)
+
+	b := topology.NewBuilder("intruder")
+	b.SetSpout("s", 1)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	a := NewAssignment("intruder", "test")
+	a.Place(0, Placement{Node: node, Slot: 0})
+	if err := state.Apply(topo, a); err == nil || !strings.Contains(err.Error(), "owned by") {
+		t.Fatalf("foreign slot err = %v", err)
+	}
+}
+
+func TestGlobalStateRejectsUnknownNodeAndSlot(t *testing.T) {
+	c := emulab12(t)
+	state := NewGlobalState(c)
+	b := topology.NewBuilder("t")
+	b.SetSpout("s", 1)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	a := NewAssignment("t", "test")
+	a.Place(0, Placement{Node: "ghost", Slot: 0})
+	if err := state.Apply(topo, a); err == nil || !strings.Contains(err.Error(), "unknown node") {
+		t.Fatalf("unknown node err = %v", err)
+	}
+	a2 := NewAssignment("t", "test")
+	a2.Place(0, Placement{Node: c.NodeIDs()[0], Slot: 99})
+	if err := state.Apply(topo, a2); err == nil || !strings.Contains(err.Error(), "invalid slot") {
+		t.Fatalf("invalid slot err = %v", err)
+	}
+}
+
+func TestGlobalStateReleaseAndRestoreNode(t *testing.T) {
+	topo := linearTopo(t, 6, 25, 256)
+	c := emulab12(t)
+	state := NewGlobalState(c)
+	a, err := NewResourceAwareScheduler().Schedule(topo, c, state)
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := state.Apply(topo, a); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+
+	victim := a.NodesUsed()[0]
+	affected := state.ReleaseNode(victim)
+	if len(affected) != 1 || affected[0] != "linear" {
+		t.Errorf("affected = %v, want [linear]", affected)
+	}
+	if avail := state.Available(victim); !avail.IsZero() {
+		t.Errorf("failed node availability = %v, want zero", avail)
+	}
+	if got := state.FreeSlots(victim); len(got) != 0 {
+		t.Errorf("failed node has free slots: %v", got)
+	}
+
+	// Releasing a node nobody uses affects nothing.
+	if affected := state.ReleaseNode("ghost-node"); len(affected) != 0 {
+		t.Errorf("unused node release affected %v", affected)
+	}
+
+	if err := state.RestoreNode(victim); err != nil {
+		t.Fatalf("RestoreNode: %v", err)
+	}
+	if avail := state.Available(victim); avail != c.Node(victim).Spec.Capacity {
+		t.Errorf("restored availability = %v", avail)
+	}
+	if err := state.RestoreNode("ghost"); err == nil {
+		t.Error("restoring unknown node should fail")
+	}
+}
+
+func TestGlobalStateSlotOwner(t *testing.T) {
+	c := emulab12(t)
+	state := NewGlobalState(c)
+	node := c.NodeIDs()[0]
+	if owner := state.SlotOwner(node, 0); owner != "" {
+		t.Errorf("fresh slot owner = %q", owner)
+	}
+	occupySlot(t, state, node, 0)
+	if owner := state.SlotOwner(node, 0); !strings.HasPrefix(owner, "occupier-") {
+		t.Errorf("slot owner = %q", owner)
+	}
+	if owner := state.SlotOwner(node, 999); owner != "" {
+		t.Errorf("out-of-range slot owner = %q", owner)
+	}
+}
+
+func TestAssignmentValidateCatchesMemoryViolation(t *testing.T) {
+	topo := linearTopo(t, 6, 10, 1500) // 24 tasks x 1500MB
+	c := emulab12(t)
+	a, err := EvenScheduler{}.Schedule(topo, c, NewGlobalState(c))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	// Even scheduler stacks 2 tasks x 1500MB = 3000MB > 2048MB per node.
+	if err := a.Validate(topo, c, resource.DefaultClasses()); err == nil {
+		t.Fatal("expected hard-constraint violation")
+	}
+}
+
+func TestAssignmentHelpers(t *testing.T) {
+	topo := linearTopo(t, 2, 25, 256)
+	c := emulab12(t)
+	a, err := NewResourceAwareScheduler().Schedule(topo, c, NewGlobalState(c))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if _, ok := a.PlacementOf(0); !ok {
+		t.Error("PlacementOf(0) missing")
+	}
+	if _, ok := a.PlacementOf(999); ok {
+		t.Error("PlacementOf(999) should be absent")
+	}
+	if a.WorkersUsed() < 1 {
+		t.Error("WorkersUsed < 1")
+	}
+	if s := a.String(); !strings.Contains(s, "linear") || !strings.Contains(s, "r-storm") {
+		t.Errorf("String = %q", s)
+	}
+	if p := (Placement{Node: "n", Slot: 2}); p.String() != "n/slot2" {
+		t.Errorf("placement string = %q", p.String())
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/topology"
+)
+
+// OfflineLinearScheduler is a baseline in the style of the offline
+// scheduler of Aniello, Baldoni and Querzoni (DEBS'13), which the paper
+// compares against in §7: it linearizes the topology's components and
+// places tasks from consecutive components together, round-robin over
+// machines, to reduce inter-node traffic — but it is blind to resource
+// demand and availability.
+//
+// Concretely: tasks are ordered with the same interleaved BFS linearization
+// R-Storm uses, split into `workers` contiguous groups, and group i becomes
+// worker i, with workers spread round-robin across nodes.
+type OfflineLinearScheduler struct{}
+
+var _ Scheduler = OfflineLinearScheduler{}
+
+// Name implements Scheduler.
+func (OfflineLinearScheduler) Name() string { return "offline-linear" }
+
+// Schedule implements Scheduler.
+func (OfflineLinearScheduler) Schedule(
+	topo *topology.Topology,
+	c *cluster.Cluster,
+	state *GlobalState,
+) (*Assignment, error) {
+	workers := topo.NumWorkers()
+	if workers <= 0 || workers > c.Size() {
+		workers = c.Size()
+	}
+	slots := collectSlotsRoundRobin(c, state, workers)
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("topology %q: %w", topo.Name(), ErrNoSlots)
+	}
+
+	ordered := TaskOrdering(topo)
+	perWorker := (len(ordered) + len(slots) - 1) / len(slots)
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	assignment := NewAssignment(topo.Name(), OfflineLinearScheduler{}.Name())
+	for i, task := range ordered {
+		w := i / perWorker
+		if w >= len(slots) {
+			w = len(slots) - 1
+		}
+		assignment.Place(task.ID, slots[w])
+	}
+	return assignment, nil
+}

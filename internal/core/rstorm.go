@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/resource"
+	"rstorm/internal/topology"
+)
+
+// ResourceAwareScheduler implements R-Storm's scheduling algorithm (§4):
+//
+//  1. Task selection (Algorithm 3): a BFS traversal from the spouts yields
+//     a component ordering; tasks are drawn round-robin from that ordering
+//     so tasks of adjacent components are scheduled in close succession.
+//  2. Node selection (Algorithm 4): the first task lands on the node with
+//     the most available resources within the rack with the most available
+//     resources (the ref node). Every other task lands on the node
+//     minimizing the weighted Euclidean distance between the task's demand
+//     and the node's remaining availability, with the bandwidth axis
+//     replaced by the network distance from the ref node, excluding nodes
+//     that would violate a hard constraint.
+//
+// On each node it uses, the scheduler packs all of a topology's tasks into
+// a single worker process, maximizing intra-process communication.
+type ResourceAwareScheduler struct {
+	weights resource.Weights
+	classes resource.Classes
+	// ordering computes the task schedule order; replaced in ablation
+	// tests to measure the BFS ordering's contribution.
+	ordering func(*topology.Topology) []topology.Task
+}
+
+var _ Scheduler = (*ResourceAwareScheduler)(nil)
+
+// RASOption configures a ResourceAwareScheduler.
+type RASOption func(*ResourceAwareScheduler)
+
+// WithWeights overrides the soft-constraint weights (§4: S' = Weights·S).
+func WithWeights(w resource.Weights) RASOption {
+	return func(s *ResourceAwareScheduler) { s.weights = w }
+}
+
+// WithClasses overrides the hard/soft classification of the resource axes.
+func WithClasses(c resource.Classes) RASOption {
+	return func(s *ResourceAwareScheduler) { s.classes = c }
+}
+
+// WithTaskOrdering overrides task selection; used by the task-ordering
+// ablation to compare BFS against alternatives.
+func WithTaskOrdering(f func(*topology.Topology) []topology.Task) RASOption {
+	return func(s *ResourceAwareScheduler) { s.ordering = f }
+}
+
+// NewResourceAwareScheduler returns an R-Storm scheduler with the paper's
+// defaults: memory hard, CPU and bandwidth soft, normalized weights.
+func NewResourceAwareScheduler(opts ...RASOption) *ResourceAwareScheduler {
+	s := &ResourceAwareScheduler{
+		weights:  resource.DefaultWeights(),
+		classes:  resource.DefaultClasses(),
+		ordering: TaskOrdering,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Name implements Scheduler.
+func (s *ResourceAwareScheduler) Name() string { return "r-storm" }
+
+// TaskOrdering implements Algorithm 3 (TaskSelection): iterate the BFS
+// component ordering repeatedly, drawing one task from each component that
+// still has tasks, until every task is ordered. Adjacent components'
+// tasks end up interleaved and near each other in the ordering.
+func TaskOrdering(topo *topology.Topology) []topology.Task {
+	order := topo.BFSOrder()
+	remaining := make(map[string][]topology.Task, len(order))
+	for _, comp := range order {
+		remaining[comp] = topo.TasksOf(comp)
+	}
+	out := make([]topology.Task, 0, topo.TotalTasks())
+	for len(out) < topo.TotalTasks() {
+		drew := false
+		for _, comp := range order {
+			tasks := remaining[comp]
+			if len(tasks) == 0 {
+				continue
+			}
+			out = append(out, tasks[0])
+			remaining[comp] = tasks[1:]
+			drew = true
+		}
+		if !drew {
+			break // defensive: cannot happen on a validated topology
+		}
+	}
+	return out
+}
+
+// Schedule implements Scheduler.
+func (s *ResourceAwareScheduler) Schedule(
+	topo *topology.Topology,
+	c *cluster.Cluster,
+	state *GlobalState,
+) (*Assignment, error) {
+	if err := s.weights.Validate(); err != nil {
+		return nil, fmt.Errorf("scheduler weights: %w", err)
+	}
+	if err := s.classes.Validate(); err != nil {
+		return nil, fmt.Errorf("scheduler classes: %w", err)
+	}
+
+	avail := state.AvailableAll() // scratch copy; Apply happens later, atomically
+	slotOf := make(map[cluster.NodeID]int)
+	hasFreeSlot := func(n cluster.NodeID) bool {
+		if _, already := slotOf[n]; already {
+			return true // topology already holds a worker on this node
+		}
+		return len(state.FreeSlots(n)) > 0
+	}
+
+	assignment := NewAssignment(topo.Name(), s.Name())
+	var refNode cluster.NodeID
+
+	for _, task := range s.ordering(topo) {
+		demand := topo.TaskDemand(task)
+		if refNode == "" {
+			refNode = s.pickRefNode(c, avail)
+		}
+		node, ok := s.selectNode(c, avail, demand, refNode, hasFreeSlot)
+		if !ok {
+			return nil, fmt.Errorf(
+				"task %s (demand %v): %w", task, demand, ErrInsufficientResources)
+		}
+		slot, ok := slotOf[node]
+		if !ok {
+			free := state.FreeSlots(node)
+			if len(free) == 0 {
+				return nil, fmt.Errorf("node %s: %w", node, ErrNoSlots)
+			}
+			slot = free[0]
+			slotOf[node] = slot
+		}
+		assignment.Place(task.ID, Placement{Node: node, Slot: slot})
+		avail[node] = avail[node].Sub(demand)
+	}
+	return assignment, nil
+}
+
+// pickRefNode implements Algorithm 4 lines 6–9: the node with the most
+// available resources inside the rack with the most available resources.
+// Resource totals are compared after weight normalization so axes are
+// commensurable.
+func (s *ResourceAwareScheduler) pickRefNode(
+	c *cluster.Cluster,
+	avail map[cluster.NodeID]resource.Vector,
+) cluster.NodeID {
+	var bestRack cluster.RackID
+	bestRackTotal := -1.0
+	for _, rack := range c.Racks() {
+		var sum float64
+		for _, id := range c.NodesInRack(rack) {
+			sum += s.weights.Apply(avail[id]).Total()
+		}
+		if sum > bestRackTotal {
+			bestRackTotal = sum
+			bestRack = rack
+		}
+	}
+	var bestNode cluster.NodeID
+	bestNodeTotal := -1.0
+	for _, id := range c.NodesInRack(bestRack) {
+		if total := s.weights.Apply(avail[id]).Total(); total > bestNodeTotal {
+			bestNodeTotal = total
+			bestNode = id
+		}
+	}
+	return bestNode
+}
+
+// selectNode implements Algorithm 4 line 10: the eligible node minimizing
+// the weighted Euclidean distance between task demand and node
+// availability, with the network distance from the ref node on the
+// bandwidth axis. Ties break toward cluster declaration order for
+// determinism.
+func (s *ResourceAwareScheduler) selectNode(
+	c *cluster.Cluster,
+	avail map[cluster.NodeID]resource.Vector,
+	demand resource.Vector,
+	refNode cluster.NodeID,
+	hasFreeSlot func(cluster.NodeID) bool,
+) (cluster.NodeID, bool) {
+	var best cluster.NodeID
+	bestDist := -1.0
+	for _, id := range c.NodeIDs() {
+		a := avail[id]
+		if !resource.SatisfiesHard(a, demand, s.classes) {
+			continue
+		}
+		if !hasFreeSlot(id) {
+			continue
+		}
+		d := resource.Distance(demand, a, c.NetworkDistance(refNode, id), s.weights)
+		if bestDist < 0 || d < bestDist {
+			bestDist = d
+			best = id
+		}
+	}
+	return best, bestDist >= 0
+}

@@ -1,0 +1,38 @@
+// Package core implements the paper's primary contribution: R-Storm's
+// resource-aware scheduler (§4), alongside the baselines it is evaluated
+// against — Storm's default round-robin EvenScheduler and an offline
+// linearization scheduler in the style of Aniello et al. (§7) — plus an
+// exact solver for small instances used to bound the greedy heuristic's
+// optimality gap.
+package core
+
+import (
+	"errors"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/topology"
+)
+
+// Scheduler maps a topology's tasks onto cluster nodes. It is the analogue
+// of Storm's IScheduler interface (§5): Nimbus invokes it periodically with
+// the current cluster state.
+//
+// Schedule must not mutate state; it returns a complete mapping that the
+// caller applies atomically (§4.1: "the actual assignment of task to node
+// is done in an atomic fashion after the schedule mapping between all
+// tasks to nodes has been determined").
+type Scheduler interface {
+	// Name identifies the scheduler in reports and logs.
+	Name() string
+	// Schedule computes a placement for every task of topo given the
+	// remaining availability in state. Implementations return
+	// ErrInsufficientResources when a hard constraint cannot be met.
+	Schedule(topo *topology.Topology, c *cluster.Cluster, state *GlobalState) (*Assignment, error)
+}
+
+// ErrInsufficientResources reports that no node can host a task without
+// violating a hard constraint.
+var ErrInsufficientResources = errors.New("insufficient resources to satisfy hard constraints")
+
+// ErrNoSlots reports that the cluster has no free worker slots left.
+var ErrNoSlots = errors.New("no free worker slots")

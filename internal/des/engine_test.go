@@ -1,0 +1,150 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3*time.Second, func() { order = append(order, 3) })
+	e.Schedule(1*time.Second, func() { order = append(order, 1) })
+	e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	if n := e.RunUntil(10 * time.Second); n != 3 {
+		t.Fatalf("processed %d events, want 3", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if e.Now() != 10*time.Second {
+		t.Errorf("Now = %v, want 10s", e.Now())
+	}
+}
+
+func TestSameTimeEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.Drain()
+	for i := 0; i < 5; i++ {
+		if order[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	e.Schedule(time.Second, func() {
+		fired = append(fired, e.Now())
+		e.Schedule(time.Second, func() {
+			fired = append(fired, e.Now())
+		})
+	})
+	e.RunUntil(5 * time.Second)
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 2*time.Second {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestRunUntilHorizonExcludesLaterEvents(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(10*time.Second, func() { ran = true })
+	e.RunUntil(5 * time.Second)
+	if ran {
+		t.Fatal("event past horizon ran")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("Now = %v", e.Now())
+	}
+	e.RunUntil(15 * time.Second)
+	if !ran {
+		t.Fatal("event within horizon did not run")
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {
+		e.Schedule(-time.Hour, func() {
+			if e.Now() != time.Second {
+				t.Errorf("clamped event at %v, want 1s", e.Now())
+			}
+		})
+	})
+	e.Drain()
+}
+
+func TestScheduleAtPastClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(2*time.Second, func() {
+		e.ScheduleAt(time.Second, func() {
+			if e.Now() != 2*time.Second {
+				t.Errorf("past event at %v, want 2s", e.Now())
+			}
+		})
+	})
+	e.Drain()
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+	if e.Drain() != 0 {
+		t.Fatal("Drain on empty queue processed events")
+	}
+}
+
+func TestQuickClockNeverGoesBackwards(t *testing.T) {
+	f := func(delays []int16) bool {
+		e := NewEngine()
+		last := time.Duration(-1)
+		ok := true
+		for _, d := range delays {
+			delay := time.Duration(d) * time.Millisecond
+			e.Schedule(delay, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Drain()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRunUntilProcessesExactlyHorizonEvents(t *testing.T) {
+	f := func(raw []uint8) bool {
+		e := NewEngine()
+		within := 0
+		for _, r := range raw {
+			d := time.Duration(r) * time.Millisecond
+			if d <= 100*time.Millisecond {
+				within++
+			}
+			e.Schedule(d, func() {})
+		}
+		return e.RunUntil(100*time.Millisecond) == within
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

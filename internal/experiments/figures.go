@@ -1,0 +1,330 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/core"
+	"rstorm/internal/metrics"
+	"rstorm/internal/simulator"
+	"rstorm/internal/topology"
+	"rstorm/internal/workloads"
+)
+
+// All returns every figure experiment in paper order, followed by the
+// ablations from DESIGN.md.
+func All() []Experiment {
+	return []Experiment{
+		Fig8a(), Fig8b(), Fig8c(),
+		Fig9a(), Fig9b(), Fig9c(),
+		Fig10(),
+		Fig12a(), Fig12b(),
+		Fig13(),
+		AblationTaskOrdering(),
+		AblationGreedyVsExact(),
+		AblationWeights(),
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func microCfg(o Options) simulator.Config {
+	o = o.withDefaults()
+	return simulator.Config{
+		Duration:      o.Duration,
+		MetricsWindow: o.MetricsWindow,
+		Seed:          o.Seed,
+	}
+}
+
+func emulab12() (*cluster.Cluster, error) { return cluster.Emulab12() }
+
+// Fig8a regenerates Figure 8a: network-bound Linear topology.
+func Fig8a() Experiment {
+	return Experiment{
+		ID:         "fig8a",
+		Title:      "Network-bound Linear topology, 12 nodes / 2 racks",
+		PaperClaim: "R-Storm ~50% higher throughput than default Storm",
+		Run: func(o Options) (*Report, error) {
+			c, err := emulab12()
+			if err != nil {
+				return nil, err
+			}
+			return throughputComparison("fig8a", "Network-bound Linear topology",
+				"R-Storm ~50% higher throughput", c,
+				func() (*topology.Topology, error) { return workloads.LinearTopology(workloads.NetworkBound) },
+				microCfg(o))
+		},
+	}
+}
+
+// Fig8b regenerates Figure 8b: network-bound Diamond topology.
+func Fig8b() Experiment {
+	return Experiment{
+		ID:         "fig8b",
+		Title:      "Network-bound Diamond topology, 12 nodes / 2 racks",
+		PaperClaim: "R-Storm ~30% higher throughput than default Storm",
+		Run: func(o Options) (*Report, error) {
+			c, err := emulab12()
+			if err != nil {
+				return nil, err
+			}
+			return throughputComparison("fig8b", "Network-bound Diamond topology",
+				"R-Storm ~30% higher throughput", c,
+				func() (*topology.Topology, error) { return workloads.DiamondTopology(workloads.NetworkBound) },
+				microCfg(o))
+		},
+	}
+}
+
+// Fig8c regenerates Figure 8c: network-bound Star topology.
+func Fig8c() Experiment {
+	return Experiment{
+		ID:         "fig8c",
+		Title:      "Network-bound Star topology, 12 nodes / 2 racks",
+		PaperClaim: "R-Storm ~47% higher throughput than default Storm",
+		Run: func(o Options) (*Report, error) {
+			c, err := emulab12()
+			if err != nil {
+				return nil, err
+			}
+			return throughputComparison("fig8c", "Network-bound Star topology",
+				"R-Storm ~47% higher throughput", c,
+				func() (*topology.Topology, error) { return workloads.StarTopology(workloads.NetworkBound) },
+				microCfg(o))
+		},
+	}
+}
+
+// Fig9a regenerates Figure 9a: compute-bound Linear topology.
+func Fig9a() Experiment {
+	return Experiment{
+		ID:         "fig9a",
+		Title:      "Compute-bound Linear topology, 12 nodes / 2 racks",
+		PaperClaim: "R-Storm matches default's throughput using 6 machines instead of 12",
+		Run: func(o Options) (*Report, error) {
+			c, err := emulab12()
+			if err != nil {
+				return nil, err
+			}
+			return throughputComparison("fig9a", "Compute-bound Linear topology",
+				"equal throughput on half the machines", c,
+				func() (*topology.Topology, error) { return workloads.LinearTopology(workloads.ComputeBound) },
+				microCfg(o))
+		},
+	}
+}
+
+// Fig9b regenerates Figure 9b: compute-bound Diamond topology.
+func Fig9b() Experiment {
+	return Experiment{
+		ID:         "fig9b",
+		Title:      "Compute-bound Diamond topology, 12 nodes / 2 racks",
+		PaperClaim: "R-Storm matches default's throughput using 7 machines instead of 12",
+		Run: func(o Options) (*Report, error) {
+			c, err := emulab12()
+			if err != nil {
+				return nil, err
+			}
+			return throughputComparison("fig9b", "Compute-bound Diamond topology",
+				"equal throughput on 7 machines", c,
+				func() (*topology.Topology, error) { return workloads.DiamondTopology(workloads.ComputeBound) },
+				microCfg(o))
+		},
+	}
+}
+
+// Fig9c regenerates Figure 9c: compute-bound Star topology, where default
+// Storm over-utilizes one machine and bottlenecks the whole topology.
+func Fig9c() Experiment {
+	return Experiment{
+		ID:         "fig9c",
+		Title:      "Compute-bound Star topology, 12 nodes / 2 racks",
+		PaperClaim: "R-Storm higher throughput with ~half the machines; default bottlenecked by one over-utilized node",
+		Run: func(o Options) (*Report, error) {
+			c, err := emulab12()
+			if err != nil {
+				return nil, err
+			}
+			return throughputComparison("fig9c", "Compute-bound Star topology",
+				"higher throughput on ~half the machines", c,
+				func() (*topology.Topology, error) { return workloads.StarTopology(workloads.ComputeBound) },
+				microCfg(o))
+		},
+	}
+}
+
+// Fig10 regenerates Figure 10: the CPU-utilization comparison across the
+// three compute-bound micro-benchmarks.
+func Fig10() Experiment {
+	return Experiment{
+		ID:         "fig10",
+		Title:      "CPU utilization, compute-bound micro-benchmarks",
+		PaperClaim: "R-Storm 69% / 91% / 350% better CPU utilization (Linear / Diamond / Star)",
+		Run: func(o Options) (*Report, error) {
+			c, err := emulab12()
+			if err != nil {
+				return nil, err
+			}
+			report := &Report{
+				ID:         "fig10",
+				Title:      "CPU utilization of used machines",
+				PaperClaim: "R-Storm 69% / 91% / 350% better CPU utilization",
+				Window:     microCfg(o).MetricsWindow,
+				Series:     map[string][]float64{},
+			}
+			builders := []struct {
+				name  string
+				build func() (*topology.Topology, error)
+			}{
+				{"linear", func() (*topology.Topology, error) { return workloads.LinearTopology(workloads.ComputeBound) }},
+				{"diamond", func() (*topology.Topology, error) { return workloads.DiamondTopology(workloads.ComputeBound) }},
+				{"star", func() (*topology.Topology, error) { return workloads.StarTopology(workloads.ComputeBound) }},
+			}
+			for _, b := range builders {
+				topoA, err := b.build()
+				if err != nil {
+					return nil, err
+				}
+				topoB, err := b.build()
+				if err != nil {
+					return nil, err
+				}
+				base, err := simulate(c, []*topology.Topology{topoA}, core.EvenScheduler{}, microCfg(o))
+				if err != nil {
+					return nil, fmt.Errorf("fig10 %s baseline: %w", b.name, err)
+				}
+				rs, err := simulate(c, []*topology.Topology{topoB}, core.NewResourceAwareScheduler(), microCfg(o))
+				if err != nil {
+					return nil, fmt.Errorf("fig10 %s r-storm: %w", b.name, err)
+				}
+				bu := base.result.MeanUtilizationUsed * 100
+				ru := rs.result.MeanUtilizationUsed * 100
+				report.Rows = append(report.Rows, Row{
+					Label:          b.name + " CPU utilization (%)",
+					Baseline:       bu,
+					RStorm:         ru,
+					ImprovementPct: metrics.ImprovementPct(bu, ru),
+				})
+			}
+			return report, nil
+		},
+	}
+}
+
+// Fig12a regenerates Figure 12a: the Yahoo! PageLoad topology.
+func Fig12a() Experiment {
+	return Experiment{
+		ID:         "fig12a",
+		Title:      "Yahoo! PageLoad topology, 12 nodes / 2 racks",
+		PaperClaim: "R-Storm ~50% higher throughput than default Storm",
+		Run: func(o Options) (*Report, error) {
+			c, err := emulab12()
+			if err != nil {
+				return nil, err
+			}
+			return throughputComparison("fig12a", "Yahoo! PageLoad topology",
+				"R-Storm ~50% higher throughput", c,
+				workloads.PageLoadTopology, microCfg(o))
+		},
+	}
+}
+
+// Fig12b regenerates Figure 12b: the Yahoo! Processing topology.
+func Fig12b() Experiment {
+	return Experiment{
+		ID:         "fig12b",
+		Title:      "Yahoo! Processing topology, 12 nodes / 2 racks",
+		PaperClaim: "R-Storm ~47% higher throughput than default Storm",
+		Run: func(o Options) (*Report, error) {
+			c, err := emulab12()
+			if err != nil {
+				return nil, err
+			}
+			return throughputComparison("fig12b", "Yahoo! Processing topology",
+				"R-Storm ~47% higher throughput", c,
+				workloads.ProcessingTopology, microCfg(o))
+		},
+	}
+}
+
+// Fig13 regenerates Figure 13: both Yahoo! topologies submitted to one
+// 24-node cluster. Default Storm stacks the two topologies' heavy tasks,
+// overloading nodes so badly that Processing's tuples exceed the message
+// timeout and its measured throughput collapses toward zero.
+func Fig13() Experiment {
+	return Experiment{
+		ID:         "fig13",
+		Title:      "Multi-topology: PageLoad + Processing on 24 nodes",
+		PaperClaim: "PageLoad +53% (25496 vs 16695 tuples/10s); Processing orders of magnitude better (67115 tuples/10s vs ~10 tuples/s)",
+		Run: func(o Options) (*Report, error) {
+			o = o.withDefaults()
+			c, err := cluster.Emulab24()
+			if err != nil {
+				return nil, err
+			}
+			cfg := simulator.Config{
+				Duration:      o.Duration,
+				MetricsWindow: o.MetricsWindow,
+				Seed:          o.Seed,
+				TupleTimeout:  2 * time.Second,
+			}
+			build := func() ([]*topology.Topology, error) {
+				pl, err := workloads.PageLoadTopology()
+				if err != nil {
+					return nil, err
+				}
+				pr, err := workloads.ProcessingTopologyScaled(2)
+				if err != nil {
+					return nil, err
+				}
+				return []*topology.Topology{pl, pr}, nil
+			}
+			baseTopos, err := build()
+			if err != nil {
+				return nil, err
+			}
+			rsTopos, err := build()
+			if err != nil {
+				return nil, err
+			}
+			base, err := simulate(c, baseTopos, core.EvenScheduler{}, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig13 baseline: %w", err)
+			}
+			rs, err := simulate(c, rsTopos, core.NewResourceAwareScheduler(), cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig13 r-storm: %w", err)
+			}
+			report := &Report{
+				ID:         "fig13",
+				Title:      "Multi-topology scheduling (PageLoad + Processing)",
+				PaperClaim: "PageLoad +53%; Processing collapses to ~zero under default Storm",
+				Window:     cfg.MetricsWindow,
+				Series:     map[string][]float64{},
+			}
+			for _, name := range []string{"pageload", "processing"} {
+				bt := base.result.Topology(name)
+				rt := rs.result.Topology(name)
+				report.Series["default/"+name] = bt.SinkSeries
+				report.Series["r-storm/"+name] = rt.SinkSeries
+				report.Rows = append(report.Rows, Row{
+					Label:          fmt.Sprintf("%s throughput (tuples/%s)", name, cfg.MetricsWindow),
+					Baseline:       bt.MeanSinkThroughput,
+					RStorm:         rt.MeanSinkThroughput,
+					ImprovementPct: metrics.ImprovementPct(bt.MeanSinkThroughput, rt.MeanSinkThroughput),
+				})
+			}
+			return report, nil
+		},
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"rstorm/internal/viz"
+)
+
+// Render formats a report as text: header, comparison table, and a
+// timeline chart when the report carries series.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s ===\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "paper: %s\n\n", r.PaperClaim)
+
+	labelW := len("metric")
+	for _, row := range r.Rows {
+		if len(row.Label) > labelW {
+			labelW = len(row.Label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %14s  %14s  %12s\n", labelW, "metric", "default", "r-storm", "improvement")
+	for _, row := range r.Rows {
+		imp := "—"
+		if !math.IsNaN(row.ImprovementPct) && !math.IsInf(row.ImprovementPct, 0) {
+			imp = fmt.Sprintf("%+.1f%%", row.ImprovementPct)
+		} else if math.IsInf(row.ImprovementPct, 1) {
+			imp = "+inf"
+		}
+		fmt.Fprintf(&b, "%-*s  %14.1f  %14.1f  %12s\n", labelW, row.Label, row.Baseline, row.RStorm, imp)
+	}
+
+	switch {
+	case len(r.Series) > 0:
+		names := make([]string, 0, len(r.Series))
+		for name := range r.Series {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		series := make([]viz.Series, 0, len(names))
+		for _, name := range names {
+			series = append(series, viz.Series{Name: name, Values: r.Series[name]})
+		}
+		b.WriteString("\n")
+		b.WriteString(viz.LineChart(fmt.Sprintf("throughput per %s window", r.Window), series, 72, 14))
+	case len(r.Rows) > 0:
+		// Bar-chart figures (e.g. Fig. 10's utilization comparison).
+		labels := make([]string, 0, len(r.Rows))
+		baseline := make([]float64, 0, len(r.Rows))
+		rstorm := make([]float64, 0, len(r.Rows))
+		for _, row := range r.Rows {
+			labels = append(labels, row.Label)
+			baseline = append(baseline, row.Baseline)
+			rstorm = append(rstorm, row.RStorm)
+		}
+		b.WriteString("\n")
+		b.WriteString(viz.BarChart("default vs r-storm", labels, baseline, rstorm, 40))
+	}
+	return b.String()
+}

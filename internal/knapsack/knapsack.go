@@ -1,0 +1,184 @@
+// Package knapsack provides reference solvers for the knapsack variants
+// the paper's problem formulation builds on (§3): the 0/1 knapsack
+// (dynamic programming), the multiple knapsack (greedy with exact
+// verification for small instances), and the quadratic profit evaluation
+// underlying the QM3DKP view of task scheduling.
+//
+// R-Storm's production path never solves these exactly — §3 argues exact
+// methods are too slow for a live scheduler — but the reference solvers
+// ground the ablations: they verify the greedy heuristic's optimality gap
+// on instances small enough to solve, and they document the problem the
+// heuristic approximates.
+package knapsack
+
+import (
+	"fmt"
+	"math"
+)
+
+// Item is one indivisible item with a weight and a value.
+type Item struct {
+	Weight int
+	Value  float64
+}
+
+// Solve01 solves the 0/1 knapsack exactly by dynamic programming in
+// O(n·capacity) time: choose a subset of items maximizing total value with
+// total weight <= capacity. It returns the best value and the chosen item
+// indexes in ascending order.
+func Solve01(items []Item, capacity int) (float64, []int, error) {
+	if capacity < 0 {
+		return 0, nil, fmt.Errorf("capacity %d, want >= 0", capacity)
+	}
+	for i, it := range items {
+		if it.Weight < 0 {
+			return 0, nil, fmt.Errorf("item %d has negative weight %d", i, it.Weight)
+		}
+		if math.IsNaN(it.Value) || math.IsInf(it.Value, 0) {
+			return 0, nil, fmt.Errorf("item %d has non-finite value", i)
+		}
+	}
+	n := len(items)
+	// best[w] = max value at weight w; keep[i][w] records choices.
+	best := make([]float64, capacity+1)
+	keep := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		keep[i] = make([]bool, capacity+1)
+		it := items[i]
+		for w := capacity; w >= it.Weight; w-- {
+			if cand := best[w-it.Weight] + it.Value; cand > best[w] {
+				best[w] = cand
+				keep[i][w] = true
+			}
+		}
+	}
+	// Walk back the choices.
+	var chosen []int
+	w := capacity
+	for i := n - 1; i >= 0; i-- {
+		if keep[i][w] {
+			chosen = append(chosen, i)
+			w -= items[i].Weight
+		}
+	}
+	// Reverse to ascending order.
+	for i, j := 0, len(chosen)-1; i < j; i, j = i+1, j-1 {
+		chosen[i], chosen[j] = chosen[j], chosen[i]
+	}
+	return best[capacity], chosen, nil
+}
+
+// Assignment maps item index -> bin index (-1 = unassigned).
+type Assignment []int
+
+// MultipleGreedy assigns items to bins greedily by value density
+// (value/weight), best-fit on residual capacity — the flavour of heuristic
+// §3 cites from Operations Research loading problems. Items that fit
+// nowhere stay unassigned. Returns the assignment and the packed value.
+func MultipleGreedy(items []Item, capacities []int) (Assignment, float64) {
+	type ranked struct {
+		idx     int
+		density float64
+	}
+	order := make([]ranked, len(items))
+	for i, it := range items {
+		d := it.Value
+		if it.Weight > 0 {
+			d = it.Value / float64(it.Weight)
+		}
+		order[i] = ranked{idx: i, density: d}
+	}
+	// Insertion sort by density descending (stable, no deps).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].density > order[j-1].density; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	residual := append([]int(nil), capacities...)
+	assign := make(Assignment, len(items))
+	for i := range assign {
+		assign[i] = -1
+	}
+	var total float64
+	for _, r := range order {
+		it := items[r.idx]
+		bestBin, bestResidual := -1, math.MaxInt
+		for b, res := range residual {
+			if it.Weight <= res && res < bestResidual {
+				bestBin, bestResidual = b, res
+			}
+		}
+		if bestBin >= 0 {
+			assign[r.idx] = bestBin
+			residual[bestBin] -= it.Weight
+			total += it.Value
+		}
+	}
+	return assign, total
+}
+
+// MultipleExact solves the multiple knapsack exactly by exhaustive search
+// with pruning; exponential, intended only to verify MultipleGreedy on
+// small instances (items x bins up to ~20x4).
+func MultipleExact(items []Item, capacities []int) (Assignment, float64, error) {
+	if len(items) > 16 {
+		return nil, 0, fmt.Errorf("exact solver limited to 16 items, got %d", len(items))
+	}
+	residual := append([]int(nil), capacities...)
+	assign := make(Assignment, len(items))
+	bestAssign := make(Assignment, len(items))
+	for i := range assign {
+		assign[i] = -1
+		bestAssign[i] = -1
+	}
+	var bestValue float64
+	// Upper bound: sum of remaining values.
+	suffix := make([]float64, len(items)+1)
+	for i := len(items) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + items[i].Value
+	}
+	var dfs func(i int, value float64)
+	dfs = func(i int, value float64) {
+		if value+suffix[i] <= bestValue {
+			return // cannot beat the incumbent
+		}
+		if i == len(items) {
+			if value > bestValue {
+				bestValue = value
+				copy(bestAssign, assign)
+			}
+			return
+		}
+		for b := range residual {
+			if items[i].Weight <= residual[b] {
+				residual[b] -= items[i].Weight
+				assign[i] = b
+				dfs(i+1, value+items[i].Value)
+				assign[i] = -1
+				residual[b] += items[i].Weight
+			}
+		}
+		dfs(i+1, value) // leave item i out
+	}
+	dfs(0, 0)
+	return bestAssign, bestValue, nil
+}
+
+// QuadraticValue evaluates a QKP-style objective for an assignment:
+// the sum of pair profits for item pairs placed in the same bin. This is
+// the "quadratic profit" of §3's QKP citation — in scheduling terms, the
+// benefit of colocating communicating tasks.
+func QuadraticValue(assign Assignment, pairProfit func(i, j int) float64) float64 {
+	var total float64
+	for i := 0; i < len(assign); i++ {
+		if assign[i] < 0 {
+			continue
+		}
+		for j := i + 1; j < len(assign); j++ {
+			if assign[j] == assign[i] {
+				total += pairProfit(i, j)
+			}
+		}
+	}
+	return total
+}

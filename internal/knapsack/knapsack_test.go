@@ -1,0 +1,172 @@
+package knapsack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolve01Known(t *testing.T) {
+	items := []Item{
+		{Weight: 2, Value: 3},
+		{Weight: 3, Value: 4},
+		{Weight: 4, Value: 5},
+		{Weight: 5, Value: 6},
+	}
+	value, chosen, err := Solve01(items, 5)
+	if err != nil {
+		t.Fatalf("Solve01: %v", err)
+	}
+	if value != 7 {
+		t.Errorf("value = %v, want 7 (items 0+1)", value)
+	}
+	if len(chosen) != 2 || chosen[0] != 0 || chosen[1] != 1 {
+		t.Errorf("chosen = %v, want [0 1]", chosen)
+	}
+}
+
+func TestSolve01Edges(t *testing.T) {
+	if v, chosen, err := Solve01(nil, 10); err != nil || v != 0 || len(chosen) != 0 {
+		t.Errorf("empty items: %v %v %v", v, chosen, err)
+	}
+	if v, _, err := Solve01([]Item{{Weight: 5, Value: 9}}, 0); err != nil || v != 0 {
+		t.Errorf("zero capacity: %v %v", v, err)
+	}
+	if _, _, err := Solve01([]Item{{Weight: -1, Value: 1}}, 5); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, _, err := Solve01([]Item{{Weight: 1, Value: math.NaN()}}, 5); err == nil {
+		t.Error("NaN value accepted")
+	}
+	if _, _, err := Solve01(nil, -1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	// Zero-weight item with positive value is always taken.
+	v, chosen, err := Solve01([]Item{{Weight: 0, Value: 2}}, 0)
+	if err != nil || v != 2 || len(chosen) != 1 {
+		t.Errorf("zero-weight item: %v %v %v", v, chosen, err)
+	}
+}
+
+// bruteForce01 enumerates all subsets; ground truth for small instances.
+func bruteForce01(items []Item, capacity int) float64 {
+	best := 0.0
+	for mask := 0; mask < 1<<len(items); mask++ {
+		weight, value := 0, 0.0
+		for i := range items {
+			if mask&(1<<i) != 0 {
+				weight += items[i].Weight
+				value += items[i].Value
+			}
+		}
+		if weight <= capacity && value > best {
+			best = value
+		}
+	}
+	return best
+}
+
+func TestQuickSolve01MatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{Weight: rng.Intn(8), Value: float64(rng.Intn(20))}
+		}
+		capacity := rng.Intn(20)
+		got, chosen, err := Solve01(items, capacity)
+		if err != nil {
+			return false
+		}
+		// Chosen set must be feasible and worth the reported value.
+		weight, value := 0, 0.0
+		for _, i := range chosen {
+			weight += items[i].Weight
+			value += items[i].Value
+		}
+		if weight > capacity || math.Abs(value-got) > 1e-9 {
+			return false
+		}
+		return math.Abs(got-bruteForce01(items, capacity)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultipleGreedyFeasible(t *testing.T) {
+	items := []Item{
+		{Weight: 4, Value: 8},
+		{Weight: 4, Value: 7},
+		{Weight: 4, Value: 6},
+		{Weight: 9, Value: 2},
+	}
+	capacities := []int{8, 4}
+	assign, value := MultipleGreedy(items, capacities)
+	residual := append([]int(nil), capacities...)
+	var packed float64
+	for i, bin := range assign {
+		if bin < 0 {
+			continue
+		}
+		residual[bin] -= items[i].Weight
+		if residual[bin] < 0 {
+			t.Fatalf("bin %d overfilled", bin)
+		}
+		packed += items[i].Value
+	}
+	if packed != value {
+		t.Errorf("reported value %v != packed %v", value, packed)
+	}
+	// The three density-8/7/6 items fit (8+4 capacity); the heavy dud
+	// stays out.
+	if assign[3] != -1 {
+		t.Errorf("oversized item assigned to bin %d", assign[3])
+	}
+	if value != 21 {
+		t.Errorf("value = %v, want 21", value)
+	}
+}
+
+func TestQuickMultipleGreedyNeverBeatsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{Weight: 1 + rng.Intn(6), Value: 1 + float64(rng.Intn(12))}
+		}
+		capacities := []int{4 + rng.Intn(8), 4 + rng.Intn(8)}
+		_, greedy := MultipleGreedy(items, capacities)
+		_, exact, err := MultipleExact(items, capacities)
+		if err != nil {
+			return false
+		}
+		return greedy <= exact+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultipleExactRefusesLarge(t *testing.T) {
+	items := make([]Item, 17)
+	if _, _, err := MultipleExact(items, []int{10}); err == nil {
+		t.Error("oversized instance accepted")
+	}
+}
+
+func TestQuadraticValue(t *testing.T) {
+	// Items 0,1 share bin 0; item 2 alone in bin 1; item 3 unassigned.
+	assign := Assignment{0, 0, 1, -1}
+	profit := func(i, j int) float64 { return float64((i + 1) * (j + 1)) }
+	// Only pair (0,1) colocated: profit 1*2 = 2.
+	if got := QuadraticValue(assign, profit); got != 2 {
+		t.Errorf("QuadraticValue = %v, want 2", got)
+	}
+	if got := QuadraticValue(Assignment{-1, -1}, profit); got != 0 {
+		t.Errorf("all unassigned = %v", got)
+	}
+}

@@ -1,0 +1,167 @@
+// Package metrics is the analogue of R-Storm's StatisticServer module
+// (§5.1): it collects throughput at task, component, and topology level,
+// plus node utilization accounting, over fixed windows of simulated time —
+// the paper reports throughput as tuples per 10-second window.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Counter is a monotonically increasing tally.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.v += n
+}
+
+// Value returns the current tally.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Windowed accumulates values into fixed-duration buckets of virtual time.
+type Windowed struct {
+	mu      sync.Mutex
+	window  time.Duration
+	buckets []float64
+}
+
+// NewWindowed returns a Windowed series with the given bucket duration.
+func NewWindowed(window time.Duration) (*Windowed, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("window %v, want > 0", window)
+	}
+	return &Windowed{window: window}, nil
+}
+
+// Record adds v into the bucket containing virtual time at.
+func (w *Windowed) Record(at time.Duration, v float64) {
+	if at < 0 {
+		at = 0
+	}
+	idx := int(at / w.window)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.buckets) <= idx {
+		w.buckets = append(w.buckets, 0)
+	}
+	w.buckets[idx] += v
+}
+
+// Window returns the bucket duration.
+func (w *Windowed) Window() time.Duration { return w.window }
+
+// Series returns a copy of the buckets, zero-filled through the bucket
+// containing horizon (exclusive of a trailing partial bucket when horizon
+// lands exactly on a boundary).
+func (w *Windowed) Series(horizon time.Duration) []float64 {
+	n := int(horizon / w.window)
+	if n < 0 {
+		n = 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]float64, n)
+	copy(out, w.buckets)
+	return out
+}
+
+// Total returns the sum over all buckets.
+func (w *Windowed) Total() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var sum float64
+	for _, b := range w.buckets {
+		sum += b
+	}
+	return sum
+}
+
+// Registry stores named windowed series and counters. Names are
+// hierarchical by convention: "topology/component/task".
+type Registry struct {
+	mu       sync.Mutex
+	window   time.Duration
+	series   map[string]*Windowed
+	counters map[string]*Counter
+}
+
+// NewRegistry returns a Registry whose series share one window duration.
+func NewRegistry(window time.Duration) (*Registry, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("window %v, want > 0", window)
+	}
+	return &Registry{
+		window:   window,
+		series:   make(map[string]*Windowed),
+		counters: make(map[string]*Counter),
+	}, nil
+}
+
+// Window returns the registry's bucket duration.
+func (r *Registry) Window() time.Duration { return r.window }
+
+// Series returns (creating on demand) the named windowed series.
+func (r *Registry) Series(name string) *Windowed {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[name]
+	if !ok {
+		s = &Windowed{window: r.window}
+		r.series[name] = s
+	}
+	return s
+}
+
+// Counter returns (creating on demand) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// SeriesNames returns the registered series names, sorted.
+func (r *Registry) SeriesNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.series))
+	for name := range r.series {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SumSeries adds series elementwise, zero-extending shorter inputs.
+func SumSeries(series ...[]float64) []float64 {
+	maxLen := 0
+	for _, s := range series {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	out := make([]float64, maxLen)
+	for _, s := range series {
+		for i, v := range s {
+			out[i] += v
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanTail returns the mean of xs after dropping the first skip elements —
+// the paper averages throughput after it "should have stabilized and
+// converged" (§6.2), so harnesses drop warm-up windows.
+func MeanTail(xs []float64, skip int) float64 {
+	if skip < 0 {
+		skip = 0
+	}
+	if skip >= len(xs) {
+		return Mean(xs)
+	}
+	return Mean(xs[skip:])
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// nearest-rank, or 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// MinMax returns the smallest and largest values of xs, or zeros for empty
+// input.
+func MinMax(xs []float64) (minVal, maxVal float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	minVal, maxVal = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < minVal {
+			minVal = x
+		}
+		if x > maxVal {
+			maxVal = x
+		}
+	}
+	return minVal, maxVal
+}
+
+// ImprovementPct returns how much better `measured` is than `baseline`, in
+// percent — the form the paper reports ("R-Storm achieves 30-47% higher
+// throughput"). A zero baseline with positive measured returns +Inf.
+func ImprovementPct(baseline, measured float64) float64 {
+	if baseline == 0 {
+		if measured == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (measured - baseline) / baseline * 100
+}
+
+// BusyTracker accumulates busy intervals for utilization accounting. Not
+// safe for concurrent use; the simulator is single-threaded.
+type BusyTracker struct {
+	busy time.Duration
+}
+
+// AddBusy records d of busy time.
+func (b *BusyTracker) AddBusy(d time.Duration) {
+	if d > 0 {
+		b.busy += d
+	}
+}
+
+// Busy returns the accumulated busy time.
+func (b *BusyTracker) Busy() time.Duration { return b.busy }
+
+// Utilization returns busy/total clamped to [0, 1]; 0 if total <= 0.
+func (b *BusyTracker) Utilization(total time.Duration) float64 {
+	if total <= 0 {
+		return 0
+	}
+	u := float64(b.busy) / float64(total)
+	if u > 1 {
+		u = 1
+	}
+	if u < 0 {
+		u = 0
+	}
+	return u
+}

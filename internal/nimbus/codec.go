@@ -1,0 +1,52 @@
+package nimbus
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/core"
+)
+
+// wireAssignment is the JSON shape stored under /assignments/<topology>.
+type wireAssignment struct {
+	Topology   string                   `json:"topology"`
+	Scheduler  string                   `json:"scheduler"`
+	Placements map[string]wirePlacement `json:"placements"`
+}
+
+type wirePlacement struct {
+	Node string `json:"node"`
+	Slot int    `json:"slot"`
+}
+
+// EncodeAssignment serializes an assignment for the state store.
+func EncodeAssignment(a *core.Assignment) ([]byte, error) {
+	w := wireAssignment{
+		Topology:   a.Topology,
+		Scheduler:  a.Scheduler,
+		Placements: make(map[string]wirePlacement, len(a.Placements)),
+	}
+	for id, p := range a.Placements {
+		w.Placements[strconv.Itoa(id)] = wirePlacement{Node: string(p.Node), Slot: p.Slot}
+	}
+	return json.Marshal(w)
+}
+
+// DecodeAssignment parses what EncodeAssignment produced.
+func DecodeAssignment(data []byte) (*core.Assignment, error) {
+	var w wireAssignment
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("decode assignment: %w", err)
+	}
+	a := core.NewAssignment(w.Topology, w.Scheduler)
+	for idStr, p := range w.Placements {
+		id, err := strconv.Atoi(idStr)
+		if err != nil {
+			return nil, fmt.Errorf("decode assignment: bad task id %q", idStr)
+		}
+		a.Place(id, core.Placement{Node: cluster.NodeID(p.Node), Slot: p.Slot})
+	}
+	return a, nil
+}

@@ -1,0 +1,253 @@
+// Package nimbus models Storm's master daemon (§2): it tracks supervisor
+// membership through the state store (the Zookeeper analogue), accepts
+// topology submissions, periodically invokes the configured scheduler
+// (§5: "The Storm scheduler is invoked by Nimbus periodically"), and
+// reschedules topologies when supervisors fail.
+package nimbus
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/core"
+	"rstorm/internal/statestore"
+	"rstorm/internal/topology"
+)
+
+// State-store layout.
+const (
+	supervisorsPath = "/supervisors"
+	topologiesPath  = "/topologies"
+	assignmentsPath = "/assignments"
+)
+
+// Nimbus is the master daemon. It is safe for concurrent use.
+type Nimbus struct {
+	mu         sync.Mutex
+	cluster    *cluster.Cluster
+	store      *statestore.Store
+	state      *core.GlobalState
+	scheduler  core.Scheduler
+	topologies map[string]*topology.Topology
+	pending    []string
+	alive      map[cluster.NodeID]bool
+	events     []string
+}
+
+// New returns a Nimbus over the cluster using the given scheduler. Nodes
+// contribute resources only after their supervisor registers (§5: machines
+// "send their resource availability to Nimbus").
+func New(c *cluster.Cluster, sched core.Scheduler) (*Nimbus, error) {
+	store := statestore.New()
+	for _, p := range []string{supervisorsPath, topologiesPath, assignmentsPath} {
+		if err := store.Create(p, nil, 0); err != nil {
+			return nil, fmt.Errorf("init store: %w", err)
+		}
+	}
+	state := core.NewGlobalState(c)
+	for _, id := range c.NodeIDs() {
+		state.ReleaseNode(id) // unavailable until its supervisor joins
+	}
+	return &Nimbus{
+		cluster:    c,
+		store:      store,
+		state:      state,
+		scheduler:  sched,
+		topologies: make(map[string]*topology.Topology),
+		alive:      make(map[cluster.NodeID]bool),
+	}, nil
+}
+
+// Store exposes the coordination store (for supervisors and tests).
+func (n *Nimbus) Store() *statestore.Store { return n.store }
+
+// State exposes the global scheduling state.
+func (n *Nimbus) State() *core.GlobalState { return n.state }
+
+// Scheduler returns the configured scheduler.
+func (n *Nimbus) Scheduler() core.Scheduler { return n.scheduler }
+
+// AliveSupervisors returns the registered supervisor node IDs, sorted.
+func (n *Nimbus) AliveSupervisors() []cluster.NodeID {
+	names, err := n.store.Children(supervisorsPath)
+	if err != nil {
+		return nil
+	}
+	out := make([]cluster.NodeID, 0, len(names))
+	for _, name := range names {
+		out = append(out, cluster.NodeID(name))
+	}
+	return out
+}
+
+// SubmitTopology queues a topology for scheduling at the next round.
+func (n *Nimbus) SubmitTopology(topo *topology.Topology) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	name := topo.Name()
+	if _, dup := n.topologies[name]; dup {
+		return fmt.Errorf("topology %q already submitted", name)
+	}
+	if err := n.store.Create(topologiesPath+"/"+name, []byte(name), 0); err != nil {
+		return fmt.Errorf("register topology: %w", err)
+	}
+	n.topologies[name] = topo
+	n.pending = append(n.pending, name)
+	n.logf("submitted topology %q (%d tasks)", name, topo.TotalTasks())
+	return nil
+}
+
+// KillTopology releases a topology's resources and forgets it.
+func (n *Nimbus) KillTopology(name string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.topologies[name]; !ok {
+		return fmt.Errorf("topology %q is not submitted", name)
+	}
+	n.state.Remove(name)
+	delete(n.topologies, name)
+	n.dropPendingLocked(name)
+	_ = n.store.Delete(assignmentsPath + "/" + name)
+	_ = n.store.Delete(topologiesPath + "/" + name)
+	n.logf("killed topology %q", name)
+	return nil
+}
+
+// Assignment returns the recorded assignment of a topology, or nil.
+func (n *Nimbus) Assignment(name string) *core.Assignment {
+	return n.state.Assignment(name)
+}
+
+// Pending returns the names of unscheduled topologies, in submission order.
+func (n *Nimbus) Pending() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, len(n.pending))
+	copy(out, n.pending)
+	return out
+}
+
+// RunSchedulingRound schedules every pending topology, applying successful
+// assignments atomically. It returns the names scheduled this round;
+// topologies that cannot be placed stay pending (with the error logged),
+// matching Nimbus's periodic retry behaviour.
+func (n *Nimbus) RunSchedulingRound() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var scheduled []string
+	var still []string
+	for _, name := range n.pending {
+		topo := n.topologies[name]
+		if topo == nil {
+			continue
+		}
+		a, err := n.scheduler.Schedule(topo, n.cluster, n.state)
+		if err != nil {
+			n.logf("scheduling %q failed: %v", name, err)
+			still = append(still, name)
+			continue
+		}
+		if err := n.state.Apply(topo, a); err != nil {
+			n.logf("applying assignment for %q failed: %v", name, err)
+			still = append(still, name)
+			continue
+		}
+		data, err := EncodeAssignment(a)
+		if err == nil {
+			path := assignmentsPath + "/" + name
+			if n.store.Exists(path) {
+				_ = n.store.Set(path, data)
+			} else {
+				_ = n.store.Create(path, data, 0)
+			}
+		}
+		n.logf("scheduled %q on %d nodes via %s", name, len(a.NodesUsed()), a.Scheduler)
+		scheduled = append(scheduled, name)
+	}
+	n.pending = still
+	return scheduled
+}
+
+// Tick is one periodic master cycle: detect membership changes, then run a
+// scheduling round.
+func (n *Nimbus) Tick() []string {
+	n.DetectFailures()
+	return n.RunSchedulingRound()
+}
+
+// DetectFailures reconciles the alive set against the store's supervisor
+// membership. Topologies with tasks on vanished nodes are torn down and
+// requeued for a full reschedule.
+func (n *Nimbus) DetectFailures() []cluster.NodeID {
+	registered := make(map[cluster.NodeID]bool)
+	for _, id := range n.AliveSupervisors() {
+		registered[id] = true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var lost []cluster.NodeID
+	for id := range n.alive {
+		if !registered[id] {
+			lost = append(lost, id)
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	for _, id := range lost {
+		delete(n.alive, id)
+		affected := n.state.ReleaseNode(id)
+		n.logf("supervisor %s lost; %d topologies affected", id, len(affected))
+		for _, name := range affected {
+			n.state.Remove(name)
+			_ = n.store.Delete(assignmentsPath + "/" + name)
+			if _, known := n.topologies[name]; known {
+				n.dropPendingLocked(name)
+				n.pending = append(n.pending, name)
+				n.logf("requeued topology %q after failure of %s", name, id)
+			}
+		}
+	}
+	return lost
+}
+
+// Events returns the master's action log.
+func (n *Nimbus) Events() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, len(n.events))
+	copy(out, n.events)
+	return out
+}
+
+// registerSupervisor is called by Supervisor on join.
+func (n *Nimbus) registerSupervisor(id cluster.NodeID) error {
+	if n.cluster.Node(id) == nil {
+		return fmt.Errorf("unknown node %q", id)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.alive[id] {
+		return fmt.Errorf("supervisor %q already registered", id)
+	}
+	if err := n.state.RestoreNode(id); err != nil {
+		return err
+	}
+	n.alive[id] = true
+	n.logf("supervisor %s joined", id)
+	return nil
+}
+
+func (n *Nimbus) dropPendingLocked(name string) {
+	out := n.pending[:0]
+	for _, p := range n.pending {
+		if p != name {
+			out = append(out, p)
+		}
+	}
+	n.pending = out
+}
+
+func (n *Nimbus) logf(format string, args ...any) {
+	n.events = append(n.events, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,105 @@
+package nimbus
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// StatisticServer exposes the master's state over HTTP — the analogue of
+// R-Storm's StatisticServer module (§5.1), which "is responsible for
+// collecting statistics in the Storm cluster ... for evaluative purposes".
+//
+// Routes:
+//
+//	GET /summary                cluster summary (supervisors, topologies)
+//	GET /assignments            every assignment, keyed by topology
+//	GET /assignments/{name}     one topology's assignment
+//	GET /events                 the master's action log
+//
+// Mount it on any mux or serve it directly:
+//
+//	srv := nimbus.NewStatisticServer(n)
+//	http.ListenAndServe(":8080", srv)
+type StatisticServer struct {
+	nimbus *Nimbus
+	mux    *http.ServeMux
+}
+
+var _ http.Handler = (*StatisticServer)(nil)
+
+// NewStatisticServer returns the HTTP facade over a Nimbus.
+func NewStatisticServer(n *Nimbus) *StatisticServer {
+	s := &StatisticServer{nimbus: n, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/summary", s.handleSummary)
+	s.mux.HandleFunc("/assignments", s.handleAssignments)
+	s.mux.HandleFunc("/assignments/", s.handleAssignment)
+	s.mux.HandleFunc("/events", s.handleEvents)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *StatisticServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *StatisticServer) handleSummary(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.nimbus.Summary())
+}
+
+func (s *StatisticServer) handleAssignments(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	assignments := s.nimbus.state.Assignments()
+	out := make(map[string]json.RawMessage, len(assignments))
+	for name, a := range assignments {
+		data, err := EncodeAssignment(a)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out[name] = data
+	}
+	writeJSON(w, out)
+}
+
+func (s *StatisticServer) handleAssignment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/assignments/")
+	a := s.nimbus.Assignment(name)
+	if a == nil {
+		http.Error(w, "unknown topology", http.StatusNotFound)
+		return
+	}
+	data, err := EncodeAssignment(a)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+func (s *StatisticServer) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.nimbus.Events())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,165 @@
+package nimbus
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rstorm/internal/core"
+)
+
+// statServerFixture builds a Nimbus with one scheduled topology and its
+// StatisticServer.
+func statServerFixture(t *testing.T) (*Nimbus, *httptest.Server) {
+	t.Helper()
+	c := testCluster(t)
+	n, err := New(c, core.NewResourceAwareScheduler())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	startAll(t, n, c)
+	if err := n.SubmitTopology(testTopo(t, "served", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.RunSchedulingRound(); len(got) != 1 {
+		t.Fatalf("scheduled %v", got)
+	}
+	srv := httptest.NewServer(NewStatisticServer(n))
+	t.Cleanup(srv.Close)
+	return n, srv
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}
+
+func TestStatServerSummary(t *testing.T) {
+	_, srv := statServerFixture(t)
+	var summary ClusterSummary
+	getJSON(t, srv.URL+"/summary", &summary)
+	if summary.AliveSupervisors != 12 {
+		t.Errorf("supervisors = %d", summary.AliveSupervisors)
+	}
+	if len(summary.Topologies) != 1 || summary.Topologies[0].Name != "served" {
+		t.Errorf("topologies = %+v", summary.Topologies)
+	}
+	if summary.Topologies[0].Tasks != 8 {
+		t.Errorf("tasks = %d", summary.Topologies[0].Tasks)
+	}
+	if len(summary.NodeAvailable) != 12 {
+		t.Errorf("nodes = %d", len(summary.NodeAvailable))
+	}
+}
+
+func TestStatServerAssignments(t *testing.T) {
+	n, srv := statServerFixture(t)
+	var all map[string]json.RawMessage
+	getJSON(t, srv.URL+"/assignments", &all)
+	if len(all) != 1 {
+		t.Fatalf("assignments = %v", all)
+	}
+	decoded, err := DecodeAssignment(all["served"])
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(decoded.Placements) != len(n.Assignment("served").Placements) {
+		t.Error("assignment mismatch over HTTP")
+	}
+
+	var one map[string]any
+	getJSON(t, srv.URL+"/assignments/served", &one)
+	if one["topology"] != "served" {
+		t.Errorf("single assignment = %v", one)
+	}
+
+	resp, err := http.Get(srv.URL + "/assignments/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("ghost status = %d", resp.StatusCode)
+	}
+}
+
+func TestStatServerEvents(t *testing.T) {
+	_, srv := statServerFixture(t)
+	var events []string
+	getJSON(t, srv.URL+"/events", &events)
+	joined := strings.Join(events, "\n")
+	if !strings.Contains(joined, "scheduled") {
+		t.Errorf("events = %v", events)
+	}
+}
+
+func TestStatServerMethodNotAllowed(t *testing.T) {
+	_, srv := statServerFixture(t)
+	for _, path := range []string{"/summary", "/assignments", "/assignments/served", "/events"} {
+		resp, err := http.Post(srv.URL+path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s status = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestRebalance(t *testing.T) {
+	c := testCluster(t)
+	n, err := New(c, core.NewResourceAwareScheduler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start only half the supervisors: the topology packs onto rack-0.
+	for _, id := range c.NodeIDs()[:6] {
+		if _, err := n.StartSupervisor(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	topo := testTopo(t, "growing", 6)
+	if err := n.SubmitTopology(topo); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.RunSchedulingRound(); len(got) != 1 {
+		t.Fatalf("scheduled %v", got)
+	}
+	before := n.Assignment("growing")
+
+	// The other rack joins; rebalance reschedules with the new capacity.
+	for _, id := range c.NodeIDs()[6:] {
+		if _, err := n.StartSupervisor(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.RebalanceTopology("growing"); err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if n.Assignment("growing") != nil {
+		t.Error("assignment should be torn down until the next round")
+	}
+	if got := n.RunSchedulingRound(); len(got) != 1 {
+		t.Fatalf("reschedule round = %v", got)
+	}
+	after := n.Assignment("growing")
+	if after == nil || after == before {
+		t.Fatal("no fresh assignment after rebalance")
+	}
+	if err := n.RebalanceTopology("ghost"); err == nil {
+		t.Error("rebalancing unknown topology accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package resource
+
+import (
+	"fmt"
+	"math"
+)
+
+// Weights attach a multiplier to each axis of the resource space. The paper
+// (§4) allows soft constraints to be weighted "so that values can be
+// normalized for comparison, as well as for allowing users to decide which
+// constraints are more valued".
+type Weights struct {
+	CPU       float64
+	Memory    float64
+	Bandwidth float64
+}
+
+// DefaultWeights normalizes the axes so that one full node of each resource
+// contributes comparably to the distance: CPU is measured against 100
+// points, memory against 2048 MB (the evaluation cluster's node size), and
+// network distance against the inter-rack distance.
+func DefaultWeights() Weights {
+	return Weights{
+		CPU:       1.0 / 100.0,
+		Memory:    1.0 / 2048.0,
+		Bandwidth: 1.0 / 2.0,
+	}
+}
+
+// Validate rejects non-finite or negative weights.
+func (w Weights) Validate() error {
+	for _, c := range []struct {
+		name string
+		val  float64
+	}{
+		{"cpu", w.CPU},
+		{"memory", w.Memory},
+		{"bandwidth", w.Bandwidth},
+	} {
+		if math.IsNaN(c.val) || math.IsInf(c.val, 0) {
+			return fmt.Errorf("weight %s is not finite: %v", c.name, c.val)
+		}
+		if c.val < 0 {
+			return fmt.Errorf("weight %s is negative: %v", c.name, c.val)
+		}
+	}
+	return nil
+}
+
+// Apply scales v componentwise by the weights (the paper's S' = Weights·S).
+func (w Weights) Apply(v Vector) Vector {
+	return Vector{
+		CPU:       v.CPU * w.CPU,
+		MemoryMB:  v.MemoryMB * w.Memory,
+		Bandwidth: v.Bandwidth * w.Bandwidth,
+	}
+}
+
+// Distance implements the Distance procedure of Algorithm 4:
+//
+//	distance ← weight_m·(mτ−mθ)² + weight_c·(cτ−cθ)² + weight_b·netdist²
+//	return sqrt(distance)
+//
+// demand is the task's resource demand vector A_τ; avail is the node's
+// remaining availability A_θ on the CPU and memory axes; networkDistance is
+// the network distance from the ref node to the candidate node, which the
+// algorithm substitutes for the bandwidth axis.
+//
+// Weights are applied to the squared per-axis differences, matching the
+// pseudo-code (weight·(Δ)²), so weights trade off axes in squared space.
+func Distance(demand, avail Vector, networkDistance float64, w Weights) float64 {
+	dm := demand.MemoryMB - avail.MemoryMB
+	dc := demand.CPU - avail.CPU
+	sum := w.Memory*dm*dm + w.CPU*dc*dc + w.Bandwidth*networkDistance*networkDistance
+	return math.Sqrt(sum)
+}

@@ -1,0 +1,179 @@
+package resource
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorAddSub(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Vector
+		add  Vector
+		sub  Vector
+	}{
+		{
+			name: "zero identity",
+			a:    Vector{CPU: 10, MemoryMB: 20, Bandwidth: 30},
+			b:    Vector{},
+			add:  Vector{CPU: 10, MemoryMB: 20, Bandwidth: 30},
+			sub:  Vector{CPU: 10, MemoryMB: 20, Bandwidth: 30},
+		},
+		{
+			name: "componentwise",
+			a:    Vector{CPU: 50, MemoryMB: 1024, Bandwidth: 1},
+			b:    Vector{CPU: 25, MemoryMB: 512, Bandwidth: 0.5},
+			add:  Vector{CPU: 75, MemoryMB: 1536, Bandwidth: 1.5},
+			sub:  Vector{CPU: 25, MemoryMB: 512, Bandwidth: 0.5},
+		},
+		{
+			name: "negative result allowed by Sub",
+			a:    Vector{CPU: 10},
+			b:    Vector{CPU: 30},
+			add:  Vector{CPU: 40},
+			sub:  Vector{CPU: -20},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Add(tt.b); got != tt.add {
+				t.Errorf("Add = %v, want %v", got, tt.add)
+			}
+			if got := tt.a.Sub(tt.b); got != tt.sub {
+				t.Errorf("Sub = %v, want %v", got, tt.sub)
+			}
+		})
+	}
+}
+
+func TestVectorScale(t *testing.T) {
+	v := Vector{CPU: 10, MemoryMB: 100, Bandwidth: 2}
+	got := v.Scale(2.5)
+	want := Vector{CPU: 25, MemoryMB: 250, Bandwidth: 5}
+	if got != want {
+		t.Fatalf("Scale = %v, want %v", got, want)
+	}
+}
+
+func TestVectorDominates(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Vector
+		want bool
+	}{
+		{"equal", Vector{CPU: 1, MemoryMB: 1, Bandwidth: 1}, Vector{CPU: 1, MemoryMB: 1, Bandwidth: 1}, true},
+		{"strictly greater", Vector{CPU: 2, MemoryMB: 2, Bandwidth: 2}, Vector{CPU: 1, MemoryMB: 1, Bandwidth: 1}, true},
+		{"one axis smaller", Vector{CPU: 2, MemoryMB: 0.5, Bandwidth: 2}, Vector{CPU: 1, MemoryMB: 1, Bandwidth: 1}, false},
+		{"all smaller", Vector{}, Vector{CPU: 1, MemoryMB: 1, Bandwidth: 1}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Dominates(tt.b); got != tt.want {
+				t.Errorf("Dominates = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVectorValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		v       Vector
+		wantErr bool
+	}{
+		{"zero is valid", Vector{}, false},
+		{"positive is valid", Vector{CPU: 50, MemoryMB: 512, Bandwidth: 1}, false},
+		{"negative cpu", Vector{CPU: -1}, true},
+		{"negative memory", Vector{MemoryMB: -0.5}, true},
+		{"NaN bandwidth", Vector{Bandwidth: math.NaN()}, true},
+		{"infinite cpu", Vector{CPU: math.Inf(1)}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.v.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSumAndMax(t *testing.T) {
+	a := Vector{CPU: 1, MemoryMB: 10, Bandwidth: 5}
+	b := Vector{CPU: 2, MemoryMB: 5, Bandwidth: 7}
+	if got := Sum(a, b); got != (Vector{CPU: 3, MemoryMB: 15, Bandwidth: 12}) {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := Max(a, b); got != (Vector{CPU: 2, MemoryMB: 10, Bandwidth: 7}) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := Sum(); !got.IsZero() {
+		t.Errorf("Sum() of nothing = %v, want zero", got)
+	}
+}
+
+// boundedVector produces a vector with finite non-negative components so
+// algebraic properties hold exactly enough for comparison.
+func boundedVector(cpu, mem, bw float64) Vector {
+	abs := func(f float64) float64 {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 1
+		}
+		return math.Mod(math.Abs(f), 1e6)
+	}
+	return Vector{CPU: abs(cpu), MemoryMB: abs(mem), Bandwidth: abs(bw)}
+}
+
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(a1, a2, a3, b1, b2, b3 float64) bool {
+		a := boundedVector(a1, a2, a3)
+		b := boundedVector(b1, b2, b3)
+		return a.Add(b) == b.Add(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubInvertsAdd(t *testing.T) {
+	f := func(a1, a2, a3, b1, b2, b3 float64) bool {
+		a := boundedVector(a1, a2, a3)
+		b := boundedVector(b1, b2, b3)
+		got := a.Add(b).Sub(b)
+		const eps = 1e-6
+		return math.Abs(got.CPU-a.CPU) < eps &&
+			math.Abs(got.MemoryMB-a.MemoryMB) < eps &&
+			math.Abs(got.Bandwidth-a.Bandwidth) < eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDominatesReflexiveAndAntisymmetricOnSum(t *testing.T) {
+	f := func(a1, a2, a3 float64) bool {
+		a := boundedVector(a1, a2, a3)
+		if !a.Dominates(a) {
+			return false
+		}
+		bigger := a.Add(Vector{CPU: 1, MemoryMB: 1, Bandwidth: 1})
+		return bigger.Dominates(a) && !a.Dominates(bigger)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNormNonNegativeAndTriangle(t *testing.T) {
+	f := func(a1, a2, a3, b1, b2, b3 float64) bool {
+		a := boundedVector(a1, a2, a3)
+		b := boundedVector(b1, b2, b3)
+		// Norm is non-negative and satisfies the triangle inequality.
+		const eps = 1e-6
+		return a.Norm() >= 0 && a.Add(b).Norm() <= a.Norm()+b.Norm()+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

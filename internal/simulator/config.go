@@ -1,0 +1,122 @@
+// Package simulator executes scheduled Storm topologies on a discrete-event
+// simulation of the paper's testbed. It models the mechanisms the
+// evaluation (§6) actually measures:
+//
+//   - Executors process one tuple at a time; per-tuple service time is the
+//     component's profile cost stretched by the host node's CPU
+//     overcommit factor (soft-constraint degradation, §3).
+//   - Spouts are closed-loop with a max-pending window over tuple trees,
+//     which is Storm's acking flow control: end-to-end latency therefore
+//     throttles throughput, so colocation pays off for network-bound
+//     topologies.
+//   - Inter-node transfers consume NIC bandwidth through a bounded FIFO
+//     egress queue; intra-node hand-offs do not. Latency follows the
+//     four-level hierarchy of §4.
+//   - Bounded queues everywhere make backpressure propagate: one
+//     overloaded task throttles the whole topology (the Fig. 9c / Fig. 13
+//     collapse).
+//
+// Simplifications (documented in DESIGN.md): ack completion notification is
+// free (no acker executors), and CPU contention uses a static
+// processor-sharing slowdown per node rather than instantaneous sharing.
+package simulator
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config controls a simulation run.
+type Config struct {
+	// Duration is the simulated run length. The paper runs topologies
+	// for 15 minutes; simulations reproduce the same steady state in
+	// less virtual time. Default 60s.
+	Duration time.Duration
+	// MetricsWindow is the throughput bucket size. The paper reports
+	// tuples per 10 s. Default 10s.
+	MetricsWindow time.Duration
+	// QueueCapacity bounds each task's input queue (tuples). Default 128.
+	QueueCapacity int
+	// NICQueueCapacity bounds each node's egress queue (tuples).
+	// Default 512.
+	NICQueueCapacity int
+	// NICWindow caps transfers awaiting remote acceptance per NIC,
+	// approximating TCP windowing. Default 64.
+	NICWindow int
+	// MaxSpoutPending is the per-spout-task cap on incomplete tuple
+	// trees (Storm's topology.max.spout.pending). Default 64.
+	MaxSpoutPending int
+	// TupleTimeout is Storm's topology.message.timeout.secs: a tuple
+	// arriving at a sink later than this after its spout emit does not
+	// count as delivered (it would have been failed and replayed).
+	// Under heavy overload end-to-end latency exceeds the timeout and
+	// measured throughput collapses toward zero, which is the paper's
+	// Fig. 13 Processing-topology behaviour. Zero disables timeouts.
+	TupleTimeout time.Duration
+	// Seed drives the deterministic RNG. Default 1.
+	Seed int64
+	// WarmupWindows are dropped from mean-throughput summaries, matching
+	// the paper's convergence wait (§6.2). Default 1.
+	WarmupWindows int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Duration == 0 {
+		c.Duration = 60 * time.Second
+	}
+	if c.MetricsWindow == 0 {
+		c.MetricsWindow = 10 * time.Second
+	}
+	if c.QueueCapacity == 0 {
+		c.QueueCapacity = 128
+	}
+	if c.NICQueueCapacity == 0 {
+		c.NICQueueCapacity = 512
+	}
+	if c.NICWindow == 0 {
+		c.NICWindow = 64
+	}
+	if c.MaxSpoutPending == 0 {
+		c.MaxSpoutPending = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.WarmupWindows == 0 {
+		c.WarmupWindows = 1
+	}
+	return c
+}
+
+// validate rejects nonsensical configurations.
+func (c Config) validate() error {
+	if c.Duration <= 0 {
+		return fmt.Errorf("duration %v, want > 0", c.Duration)
+	}
+	if c.MetricsWindow <= 0 {
+		return fmt.Errorf("metrics window %v, want > 0", c.MetricsWindow)
+	}
+	if c.MetricsWindow > c.Duration {
+		return fmt.Errorf("metrics window %v exceeds duration %v", c.MetricsWindow, c.Duration)
+	}
+	if c.QueueCapacity < 1 {
+		return fmt.Errorf("queue capacity %d, want >= 1", c.QueueCapacity)
+	}
+	if c.NICQueueCapacity < 1 {
+		return fmt.Errorf("NIC queue capacity %d, want >= 1", c.NICQueueCapacity)
+	}
+	if c.NICWindow < 1 {
+		return fmt.Errorf("NIC window %d, want >= 1", c.NICWindow)
+	}
+	if c.MaxSpoutPending < 1 {
+		return fmt.Errorf("max spout pending %d, want >= 1", c.MaxSpoutPending)
+	}
+	if c.WarmupWindows < 0 {
+		return fmt.Errorf("warmup windows %d, want >= 0", c.WarmupWindows)
+	}
+	if c.TupleTimeout < 0 {
+		return fmt.Errorf("tuple timeout %v, want >= 0", c.TupleTimeout)
+	}
+	return nil
+}

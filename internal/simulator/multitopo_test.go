@@ -1,0 +1,114 @@
+package simulator
+
+import (
+	"testing"
+	"time"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/core"
+	"rstorm/internal/topology"
+)
+
+// TestMultiTopologySharedNodesContend verifies cross-topology CPU
+// contention: two identical chains on disjoint nodes run at full speed;
+// stacked on the same nodes with combined demand over capacity, both slow
+// down by the shared overcommit factor.
+func TestMultiTopologySharedNodesContend(t *testing.T) {
+	c := emulabCluster(t)
+	ids := c.NodeIDs()
+
+	build := func(name string) *topology.Topology {
+		b := topology.NewBuilder(name)
+		b.SetSpout("s", 1).SetCPULoad(80).SetMemoryLoad(256).
+			SetProfile(topology.ExecProfile{CPUPerTuple: 500 * time.Microsecond, TupleBytes: 128})
+		b.SetBolt("z", 1).ShuffleGrouping("s").SetCPULoad(80).SetMemoryLoad(256).
+			SetProfile(topology.ExecProfile{CPUPerTuple: 500 * time.Microsecond, TupleBytes: 128})
+		topo, err := b.Build()
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		return topo
+	}
+	place := func(topo *topology.Topology, spoutNode, boltNode cluster.NodeID) *core.Assignment {
+		a := core.NewAssignment(topo.Name(), "manual")
+		a.Place(0, core.Placement{Node: spoutNode, Slot: 0})
+		a.Place(1, core.Placement{Node: boltNode, Slot: 1})
+		return a
+	}
+	run := func(stacked bool) (float64, float64) {
+		sim, err := New(c, shortCfg())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		t1, t2 := build("one"), build("two")
+		if err := sim.AddTopology(t1, place(t1, ids[0], ids[1])); err != nil {
+			t.Fatal(err)
+		}
+		second := place(t2, ids[2], ids[3])
+		if stacked {
+			second = place(t2, ids[0], ids[1]) // same nodes: 160 points each
+		}
+		if err := sim.AddTopology(t2, second); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Topology("one").MeanSinkThroughput, res.Topology("two").MeanSinkThroughput
+	}
+
+	isolated1, isolated2 := run(false)
+	stacked1, stacked2 := run(true)
+	if isolated1 <= 0 || isolated2 <= 0 {
+		t.Fatal("no throughput in isolated run")
+	}
+	// 160/100 points => 1.6x slowdown; allow simulation slack.
+	for _, pair := range [][2]float64{{isolated1, stacked1}, {isolated2, stacked2}} {
+		ratio := pair[0] / pair[1]
+		if ratio < 1.4 || ratio > 1.8 {
+			t.Errorf("stacking slowdown ratio = %.2f, want ~1.6", ratio)
+		}
+	}
+}
+
+// TestUtilizationMatchesDeclaredLoad pins the utilization model: a single
+// always-busy 50-point task on a 100-point node reads as ~50% utilization.
+func TestUtilizationMatchesDeclaredLoad(t *testing.T) {
+	c := emulabCluster(t)
+	b := topology.NewBuilder("util")
+	// Bolt slower than spout: the bolt is always busy.
+	b.SetSpout("s", 1).SetCPULoad(10).SetMemoryLoad(128).
+		SetProfile(topology.ExecProfile{CPUPerTuple: 100 * time.Microsecond, TupleBytes: 128})
+	b.SetBolt("z", 1).ShuffleGrouping("s").SetCPULoad(50).SetMemoryLoad(128).
+		SetProfile(topology.ExecProfile{CPUPerTuple: 400 * time.Microsecond, TupleBytes: 128})
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := c.NodeIDs()
+	a := core.NewAssignment("util", "manual")
+	a.Place(0, core.Placement{Node: ids[0], Slot: 0})
+	a.Place(1, core.Placement{Node: ids[1], Slot: 0})
+	sim, err := New(c, shortCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddTopology(topo, a); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boltUtil := res.NodeUtilization[ids[1]]
+	if boltUtil < 0.45 || boltUtil > 0.55 {
+		t.Errorf("always-busy 50-point task => node util %.3f, want ~0.50", boltUtil)
+	}
+	// The spout node hosts a 10-point task that is mostly idle waiting
+	// for the bolt: its utilization must be well below 10%.
+	spoutUtil := res.NodeUtilization[ids[0]]
+	if spoutUtil > 0.10 {
+		t.Errorf("backpressured spout => node util %.3f, want < 0.10", spoutUtil)
+	}
+}

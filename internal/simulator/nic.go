@@ -1,0 +1,127 @@
+package simulator
+
+import (
+	"time"
+
+	"rstorm/internal/metrics"
+)
+
+// transfer is one tuple crossing a link.
+type transfer struct {
+	tup     *tuple
+	dest    *simTask
+	latency time.Duration
+	// uplink, when non-nil, is the rack uplink the tuple must traverse
+	// after this node's NIC (inter-rack path, Fig. 4).
+	uplink *link
+	// accepted unblocks the sender once the transfer is admitted to the
+	// egress queue.
+	accepted func()
+}
+
+// link models a store-and-forward network stage: a bounded FIFO served at a
+// byte rate, with a window of transfers allowed downstream awaiting
+// acceptance (approximate TCP windowing). Node NICs and rack uplinks are
+// both links. Saturating a link is what bounds network-bound topologies;
+// the window propagates remote backpressure upstream.
+type link struct {
+	alive    func() bool
+	rateBps  float64 // bytes per second; 0 = infinite
+	capacity int
+	window   int
+
+	queue    []transfer
+	waiters  []transfer
+	serving  bool
+	inFlight int
+	busy     metrics.BusyTracker
+}
+
+func newLink(alive func() bool, mbps float64, capacity, window int) *link {
+	return &link{
+		alive:    alive,
+		rateBps:  mbps * 1e6 / 8,
+		capacity: capacity,
+		window:   window,
+	}
+}
+
+// send admits tr to the egress queue, or parks the sender when full.
+func (n *link) send(s *Simulation, tr transfer) {
+	if !n.alive() {
+		s.dropTuple(tr.tup)
+		s.engine.Schedule(0, tr.accepted)
+		return
+	}
+	if len(n.queue) < n.capacity {
+		n.queue = append(n.queue, tr)
+		s.engine.Schedule(0, tr.accepted)
+		n.startServe(s)
+		return
+	}
+	n.waiters = append(n.waiters, tr)
+}
+
+// startServe begins transmitting the head transfer if the link is idle and
+// the in-flight window has room.
+func (n *link) startServe(s *Simulation) {
+	if n.serving || !n.alive() || len(n.queue) == 0 || n.inFlight >= n.window {
+		return
+	}
+	n.serving = true
+	tr := n.queue[0]
+	n.queue[0] = transfer{}
+	n.queue = n.queue[1:]
+	if len(n.waiters) > 0 {
+		w := n.waiters[0]
+		n.waiters[0] = transfer{}
+		n.waiters = n.waiters[1:]
+		n.queue = append(n.queue, w)
+		s.engine.Schedule(0, w.accepted)
+	}
+
+	service := time.Nanosecond
+	if n.rateBps > 0 {
+		service = time.Duration(float64(tr.tup.bytes) / n.rateBps * float64(time.Second))
+		if service <= 0 {
+			service = time.Nanosecond
+		}
+	}
+	n.busy.AddBusy(service)
+	s.engine.Schedule(service, func() {
+		n.serving = false
+		n.inFlight++
+		release := func() {
+			n.inFlight--
+			n.startServe(s)
+		}
+		if up := tr.uplink; up != nil {
+			// Hand off to the rack uplink; the NIC's window slot
+			// frees once the uplink admits the transfer.
+			up.send(s, transfer{
+				tup:      tr.tup,
+				dest:     tr.dest,
+				latency:  tr.latency,
+				accepted: release,
+			})
+		} else {
+			s.engine.Schedule(tr.latency, func() {
+				s.enqueueAt(tr.dest, tr.tup, release)
+			})
+		}
+		n.startServe(s)
+	})
+}
+
+// fail drops everything queued and unblocks parked senders.
+func (n *link) fail(s *Simulation) {
+	for _, tr := range n.queue {
+		s.dropTuple(tr.tup)
+	}
+	n.queue = nil
+	for _, tr := range n.waiters {
+		s.dropTuple(tr.tup)
+		s.engine.Schedule(0, tr.accepted)
+	}
+	n.waiters = nil
+}

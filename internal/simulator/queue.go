@@ -1,0 +1,74 @@
+package simulator
+
+// waiter is a blocked producer holding a tuple that did not fit.
+type waiter struct {
+	tup      *tuple
+	accepted func()
+}
+
+// boundedQueue is a FIFO with capacity and a waiter list. When the queue is
+// full, producers park in the waiter list and are admitted (their accepted
+// callback fired) as consumers drain — this is how backpressure propagates
+// from an overloaded task back to the spouts.
+type boundedQueue struct {
+	capacity int
+	items    []*tuple
+	waiters  []waiter
+}
+
+func newBoundedQueue(capacity int) *boundedQueue {
+	return &boundedQueue{capacity: capacity}
+}
+
+func (q *boundedQueue) len() int { return len(q.items) }
+
+func (q *boundedQueue) empty() bool { return len(q.items) == 0 }
+
+// tryEnqueue appends tup if there is space and reports whether it was
+// admitted. When full, the producer must park via addWaiter.
+func (q *boundedQueue) tryEnqueue(tup *tuple) bool {
+	if len(q.items) >= q.capacity {
+		return false
+	}
+	q.items = append(q.items, tup)
+	return true
+}
+
+// addWaiter parks a blocked producer.
+func (q *boundedQueue) addWaiter(tup *tuple, accepted func()) {
+	q.waiters = append(q.waiters, waiter{tup: tup, accepted: accepted})
+}
+
+// dequeue pops the head. If producers are parked, the first one's tuple is
+// admitted into the freed slot and its accepted callback is returned for
+// the caller to schedule (the simulator defers callbacks through the event
+// engine to keep control flow iterative).
+func (q *boundedQueue) dequeue() (tup *tuple, unblocked func(), ok bool) {
+	if len(q.items) == 0 {
+		return nil, nil, false
+	}
+	tup = q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters[0] = waiter{}
+		q.waiters = q.waiters[1:]
+		q.items = append(q.items, w.tup)
+		unblocked = w.accepted
+	}
+	return tup, unblocked, true
+}
+
+// drain empties the queue and waiter list, returning all tuples (queued
+// first) and the parked producers' callbacks. Used when a node fails.
+func (q *boundedQueue) drain() (tuples []*tuple, unblocked []func()) {
+	tuples = append(tuples, q.items...)
+	q.items = nil
+	for _, w := range q.waiters {
+		tuples = append(tuples, w.tup)
+		unblocked = append(unblocked, w.accepted)
+	}
+	q.waiters = nil
+	return tuples, unblocked
+}

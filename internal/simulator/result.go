@@ -1,0 +1,161 @@
+package simulator
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/metrics"
+)
+
+// TopologyResult summarizes one topology's run.
+type TopologyResult struct {
+	// Name is the topology name; Scheduler the scheduler that placed it.
+	Name      string
+	Scheduler string
+	// SinkSeries is total tuples arriving at sink components per metrics
+	// window — the paper's throughput metric (§6.2).
+	SinkSeries []float64
+	// ComponentSeries is tuples processed per window, per component.
+	ComponentSeries map[string][]float64
+	// MeanSinkThroughput is the post-warmup mean of SinkSeries.
+	MeanSinkThroughput float64
+	// TuplesEmitted / TuplesProcessed / TuplesDelivered are end-of-run
+	// totals (spout roots, bolt executions, sink arrivals).
+	TuplesEmitted   int64
+	TuplesProcessed int64
+	TuplesDelivered int64
+	// TuplesExpired counts sink arrivals past the tuple timeout, which
+	// do not count as delivered.
+	TuplesExpired int64
+	// MeanLatency is the mean spout-to-sink latency of delivered tuples.
+	MeanLatency time.Duration
+	// NodesUsed is the number of distinct nodes hosting tasks.
+	NodesUsed int
+}
+
+// Result is a completed simulation's output.
+type Result struct {
+	// Duration and Window echo the configuration.
+	Duration time.Duration
+	Window   time.Duration
+	// WarmupWindows is the number of leading windows excluded from means.
+	WarmupWindows int
+	// Topologies holds per-topology results keyed by name.
+	Topologies map[string]*TopologyResult
+	// NodeUtilization is each node's CPU utilization in [0,1]: the
+	// busy-time-weighted share of declared demand against capacity.
+	NodeUtilization map[cluster.NodeID]float64
+	// NICUtilization is each node's egress utilization in [0,1].
+	NICUtilization map[cluster.NodeID]float64
+	// NodesUsed counts nodes hosting at least one task.
+	NodesUsed int
+	// MeanUtilizationUsed averages NodeUtilization over used nodes —
+	// the quantity compared in Fig. 10.
+	MeanUtilizationUsed float64
+	// TuplesDropped counts tuples abandoned due to node failures.
+	TuplesDropped int64
+}
+
+// Topology returns the named topology's result, or nil.
+func (r *Result) Topology(name string) *TopologyResult {
+	return r.Topologies[name]
+}
+
+// TotalMeanThroughput sums MeanSinkThroughput across topologies.
+func (r *Result) TotalMeanThroughput() float64 {
+	var sum float64
+	for _, tr := range r.Topologies {
+		sum += tr.MeanSinkThroughput
+	}
+	return sum
+}
+
+// String renders a one-line summary per topology.
+func (r *Result) String() string {
+	names := make([]string, 0, len(r.Topologies))
+	for n := range r.Topologies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		tr := r.Topologies[n]
+		if i > 0 {
+			out += "; "
+		}
+		out += fmt.Sprintf("%s: %.0f tuples/%s over %d nodes",
+			tr.Name, tr.MeanSinkThroughput, r.Window, tr.NodesUsed)
+	}
+	return out
+}
+
+// buildResult assembles the Result after the event loop finishes.
+func (s *Simulation) buildResult() *Result {
+	res := &Result{
+		Duration:        s.cfg.Duration,
+		Window:          s.cfg.MetricsWindow,
+		WarmupWindows:   s.cfg.WarmupWindows,
+		Topologies:      make(map[string]*TopologyResult, len(s.runs)),
+		NodeUtilization: make(map[cluster.NodeID]float64, len(s.order)),
+		NICUtilization:  make(map[cluster.NodeID]float64, len(s.order)),
+		TuplesDropped:   s.dropped,
+	}
+
+	for _, run := range s.runs {
+		tr := &TopologyResult{
+			Name:            run.topo.Name(),
+			Scheduler:       run.assignment.Scheduler,
+			ComponentSeries: make(map[string][]float64),
+			TuplesEmitted:   run.emitted,
+			TuplesProcessed: run.processed,
+			TuplesDelivered: run.delivered,
+			TuplesExpired:   run.expired,
+			NodesUsed:       len(run.assignment.NodesUsed()),
+		}
+		var sinkSeries [][]float64
+		for _, comp := range run.topo.Sinks() {
+			if w, ok := run.sinkWin[comp.Name]; ok {
+				sinkSeries = append(sinkSeries, w.Series(s.cfg.Duration))
+			}
+		}
+		tr.SinkSeries = metrics.SumSeries(sinkSeries...)
+		if len(tr.SinkSeries) == 0 {
+			tr.SinkSeries = make([]float64, int(s.cfg.Duration/s.cfg.MetricsWindow))
+		}
+		tr.MeanSinkThroughput = metrics.MeanTail(tr.SinkSeries, s.cfg.WarmupWindows)
+		for comp, w := range run.procWin {
+			tr.ComponentSeries[comp] = w.Series(s.cfg.Duration)
+		}
+		if run.latencyN > 0 {
+			tr.MeanLatency = run.latencySum / time.Duration(run.latencyN)
+		}
+		res.Topologies[tr.Name] = tr
+	}
+
+	var utilSum float64
+	for _, id := range s.order {
+		n := s.nodes[id]
+		util := 0.0
+		if n.spec.Capacity.CPU > 0 {
+			for _, t := range n.tasks {
+				busyFrac := t.tracker.Utilization(s.cfg.Duration)
+				util += busyFrac * t.comp.CPULoad / n.spec.Capacity.CPU
+			}
+			if util > 1 {
+				util = 1
+			}
+		}
+		res.NodeUtilization[id] = util
+		res.NICUtilization[id] = n.nic.busy.Utilization(s.cfg.Duration)
+		if len(n.tasks) > 0 {
+			res.NodesUsed++
+			utilSum += util
+		}
+	}
+	if res.NodesUsed > 0 {
+		res.MeanUtilizationUsed = utilSum / float64(res.NodesUsed)
+	}
+	return res
+}

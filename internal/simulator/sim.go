@@ -1,0 +1,533 @@
+package simulator
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/core"
+	"rstorm/internal/des"
+	"rstorm/internal/metrics"
+	"rstorm/internal/topology"
+)
+
+// simNode is a worker machine at runtime.
+type simNode struct {
+	id        cluster.NodeID
+	rack      cluster.RackID
+	spec      cluster.NodeSpec
+	nic       *link
+	tasks     []*simTask
+	cpuDemand float64 // declared CPU points of all hosted tasks
+	slowdown  float64 // max(1, cpuDemand/capacity): soft overcommit stretch
+	dead      bool
+}
+
+// simTask is one executor at runtime.
+type simTask struct {
+	run       *topoRun
+	task      topology.Task
+	comp      *topology.Component
+	node      *simNode
+	placement core.Placement
+	queue     *boundedQueue
+	outs      []*router
+	isSink    bool
+	busy      bool
+	dead      bool
+	tracker   metrics.BusyTracker
+
+	// Spout state.
+	isSpout  int // 1 if spout (int for alignment clarity; 0 otherwise)
+	inFlight int
+	parked   bool // waiting for a max-pending credit
+}
+
+// router fans one outgoing stream out to consumer tasks per its grouping.
+type router struct {
+	stream  topology.Stream
+	targets []*simTask
+	local   []*simTask // same worker process, for local-or-shuffle
+	rr      int
+	localRR int
+	carry   float64
+}
+
+// topoRun is one topology's runtime state.
+type topoRun struct {
+	topo       *topology.Topology
+	assignment *core.Assignment
+	tasks      map[int]*simTask
+	maxPending int                          // per-spout-task tuple-tree cap
+	sinkWin    map[string]*metrics.Windowed // per sink component
+	procWin    map[string]*metrics.Windowed // per component, processed
+
+	emitted    int64
+	processed  int64
+	delivered  int64
+	expired    int64
+	latencySum time.Duration
+	latencyN   int64
+}
+
+// failure is a scheduled node death.
+type failure struct {
+	at   time.Duration
+	node cluster.NodeID
+}
+
+// Simulation wires topologies, assignments, and a cluster into a
+// discrete-event run.
+type Simulation struct {
+	cfg      Config
+	cluster  *cluster.Cluster
+	engine   *des.Engine
+	rng      *rand.Rand
+	nodes    map[cluster.NodeID]*simNode
+	order    []cluster.NodeID
+	uplinks  map[cluster.RackID]*link
+	runs     []*topoRun
+	failures []failure
+	dropped  int64
+	ran      bool
+}
+
+// New returns a Simulation over the cluster.
+func New(c *cluster.Cluster, cfg Config) (*Simulation, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("simulator config: %w", err)
+	}
+	s := &Simulation{
+		cfg:     cfg,
+		cluster: c,
+		engine:  des.NewEngine(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		nodes:   make(map[cluster.NodeID]*simNode, c.Size()),
+		order:   c.NodeIDs(),
+		uplinks: make(map[cluster.RackID]*link, len(c.Racks())),
+	}
+	for _, n := range c.Nodes() {
+		sn := &simNode{id: n.ID, rack: n.Rack, spec: n.Spec, slowdown: 1}
+		sn.nic = newLink(func() bool { return !sn.dead },
+			n.Spec.NICMbps, cfg.NICQueueCapacity, cfg.NICWindow)
+		s.nodes[n.ID] = sn
+	}
+	// One uplink per rack to the aggregation switch (Fig. 4). All
+	// inter-rack traffic leaving a rack shares it.
+	for _, rack := range c.Racks() {
+		s.uplinks[rack] = newLink(func() bool { return true },
+			c.Network().InterRackMbps, cfg.NICQueueCapacity*4, cfg.NICWindow*4)
+	}
+	return s, nil
+}
+
+// AddTopology registers a scheduled topology for execution.
+func (s *Simulation) AddTopology(topo *topology.Topology, a *core.Assignment) error {
+	if s.ran {
+		return fmt.Errorf("simulation already ran")
+	}
+	if a.Topology != topo.Name() {
+		return fmt.Errorf("assignment is for %q, topology is %q", a.Topology, topo.Name())
+	}
+	if !a.Complete(topo) {
+		return fmt.Errorf("assignment for %q is incomplete", topo.Name())
+	}
+	for _, r := range s.runs {
+		if r.topo.Name() == topo.Name() {
+			return fmt.Errorf("topology %q already added", topo.Name())
+		}
+	}
+	run := &topoRun{
+		topo:       topo,
+		assignment: a,
+		tasks:      make(map[int]*simTask, topo.TotalTasks()),
+		maxPending: topo.MaxSpoutPending(),
+		sinkWin:    make(map[string]*metrics.Windowed),
+		procWin:    make(map[string]*metrics.Windowed),
+	}
+	if run.maxPending <= 0 {
+		run.maxPending = s.cfg.MaxSpoutPending
+	}
+	sinkSet := make(map[string]bool)
+	for _, c := range topo.Sinks() {
+		sinkSet[c.Name] = true
+	}
+	for _, task := range topo.Tasks() {
+		p := a.Placements[task.ID]
+		node, ok := s.nodes[p.Node]
+		if !ok {
+			return fmt.Errorf("task %d placed on unknown node %q", task.ID, p.Node)
+		}
+		comp := topo.Component(task.Component)
+		st := &simTask{
+			run:       run,
+			task:      task,
+			comp:      comp,
+			node:      node,
+			placement: p,
+			queue:     newBoundedQueue(s.cfg.QueueCapacity),
+			isSink:    sinkSet[comp.Name],
+		}
+		if comp.Kind == topology.KindSpout {
+			st.isSpout = 1
+		}
+		node.tasks = append(node.tasks, st)
+		node.cpuDemand += comp.CPULoad
+		run.tasks[task.ID] = st
+	}
+	// Routers need all tasks of the run built first.
+	for _, task := range topo.Tasks() {
+		st := run.tasks[task.ID]
+		for _, stream := range topo.Outgoing(task.Component) {
+			r := &router{stream: stream}
+			for _, ct := range topo.TasksOf(stream.To) {
+				target := run.tasks[ct.ID]
+				r.targets = append(r.targets, target)
+				if target.placement == st.placement {
+					r.local = append(r.local, target)
+				}
+			}
+			st.outs = append(st.outs, r)
+		}
+	}
+	s.runs = append(s.runs, run)
+	return nil
+}
+
+// FailNodeAt schedules a node failure during the run: its tasks die,
+// queued tuples are dropped (their trees fail so spouts are not wedged),
+// and blocked senders are released.
+func (s *Simulation) FailNodeAt(node cluster.NodeID, at time.Duration) error {
+	if s.ran {
+		return fmt.Errorf("simulation already ran")
+	}
+	if _, ok := s.nodes[node]; !ok {
+		return fmt.Errorf("unknown node %q", node)
+	}
+	if at < 0 {
+		return fmt.Errorf("failure time %v, want >= 0", at)
+	}
+	s.failures = append(s.failures, failure{at: at, node: node})
+	return nil
+}
+
+// Run executes the simulation and returns its Result. A Simulation runs
+// once.
+func (s *Simulation) Run() (*Result, error) {
+	if s.ran {
+		return nil, fmt.Errorf("simulation already ran")
+	}
+	if len(s.runs) == 0 {
+		return nil, fmt.Errorf("no topologies added")
+	}
+	s.ran = true
+
+	// Freeze per-node CPU overcommit factors (static processor sharing).
+	for _, id := range s.order {
+		n := s.nodes[id]
+		switch {
+		case n.spec.Capacity.CPU > 0:
+			if f := n.cpuDemand / n.spec.Capacity.CPU; f > 1 {
+				n.slowdown = f
+			}
+		case n.cpuDemand > 0:
+			n.slowdown = 1000 // no declared CPU at all: crawl
+		}
+	}
+	for _, f := range s.failures {
+		f := f
+		s.engine.Schedule(f.at, func() { s.failNode(f.node) })
+	}
+	for _, run := range s.runs {
+		for _, task := range run.topo.Tasks() {
+			st := run.tasks[task.ID]
+			if st.isSpout == 1 {
+				st := st
+				s.engine.Schedule(0, func() { s.spoutCycle(st) })
+			}
+		}
+	}
+	s.engine.RunUntil(s.cfg.Duration)
+	return s.buildResult(), nil
+}
+
+// serviceTime returns the stretched per-tuple cost for a task.
+func (s *Simulation) serviceTime(t *simTask) time.Duration {
+	d := time.Duration(float64(t.comp.Profile.CPUPerTuple) * t.node.slowdown)
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	return d
+}
+
+// spoutCycle generates one root tuple, delivers it, and loops. It parks
+// when the max-pending window is full and is woken by tree completion.
+func (s *Simulation) spoutCycle(t *simTask) {
+	if t.dead {
+		return
+	}
+	if t.inFlight >= t.run.maxPending {
+		t.parked = true
+		return
+	}
+	service := s.serviceTime(t)
+	s.engine.Schedule(service, func() {
+		if t.dead {
+			return
+		}
+		t.tracker.AddBusy(service)
+		now := s.engine.Now()
+		key := s.rng.Uint64() % uint64(t.comp.Profile.KeyCardinality)
+		tr := &tree{spout: t}
+		outs := s.routeOutputs(t, key, now, tr, true)
+		t.run.emitted++
+		if t.isSink {
+			// A spout with no consumers is its own sink: count it.
+			s.recordSink(t, now, now)
+		}
+		if len(outs) == 0 {
+			s.engine.Schedule(0, func() { s.spoutCycle(t) })
+			return
+		}
+		tr.pending = len(outs)
+		t.inFlight++
+		s.deliverSeq(t, outs, func() { s.spoutCycle(t) })
+	})
+}
+
+// boltTry starts processing the next queued tuple if the task is idle.
+func (s *Simulation) boltTry(t *simTask) {
+	if t.busy || t.dead || t.queue.empty() {
+		return
+	}
+	tup, unblocked, ok := t.queue.dequeue()
+	if !ok {
+		return
+	}
+	if unblocked != nil {
+		s.engine.Schedule(0, unblocked)
+	}
+	t.busy = true
+	service := s.serviceTime(t)
+	s.engine.Schedule(service, func() {
+		t.tracker.AddBusy(service)
+		if t.dead {
+			return
+		}
+		now := s.engine.Now()
+		t.run.processed++
+		t.run.procWinFor(t.comp.Name, s.cfg.MetricsWindow).Record(now, 1)
+		if t.isSink {
+			s.recordSink(t, now, tup.created)
+		}
+		outs := s.routeOutputs(t, tup.key, tup.created, tup.tree, false)
+		tup.tree.pending += len(outs) - 1
+		if tup.tree.pending == 0 {
+			s.completeTree(tup.tree)
+		}
+		s.deliverSeq(t, outs, func() {
+			t.busy = false
+			s.boltTry(t)
+		})
+	})
+}
+
+// outbound is one tuple instance headed to a destination task.
+type outbound struct {
+	tup  *tuple
+	dest *simTask
+}
+
+// routeOutputs materializes the output tuple instances for one processed
+// (or spout-generated) tuple across every outgoing stream.
+func (s *Simulation) routeOutputs(
+	t *simTask, key uint64, created time.Duration, tr *tree, fromSpout bool,
+) []outbound {
+	var outs []outbound
+	for _, r := range t.outs {
+		n := 1
+		if !fromSpout {
+			r.carry += t.comp.Profile.OutRatio
+			n = int(r.carry)
+			r.carry -= float64(n)
+		}
+		for i := 0; i < n; i++ {
+			tup := &tuple{
+				bytes:   t.comp.Profile.TupleBytes,
+				key:     key,
+				created: created,
+				tree:    tr,
+			}
+			switch r.stream.Grouping {
+			case topology.GroupingAll:
+				for _, dest := range r.targets {
+					outs = append(outs, outbound{tup: &tuple{
+						bytes: tup.bytes, key: tup.key, created: tup.created, tree: tr,
+					}, dest: dest})
+				}
+			case topology.GroupingGlobal:
+				outs = append(outs, outbound{tup: tup, dest: r.targets[0]})
+			case topology.GroupingFields:
+				outs = append(outs, outbound{tup: tup, dest: r.targets[hashKey(key, len(r.targets))]})
+			case topology.GroupingLocalOrShuffle:
+				if len(r.local) > 0 {
+					outs = append(outs, outbound{tup: tup, dest: r.local[r.localRR%len(r.local)]})
+					r.localRR++
+				} else {
+					outs = append(outs, outbound{tup: tup, dest: r.targets[r.rr%len(r.targets)]})
+					r.rr++
+				}
+			default: // shuffle
+				outs = append(outs, outbound{tup: tup, dest: r.targets[r.rr%len(r.targets)]})
+				r.rr++
+			}
+		}
+	}
+	return outs
+}
+
+// deliverSeq delivers outs one at a time; done fires after the last is
+// accepted, which is what blocks an emitter on downstream backpressure.
+func (s *Simulation) deliverSeq(from *simTask, outs []outbound, done func()) {
+	var next func(i int)
+	next = func(i int) {
+		if i >= len(outs) {
+			done()
+			return
+		}
+		s.deliver(from, outs[i], func() { next(i + 1) })
+	}
+	next(0)
+}
+
+// deliver moves one tuple instance toward its destination: directly (with
+// path latency) for local hand-offs, through the sender's NIC for remote
+// ones. accepted fires when the sender may proceed.
+func (s *Simulation) deliver(from *simTask, ob outbound, accepted func()) {
+	if ob.dest.dead || ob.dest.node.dead {
+		s.dropTuple(ob.tup)
+		s.engine.Schedule(0, accepted)
+		return
+	}
+	sameWorker := from.placement == ob.dest.placement
+	path := s.cluster.PathBetween(from.node.id, ob.dest.node.id, sameWorker)
+	latency := s.cluster.Network().Latency(path)
+	if !path.CrossesNetwork() {
+		s.engine.Schedule(latency, func() {
+			s.enqueueAt(ob.dest, ob.tup, accepted)
+		})
+		return
+	}
+	var uplink *link
+	if path == cluster.PathInterRack && s.cluster.Network().InterRackMbps > 0 {
+		uplink = s.uplinks[from.node.rack]
+	}
+	from.node.nic.send(s, transfer{
+		tup:      ob.tup,
+		dest:     ob.dest,
+		latency:  latency,
+		uplink:   uplink,
+		accepted: accepted,
+	})
+}
+
+// enqueueAt admits a tuple to a task's input queue, parking the producer
+// callback when full.
+func (s *Simulation) enqueueAt(dest *simTask, tup *tuple, accepted func()) {
+	if dest.dead || dest.node.dead {
+		s.dropTuple(tup)
+		s.engine.Schedule(0, accepted)
+		return
+	}
+	if dest.queue.tryEnqueue(tup) {
+		s.engine.Schedule(0, accepted)
+		s.engine.Schedule(0, func() { s.boltTry(dest) })
+		return
+	}
+	dest.queue.addWaiter(tup, accepted)
+}
+
+// recordSink counts a tuple arriving at a sink component and samples its
+// end-to-end latency. Tuples older than the tuple timeout are expired:
+// real Storm would have failed and replayed them, so they do not count
+// toward throughput.
+func (s *Simulation) recordSink(t *simTask, now, created time.Duration) {
+	age := now - created
+	if s.cfg.TupleTimeout > 0 && age > s.cfg.TupleTimeout {
+		t.run.expired++
+		return
+	}
+	t.run.delivered++
+	t.run.sinkWinFor(t.comp.Name, s.cfg.MetricsWindow).Record(now, 1)
+	t.run.latencySum += age
+	t.run.latencyN++
+}
+
+// dropTuple abandons a tuple instance (dead destination); the tree fails so
+// the spout recovers its credit rather than wedging.
+func (s *Simulation) dropTuple(tup *tuple) {
+	s.dropped++
+	if tup.tree == nil {
+		return
+	}
+	tup.tree.failed = true
+	tup.tree.pending--
+	if tup.tree.pending == 0 {
+		s.completeTree(tup.tree)
+	}
+}
+
+// completeTree returns a max-pending credit to the spout and wakes it.
+func (s *Simulation) completeTree(tr *tree) {
+	sp := tr.spout
+	if sp == nil {
+		return
+	}
+	sp.inFlight--
+	if sp.parked && !sp.dead {
+		sp.parked = false
+		s.engine.Schedule(0, func() { s.spoutCycle(sp) })
+	}
+}
+
+// failNode kills a node mid-run.
+func (s *Simulation) failNode(id cluster.NodeID) {
+	n := s.nodes[id]
+	if n == nil || n.dead {
+		return
+	}
+	n.dead = true
+	for _, t := range n.tasks {
+		t.dead = true
+		tuples, unblocked := t.queue.drain()
+		for _, tup := range tuples {
+			s.dropTuple(tup)
+		}
+		for _, fn := range unblocked {
+			s.engine.Schedule(0, fn)
+		}
+	}
+	n.nic.fail(s)
+}
+
+// procWinFor returns (creating) the processed-count series of a component.
+func (r *topoRun) procWinFor(comp string, window time.Duration) *metrics.Windowed {
+	w, ok := r.procWin[comp]
+	if !ok {
+		w, _ = metrics.NewWindowed(window)
+		r.procWin[comp] = w
+	}
+	return w
+}
+
+// sinkWinFor returns (creating) the sink-arrival series of a component.
+func (r *topoRun) sinkWinFor(comp string, window time.Duration) *metrics.Windowed {
+	w, ok := r.sinkWin[comp]
+	if !ok {
+		w, _ = metrics.NewWindowed(window)
+		r.sinkWin[comp] = w
+	}
+	return w
+}

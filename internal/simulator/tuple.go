@@ -1,0 +1,35 @@
+package simulator
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// tree tracks one spout-rooted tuple tree: pending is the number of live
+// tuple instances descending from the root. When pending reaches zero the
+// tree is complete and the spout regains a max-pending credit — Storm's
+// acking flow control, with the ack notification itself modeled as free.
+type tree struct {
+	spout   *simTask
+	pending int
+	failed  bool // a descendant was dropped (node failure)
+}
+
+// tuple is one in-flight tuple instance.
+type tuple struct {
+	bytes   int
+	key     uint64
+	created time.Duration // spout emit time of the root, for latency
+	tree    *tree
+}
+
+// hashKey maps a key to a consumer index for fields grouping.
+func hashKey(key uint64, n int) int {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(key >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	return int(h.Sum64() % uint64(n))
+}

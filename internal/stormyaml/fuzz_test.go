@@ -1,0 +1,55 @@
+package stormyaml
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that successful parses
+// obey basic invariants (non-nil config, accessors safe on every key).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"key: value\n",
+		"supervisor.cpu.capacity: 100.0\n",
+		"a:\n  b: 1\n  c:\n    - x\n    - y\n",
+		"quoted: \"hash # inside\"\n",
+		"list:\n  - 1\n  - 2\n",
+		"deep:\n  deeper:\n    deepest: true\n",
+		"# only a comment\n",
+		"weird: ~\n",
+		"neg: -42\n",
+		"exp: 1e9\n",
+		"a: 1\nb:\n  c: 2\nd: 3\n",
+		"t: true\nf: False\n",
+		": empty\n",
+		"dup: 1\ndup: 2\n",
+		"tab:\n\tbad: 1\n",
+		"-: dash\n",
+		"- toplevel\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		cfg, err := ParseString(doc)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if cfg == nil {
+			t.Fatal("nil config without error")
+		}
+		for key := range cfg {
+			// Accessors must never panic regardless of stored type.
+			cfg.Float(key)
+			cfg.Int(key)
+			cfg.String(key)
+			cfg.Bool(key)
+			cfg.Map(key)
+			cfg.List(key)
+			if strings.ContainsRune(key, '\n') {
+				t.Fatalf("key contains newline: %q", key)
+			}
+		}
+	})
+}

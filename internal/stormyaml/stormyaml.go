@@ -1,0 +1,236 @@
+// Package stormyaml parses the YAML subset used by storm.yaml-style
+// configuration files (paper §5.2), using only the standard library. It
+// supports scalar values (strings, numbers, booleans, null), nested maps
+// through indentation, block lists, comments, and quoted strings — enough
+// to express
+//
+//	supervisor.memory.capacity.mb: 20480.0
+//	supervisor.cpu.capacity: 100.0
+//	storm.scheduler: "rstorm.ResourceAwareScheduler"
+//	rstorm.weights:
+//	  cpu: 0.01
+//	  memory: 0.0005
+//	  bandwidth: 0.5
+package stormyaml
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Config is a parsed document: keys map to scalars (string, float64, bool,
+// nil), nested Config maps, or []any lists.
+type Config map[string]any
+
+// ParseString parses a document from a string.
+func ParseString(s string) (Config, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Parse parses a document from a reader.
+func Parse(r io.Reader) (Config, error) {
+	var lines []line
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		raw := scanner.Text()
+		content := stripComment(raw)
+		if strings.TrimSpace(content) == "" {
+			continue
+		}
+		indent := 0
+		for indent < len(content) && content[indent] == ' ' {
+			indent++
+		}
+		if indent < len(content) && content[indent] == '\t' {
+			return nil, fmt.Errorf("line %d: tabs are not allowed for indentation", lineNo)
+		}
+		lines = append(lines, line{no: lineNo, indent: indent, text: strings.TrimSpace(content)})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("read config: %w", err)
+	}
+	cfg, rest, err := parseMap(lines, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) > 0 {
+		return nil, fmt.Errorf("line %d: unexpected indentation", rest[0].no)
+	}
+	return cfg, nil
+}
+
+type line struct {
+	no     int
+	indent int
+	text   string
+}
+
+// stripComment removes a trailing comment, respecting quoted strings.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseMap consumes lines at exactly indent depth into a map, returning
+// unconsumed lines.
+func parseMap(lines []line, indent int) (Config, []line, error) {
+	cfg := make(Config)
+	for len(lines) > 0 {
+		l := lines[0]
+		if l.indent < indent {
+			return cfg, lines, nil
+		}
+		if l.indent > indent {
+			return nil, nil, fmt.Errorf("line %d: unexpected indentation", l.no)
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, nil, fmt.Errorf("line %d: list item where mapping expected", l.no)
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, dup := cfg[key]; dup {
+			return nil, nil, fmt.Errorf("line %d: duplicate key %q", l.no, key)
+		}
+		lines = lines[1:]
+		if rest != "" {
+			cfg[key] = parseScalar(rest)
+			continue
+		}
+		// No inline value: nested map or list follows (or empty -> nil).
+		if len(lines) == 0 || lines[0].indent <= indent {
+			cfg[key] = nil
+			continue
+		}
+		childIndent := lines[0].indent
+		if strings.HasPrefix(lines[0].text, "-") {
+			var items []any
+			for len(lines) > 0 && lines[0].indent == childIndent &&
+				(strings.HasPrefix(lines[0].text, "- ") || lines[0].text == "-") {
+				item := strings.TrimSpace(strings.TrimPrefix(lines[0].text, "-"))
+				items = append(items, parseScalar(item))
+				lines = lines[1:]
+			}
+			if len(lines) > 0 && lines[0].indent > indent && lines[0].indent != childIndent {
+				return nil, nil, fmt.Errorf("line %d: inconsistent list indentation", lines[0].no)
+			}
+			cfg[key] = items
+			continue
+		}
+		child, remaining, err := parseMap(lines, childIndent)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg[key] = child
+		lines = remaining
+	}
+	return cfg, lines, nil
+}
+
+// splitKey splits "key: value" respecting quoted keys.
+func splitKey(l line) (key, value string, err error) {
+	idx := strings.Index(l.text, ":")
+	if idx < 0 {
+		return "", "", fmt.Errorf("line %d: expected 'key: value', got %q", l.no, l.text)
+	}
+	key = strings.TrimSpace(l.text[:idx])
+	key = unquote(key)
+	if key == "" {
+		return "", "", fmt.Errorf("line %d: empty key", l.no)
+	}
+	return key, strings.TrimSpace(l.text[idx+1:]), nil
+}
+
+// parseScalar interprets a scalar token.
+func parseScalar(s string) any {
+	switch s {
+	case "", "~", "null", "Null", "NULL":
+		return nil
+	case "true", "True", "TRUE":
+		return true
+	case "false", "False", "FALSE":
+		return false
+	}
+	if (strings.HasPrefix(s, `"`) && strings.HasSuffix(s, `"`) && len(s) >= 2) ||
+		(strings.HasPrefix(s, `'`) && strings.HasSuffix(s, `'`) && len(s) >= 2) {
+		return s[1 : len(s)-1]
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+func unquote(s string) string {
+	if v, ok := parseScalar(s).(string); ok {
+		return v
+	}
+	return s
+}
+
+// Float fetches a numeric value (int or float) by key.
+func (c Config) Float(key string) (float64, bool) {
+	switch v := c[key].(type) {
+	case float64:
+		return v, true
+	case int64:
+		return float64(v), true
+	default:
+		return 0, false
+	}
+}
+
+// Int fetches an integer value by key.
+func (c Config) Int(key string) (int64, bool) {
+	v, ok := c[key].(int64)
+	return v, ok
+}
+
+// String fetches a string value by key.
+func (c Config) String(key string) (string, bool) {
+	v, ok := c[key].(string)
+	return v, ok
+}
+
+// Bool fetches a boolean value by key.
+func (c Config) Bool(key string) (bool, bool) {
+	v, ok := c[key].(bool)
+	return v, ok
+}
+
+// Map fetches a nested mapping by key.
+func (c Config) Map(key string) (Config, bool) {
+	v, ok := c[key].(Config)
+	return v, ok
+}
+
+// List fetches a list by key.
+func (c Config) List(key string) ([]any, bool) {
+	v, ok := c[key].([]any)
+	return v, ok
+}

@@ -1,0 +1,236 @@
+package stormyaml
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStormYaml(t *testing.T) {
+	doc := `
+# capacities per paper §5.2
+supervisor.memory.capacity.mb: 20480.0
+supervisor.cpu.capacity: 100.0
+storm.scheduler: "rstorm.ResourceAwareScheduler"
+topology.workers: 12
+acking.enabled: true
+debug: false
+empty.value:
+`
+	cfg, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if f, ok := cfg.Float("supervisor.memory.capacity.mb"); !ok || f != 20480 {
+		t.Errorf("memory = %v %v", f, ok)
+	}
+	if f, ok := cfg.Float("supervisor.cpu.capacity"); !ok || f != 100 {
+		t.Errorf("cpu = %v %v", f, ok)
+	}
+	if s, ok := cfg.String("storm.scheduler"); !ok || s != "rstorm.ResourceAwareScheduler" {
+		t.Errorf("scheduler = %q %v", s, ok)
+	}
+	if i, ok := cfg.Int("topology.workers"); !ok || i != 12 {
+		t.Errorf("workers = %v %v", i, ok)
+	}
+	if b, ok := cfg.Bool("acking.enabled"); !ok || !b {
+		t.Errorf("acking = %v %v", b, ok)
+	}
+	if b, ok := cfg.Bool("debug"); !ok || b {
+		t.Errorf("debug = %v %v", b, ok)
+	}
+	if v, present := cfg["empty.value"]; !present || v != nil {
+		t.Errorf("empty value = %v %v", v, present)
+	}
+	// Int accessor also available through Float.
+	if f, ok := cfg.Float("topology.workers"); !ok || f != 12 {
+		t.Errorf("workers as float = %v %v", f, ok)
+	}
+}
+
+func TestParseNestedMaps(t *testing.T) {
+	doc := `
+rstorm.weights:
+  cpu: 0.01
+  memory: 0.0005
+  bandwidth: 0.5
+nimbus:
+  host: master
+  childopts:
+    xmx: "-Xmx1024m"
+`
+	cfg, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	w, ok := cfg.Map("rstorm.weights")
+	if !ok {
+		t.Fatalf("weights missing: %v", cfg)
+	}
+	if f, ok := w.Float("cpu"); !ok || f != 0.01 {
+		t.Errorf("cpu weight = %v %v", f, ok)
+	}
+	nb, ok := cfg.Map("nimbus")
+	if !ok {
+		t.Fatal("nimbus missing")
+	}
+	if s, _ := nb.String("host"); s != "master" {
+		t.Errorf("host = %q", s)
+	}
+	inner, ok := nb.Map("childopts")
+	if !ok {
+		t.Fatal("childopts missing")
+	}
+	if s, _ := inner.String("xmx"); s != "-Xmx1024m" {
+		t.Errorf("xmx = %q", s)
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	doc := `
+supervisor.slots.ports:
+  - 6700
+  - 6701
+  - 6702
+drpc.servers:
+  - "host1"
+  - "host2"
+`
+	cfg, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	ports, ok := cfg.List("supervisor.slots.ports")
+	if !ok || len(ports) != 3 {
+		t.Fatalf("ports = %v %v", ports, ok)
+	}
+	if ports[0] != int64(6700) {
+		t.Errorf("port[0] = %v (%T)", ports[0], ports[0])
+	}
+	servers, _ := cfg.List("drpc.servers")
+	if len(servers) != 2 || servers[1] != "host2" {
+		t.Errorf("servers = %v", servers)
+	}
+}
+
+func TestCommentsAndQuotes(t *testing.T) {
+	doc := `
+key1: value # trailing comment
+key2: "quoted # not a comment"
+key3: 'single # quoted'
+`
+	cfg, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if s, _ := cfg.String("key1"); s != "value" {
+		t.Errorf("key1 = %q", s)
+	}
+	if s, _ := cfg.String("key2"); s != "quoted # not a comment" {
+		t.Errorf("key2 = %q", s)
+	}
+	if s, _ := cfg.String("key3"); s != "single # quoted" {
+		t.Errorf("key3 = %q", s)
+	}
+}
+
+func TestScalarTypes(t *testing.T) {
+	doc := `
+int: 42
+negint: -7
+float: 3.14
+negfloat: -0.5
+exp: 1e3
+nullv: null
+tilde: ~
+str: plain string with spaces
+`
+	cfg, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if v, _ := cfg.Int("int"); v != 42 {
+		t.Errorf("int = %v", v)
+	}
+	if v, _ := cfg.Int("negint"); v != -7 {
+		t.Errorf("negint = %v", v)
+	}
+	if v, _ := cfg.Float("float"); v != 3.14 {
+		t.Errorf("float = %v", v)
+	}
+	if v, _ := cfg.Float("negfloat"); v != -0.5 {
+		t.Errorf("negfloat = %v", v)
+	}
+	if v, _ := cfg.Float("exp"); v != 1000 {
+		t.Errorf("exp = %v", v)
+	}
+	if cfg["nullv"] != nil || cfg["tilde"] != nil {
+		t.Error("null values wrong")
+	}
+	if s, _ := cfg.String("str"); s != "plain string with spaces" {
+		t.Errorf("str = %q", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		doc  string
+		sub  string
+	}{
+		{"no colon", "just some text\n", "expected 'key: value'"},
+		{"empty key", ": value\n", "empty key"},
+		{"duplicate key", "a: 1\na: 2\n", "duplicate key"},
+		{"tab indent", "a:\n\tb: 1\n", "tabs"},
+		{"stray indent", "a: 1\n    b: 2\n", "unexpected indentation"},
+		{"list at top level", "- item\n", "list item where mapping expected"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseString(tt.doc)
+			if err == nil {
+				t.Fatal("parse succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tt.sub) {
+				t.Errorf("error %q does not contain %q", err, tt.sub)
+			}
+		})
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	cfg, err := ParseString("\n# only comments\n\n")
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if len(cfg) != 0 {
+		t.Errorf("cfg = %v", cfg)
+	}
+}
+
+func TestAccessorTypeMismatches(t *testing.T) {
+	cfg, err := ParseString("s: hello\nn: 5\n")
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if _, ok := cfg.Float("s"); ok {
+		t.Error("Float on string should fail")
+	}
+	if _, ok := cfg.Int("s"); ok {
+		t.Error("Int on string should fail")
+	}
+	if _, ok := cfg.String("n"); ok {
+		t.Error("String on int should fail")
+	}
+	if _, ok := cfg.Bool("n"); ok {
+		t.Error("Bool on int should fail")
+	}
+	if _, ok := cfg.Map("n"); ok {
+		t.Error("Map on int should fail")
+	}
+	if _, ok := cfg.List("n"); ok {
+		t.Error("List on int should fail")
+	}
+	if _, ok := cfg.Float("missing"); ok {
+		t.Error("Float on missing should fail")
+	}
+}

@@ -1,0 +1,128 @@
+// Package topology models Storm topologies: directed graphs of spouts and
+// bolts connected by streams, parallelized into tasks (paper §2). It also
+// carries the per-component resource demands that R-Storm's user API
+// exposes (paper §5.2: SetCPULoad / SetMemoryLoad).
+package topology
+
+import (
+	"fmt"
+	"time"
+
+	"rstorm/internal/resource"
+)
+
+// Kind distinguishes the two component types of a Storm topology.
+type Kind int
+
+const (
+	// KindSpout is a source of tuples.
+	KindSpout Kind = iota + 1
+	// KindBolt consumes, processes, and potentially emits tuples.
+	KindBolt
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSpout:
+		return "spout"
+	case KindBolt:
+		return "bolt"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ExecProfile describes the runtime behaviour of one task of a component —
+// the stand-in for the user's spout/bolt code when a topology executes on
+// the simulator. Profiles are workload knobs, not scheduler inputs: the
+// scheduler sees only the declared resource loads.
+type ExecProfile struct {
+	// CPUPerTuple is the un-contended processing time for one tuple. The
+	// simulator stretches it when the host node's CPU is overcommitted.
+	CPUPerTuple time.Duration
+	// TupleBytes is the serialized size of each emitted tuple, which
+	// drives NIC bandwidth consumption for inter-node transfers.
+	TupleBytes int
+	// OutRatio is the average number of tuples a bolt emits per input
+	// tuple on each outgoing stream (1 = pass-through, 0 = pure sink
+	// behaviour on that bolt, 2 = splitter). Ignored for spouts.
+	OutRatio float64
+	// KeyCardinality bounds the synthetic key space used for fields
+	// groupings.
+	KeyCardinality int
+}
+
+// withDefaults fills unset profile fields with safe defaults.
+func (p ExecProfile) withDefaults() ExecProfile {
+	if p.CPUPerTuple <= 0 {
+		p.CPUPerTuple = 50 * time.Microsecond
+	}
+	if p.TupleBytes <= 0 {
+		p.TupleBytes = 128
+	}
+	if p.OutRatio < 0 {
+		p.OutRatio = 0
+	} else if p.OutRatio == 0 {
+		p.OutRatio = 1
+	}
+	if p.KeyCardinality <= 0 {
+		p.KeyCardinality = 1024
+	}
+	return p
+}
+
+// Component is a processing operator in a topology: a spout or a bolt,
+// parallelized into Parallelism tasks that all run the same logic.
+type Component struct {
+	// Name uniquely identifies the component within its topology.
+	Name string
+	// Kind is KindSpout or KindBolt.
+	Kind Kind
+	// Parallelism is the number of tasks instantiated from this
+	// component. Always >= 1 after Build.
+	Parallelism int
+	// CPULoad is the declared CPU demand, in points, of one task
+	// (paper §5.2: setCPULoad).
+	CPULoad float64
+	// MemoryLoad is the declared memory demand, in MB, of one task
+	// (paper §5.2: setMemoryLoad).
+	MemoryLoad float64
+	// BandwidthLoad is the declared bandwidth demand of one task. The
+	// paper's node-selection algorithm replaces this axis with network
+	// distance, but the demand is retained for accounting.
+	BandwidthLoad float64
+	// Profile is the simulated runtime behaviour of each task.
+	Profile ExecProfile
+}
+
+// Demand returns the per-task resource demand vector A_τ.
+func (c *Component) Demand() resource.Vector {
+	return resource.Vector{
+		CPU:       c.CPULoad,
+		MemoryMB:  c.MemoryLoad,
+		Bandwidth: c.BandwidthLoad,
+	}
+}
+
+// TotalDemand returns the demand of all tasks of this component combined.
+func (c *Component) TotalDemand() resource.Vector {
+	return c.Demand().Scale(float64(c.Parallelism))
+}
+
+// validate checks the component's declared configuration.
+func (c *Component) validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("component has empty name")
+	}
+	if c.Kind != KindSpout && c.Kind != KindBolt {
+		return fmt.Errorf("component %q has invalid kind %d", c.Name, int(c.Kind))
+	}
+	if c.Parallelism < 1 {
+		return fmt.Errorf("component %q has parallelism %d, want >= 1", c.Name, c.Parallelism)
+	}
+	if err := c.Demand().Validate(); err != nil {
+		return fmt.Errorf("component %q: %w", c.Name, err)
+	}
+	return nil
+}

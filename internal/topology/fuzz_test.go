@@ -1,0 +1,41 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec checks the JSON spec pipeline end to end: any input either
+// fails cleanly at parse/build, or produces a valid topology whose BFS
+// ordering covers every component.
+func FuzzParseSpec(f *testing.F) {
+	f.Add(sampleSpec)
+	f.Add(`{"name":"x","components":[{"name":"s","kind":"spout","parallelism":1}]}`)
+	f.Add(`{"name":"x","components":[]}`)
+	f.Add(`{"name":"","components":null}`)
+	f.Add(`{"name":"x","components":[{"name":"s","kind":"spout","parallelism":-3}]}`)
+	f.Add(`{"name":"x","components":[
+	  {"name":"s","kind":"spout","parallelism":1},
+	  {"name":"b","kind":"bolt","parallelism":2,"inputs":[{"from":"s","grouping":"all"}]}]}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		spec, err := ParseSpec(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		topo, err := spec.Build()
+		if err != nil {
+			return
+		}
+		if topo.TotalTasks() <= 0 {
+			t.Fatalf("built topology with %d tasks", topo.TotalTasks())
+		}
+		order := topo.BFSOrder()
+		if len(order) != len(topo.Components()) {
+			t.Fatalf("BFS covers %d of %d components", len(order), len(topo.Components()))
+		}
+		// Round-trip: SpecOf must produce a buildable spec.
+		if _, err := SpecOf(topo).Build(); err != nil {
+			t.Fatalf("round-trip build: %v", err)
+		}
+	})
+}

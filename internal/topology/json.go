@@ -1,0 +1,171 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Spec is the JSON description of a topology, used by cmd/rstorm-sim so
+// topologies can be defined in files:
+//
+//	{
+//	  "name": "wordcount",
+//	  "workers": 4,
+//	  "maxSpoutPending": 32,
+//	  "components": [
+//	    {"name": "words", "kind": "spout", "parallelism": 4,
+//	     "cpuLoad": 25, "memoryLoadMb": 512,
+//	     "profile": {"cpuPerTupleUs": 100, "tupleBytes": 256}},
+//	    {"name": "count", "kind": "bolt", "parallelism": 4,
+//	     "cpuLoad": 50, "memoryLoadMb": 512,
+//	     "inputs": [{"from": "words", "grouping": "fields", "key": "word"}]}
+//	  ]
+//	}
+type Spec struct {
+	Name            string          `json:"name"`
+	Workers         int             `json:"workers,omitempty"`
+	MaxSpoutPending int             `json:"maxSpoutPending,omitempty"`
+	Components      []ComponentSpec `json:"components"`
+}
+
+// ComponentSpec describes one spout or bolt.
+type ComponentSpec struct {
+	Name          string       `json:"name"`
+	Kind          string       `json:"kind"` // "spout" or "bolt"
+	Parallelism   int          `json:"parallelism"`
+	CPULoad       float64      `json:"cpuLoad,omitempty"`
+	MemoryLoadMB  float64      `json:"memoryLoadMb,omitempty"`
+	BandwidthLoad float64      `json:"bandwidthLoad,omitempty"`
+	Profile       *ProfileSpec `json:"profile,omitempty"`
+	Inputs        []InputSpec  `json:"inputs,omitempty"`
+}
+
+// ProfileSpec describes the simulated execution profile.
+type ProfileSpec struct {
+	CPUPerTupleUs  float64 `json:"cpuPerTupleUs,omitempty"`
+	TupleBytes     int     `json:"tupleBytes,omitempty"`
+	OutRatio       float64 `json:"outRatio,omitempty"`
+	KeyCardinality int     `json:"keyCardinality,omitempty"`
+}
+
+// InputSpec describes one subscription of a bolt.
+type InputSpec struct {
+	From     string `json:"from"`
+	Grouping string `json:"grouping"` // shuffle|fields|global|all|localOrShuffle
+	Key      string `json:"key,omitempty"`
+}
+
+// ParseSpec reads a JSON topology spec.
+func ParseSpec(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("parse topology spec: %w", err)
+	}
+	return &spec, nil
+}
+
+// Build assembles the topology the spec describes.
+func (s *Spec) Build() (*Topology, error) {
+	b := NewBuilder(s.Name)
+	b.SetNumWorkers(s.Workers)
+	b.SetMaxSpoutPending(s.MaxSpoutPending)
+	for _, cs := range s.Components {
+		profile := ExecProfile{}
+		if cs.Profile != nil {
+			profile = ExecProfile{
+				CPUPerTuple:    time.Duration(cs.Profile.CPUPerTupleUs * float64(time.Microsecond)),
+				TupleBytes:     cs.Profile.TupleBytes,
+				OutRatio:       cs.Profile.OutRatio,
+				KeyCardinality: cs.Profile.KeyCardinality,
+			}
+		}
+		switch cs.Kind {
+		case "spout":
+			if len(cs.Inputs) > 0 {
+				return nil, fmt.Errorf("spout %q must not declare inputs", cs.Name)
+			}
+			b.SetSpout(cs.Name, cs.Parallelism).
+				SetCPULoad(cs.CPULoad).
+				SetMemoryLoad(cs.MemoryLoadMB).
+				SetBandwidthLoad(cs.BandwidthLoad).
+				SetProfile(profile)
+		case "bolt":
+			d := b.SetBolt(cs.Name, cs.Parallelism).
+				SetCPULoad(cs.CPULoad).
+				SetMemoryLoad(cs.MemoryLoadMB).
+				SetBandwidthLoad(cs.BandwidthLoad).
+				SetProfile(profile)
+			for _, in := range cs.Inputs {
+				switch in.Grouping {
+				case "", "shuffle":
+					d.ShuffleGrouping(in.From)
+				case "fields":
+					d.FieldsGrouping(in.From, in.Key)
+				case "global":
+					d.GlobalGrouping(in.From)
+				case "all":
+					d.AllGrouping(in.From)
+				case "localOrShuffle":
+					d.LocalOrShuffleGrouping(in.From)
+				default:
+					return nil, fmt.Errorf("bolt %q: unknown grouping %q", cs.Name, in.Grouping)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("component %q: unknown kind %q (want spout or bolt)", cs.Name, cs.Kind)
+		}
+	}
+	return b.Build()
+}
+
+// SpecOf converts a built topology back to its JSON spec form, enabling
+// round-trips and spec export from code-defined topologies.
+func SpecOf(t *Topology) *Spec {
+	spec := &Spec{
+		Name:            t.Name(),
+		Workers:         t.NumWorkers(),
+		MaxSpoutPending: t.MaxSpoutPending(),
+	}
+	for _, c := range t.Components() {
+		cs := ComponentSpec{
+			Name:          c.Name,
+			Parallelism:   c.Parallelism,
+			CPULoad:       c.CPULoad,
+			MemoryLoadMB:  c.MemoryLoad,
+			BandwidthLoad: c.BandwidthLoad,
+			Profile: &ProfileSpec{
+				CPUPerTupleUs:  float64(c.Profile.CPUPerTuple) / float64(time.Microsecond),
+				TupleBytes:     c.Profile.TupleBytes,
+				OutRatio:       c.Profile.OutRatio,
+				KeyCardinality: c.Profile.KeyCardinality,
+			},
+		}
+		switch c.Kind {
+		case KindSpout:
+			cs.Kind = "spout"
+		case KindBolt:
+			cs.Kind = "bolt"
+		}
+		for _, in := range t.Incoming(c.Name) {
+			grouping := in.Grouping.String()
+			cs.Inputs = append(cs.Inputs, InputSpec{
+				From:     in.From,
+				Grouping: grouping,
+				Key:      in.FieldsKey,
+			})
+		}
+		spec.Components = append(spec.Components, cs)
+	}
+	return spec
+}
+
+// Encode writes the spec as indented JSON.
+func (s *Spec) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,148 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleSpec = `{
+  "name": "wordcount",
+  "workers": 4,
+  "maxSpoutPending": 32,
+  "components": [
+    {"name": "words", "kind": "spout", "parallelism": 4,
+     "cpuLoad": 25, "memoryLoadMb": 512,
+     "profile": {"cpuPerTupleUs": 100, "tupleBytes": 256}},
+    {"name": "count", "kind": "bolt", "parallelism": 4,
+     "cpuLoad": 50, "memoryLoadMb": 512,
+     "inputs": [{"from": "words", "grouping": "fields", "key": "word"}]},
+    {"name": "report", "kind": "bolt", "parallelism": 1,
+     "inputs": [{"from": "count", "grouping": "global"}]}
+  ]
+}`
+
+func TestParseSpecAndBuild(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(sampleSpec))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	topo, err := spec.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if topo.Name() != "wordcount" || topo.NumWorkers() != 4 || topo.MaxSpoutPending() != 32 {
+		t.Errorf("metadata: %q workers=%d pending=%d", topo.Name(), topo.NumWorkers(), topo.MaxSpoutPending())
+	}
+	if topo.TotalTasks() != 9 {
+		t.Errorf("tasks = %d", topo.TotalTasks())
+	}
+	words := topo.Component("words")
+	if words.Kind != KindSpout || words.CPULoad != 25 || words.MemoryLoad != 512 {
+		t.Errorf("spout: %+v", words)
+	}
+	if words.Profile.CPUPerTuple != 100*time.Microsecond || words.Profile.TupleBytes != 256 {
+		t.Errorf("profile: %+v", words.Profile)
+	}
+	in := topo.Incoming("count")
+	if len(in) != 1 || in[0].Grouping != GroupingFields || in[0].FieldsKey != "word" {
+		t.Errorf("count inputs: %v", in)
+	}
+	if topo.Incoming("report")[0].Grouping != GroupingGlobal {
+		t.Error("report grouping")
+	}
+}
+
+func TestSpecBuildErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		spec Spec
+		sub  string
+	}{
+		{
+			name: "unknown kind",
+			spec: Spec{Name: "t", Components: []ComponentSpec{{Name: "x", Kind: "widget", Parallelism: 1}}},
+			sub:  "unknown kind",
+		},
+		{
+			name: "spout with inputs",
+			spec: Spec{Name: "t", Components: []ComponentSpec{
+				{Name: "s", Kind: "spout", Parallelism: 1, Inputs: []InputSpec{{From: "s"}}},
+			}},
+			sub: "must not declare inputs",
+		},
+		{
+			name: "unknown grouping",
+			spec: Spec{Name: "t", Components: []ComponentSpec{
+				{Name: "s", Kind: "spout", Parallelism: 1},
+				{Name: "b", Kind: "bolt", Parallelism: 1, Inputs: []InputSpec{{From: "s", Grouping: "zigzag"}}},
+			}},
+			sub: "unknown grouping",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := tt.spec.Build()
+			if err == nil || !strings.Contains(err.Error(), tt.sub) {
+				t.Fatalf("err = %v, want %q", err, tt.sub)
+			}
+		})
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	_, err := ParseSpec(strings.NewReader(`{"name": "t", "bogus": 1}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestParseSpecRejectsBadJSON(t *testing.T) {
+	_, err := ParseSpec(strings.NewReader(`{`))
+	if err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	spec, err := ParseSpec(strings.NewReader(sampleSpec))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	topo, err := spec.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// topology -> spec -> encode -> parse -> build -> compare shape.
+	var buf bytes.Buffer
+	if err := SpecOf(topo).Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	spec2, err := ParseSpec(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	topo2, err := spec2.Build()
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	if topo2.TotalTasks() != topo.TotalTasks() {
+		t.Errorf("task count drift: %d vs %d", topo2.TotalTasks(), topo.TotalTasks())
+	}
+	if len(topo2.Streams()) != len(topo.Streams()) {
+		t.Errorf("stream drift: %v vs %v", topo2.Streams(), topo.Streams())
+	}
+	for _, name := range topo.ComponentNames() {
+		a, b := topo.Component(name), topo2.Component(name)
+		if b == nil {
+			t.Fatalf("component %q lost", name)
+		}
+		if a.CPULoad != b.CPULoad || a.MemoryLoad != b.MemoryLoad || a.Parallelism != b.Parallelism {
+			t.Errorf("component %q drift: %+v vs %+v", name, a, b)
+		}
+		if a.Profile != b.Profile {
+			t.Errorf("component %q profile drift: %+v vs %+v", name, a.Profile, b.Profile)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package topology
+
+import "fmt"
+
+// GroupingKind selects how tuples on a stream are partitioned among the
+// consuming component's tasks, mirroring Storm's stream groupings.
+type GroupingKind int
+
+const (
+	// GroupingShuffle distributes tuples round-robin across consumer
+	// tasks (Storm's shuffle grouping is randomized; round-robin gives
+	// the same balance deterministically).
+	GroupingShuffle GroupingKind = iota + 1
+	// GroupingFields routes tuples with the same key to the same task.
+	GroupingFields
+	// GroupingGlobal routes every tuple to the consumer's lowest task.
+	GroupingGlobal
+	// GroupingAll replicates every tuple to all consumer tasks.
+	GroupingAll
+	// GroupingLocalOrShuffle prefers a consumer task in the same worker
+	// process, falling back to shuffle.
+	GroupingLocalOrShuffle
+)
+
+// String implements fmt.Stringer.
+func (g GroupingKind) String() string {
+	switch g {
+	case GroupingShuffle:
+		return "shuffle"
+	case GroupingFields:
+		return "fields"
+	case GroupingGlobal:
+		return "global"
+	case GroupingAll:
+		return "all"
+	case GroupingLocalOrShuffle:
+		return "localOrShuffle"
+	default:
+		return fmt.Sprintf("GroupingKind(%d)", int(g))
+	}
+}
+
+func (g GroupingKind) valid() bool {
+	switch g {
+	case GroupingShuffle, GroupingFields, GroupingGlobal, GroupingAll, GroupingLocalOrShuffle:
+		return true
+	default:
+		return false
+	}
+}
+
+// Stream is a directed edge of the topology DAG: tuples flow From → To.
+type Stream struct {
+	// From is the producing component's name.
+	From string
+	// To is the consuming component's name.
+	To string
+	// Grouping selects the partitioning of tuples among To's tasks.
+	Grouping GroupingKind
+	// FieldsKey names the key field for GroupingFields (informational;
+	// the simulator generates synthetic keys).
+	FieldsKey string
+}
+
+// String renders the stream as "from -> to (grouping)".
+func (s Stream) String() string {
+	return fmt.Sprintf("%s -> %s (%s)", s.From, s.To, s.Grouping)
+}

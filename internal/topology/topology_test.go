@@ -1,0 +1,463 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// buildLinear builds spout -> b1 -> b2 -> b3 with the given parallelism.
+func buildLinear(t *testing.T, par int) *Topology {
+	t.Helper()
+	b := NewBuilder("linear")
+	b.SetSpout("spout", par).SetCPULoad(20).SetMemoryLoad(256)
+	b.SetBolt("b1", par).ShuffleGrouping("spout").SetCPULoad(30).SetMemoryLoad(256)
+	b.SetBolt("b2", par).ShuffleGrouping("b1").SetCPULoad(30).SetMemoryLoad(256)
+	b.SetBolt("b3", par).ShuffleGrouping("b2").SetCPULoad(30).SetMemoryLoad(256)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return topo
+}
+
+// buildDiamond builds spout -> {left, right} -> join.
+func buildDiamond(t *testing.T) *Topology {
+	t.Helper()
+	b := NewBuilder("diamond")
+	b.SetSpout("spout", 2)
+	b.SetBolt("left", 2).ShuffleGrouping("spout")
+	b.SetBolt("right", 2).ShuffleGrouping("spout")
+	b.SetBolt("join", 2).ShuffleGrouping("left").ShuffleGrouping("right")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return topo
+}
+
+func TestBuilderHappyPath(t *testing.T) {
+	topo := buildLinear(t, 3)
+	if topo.Name() != "linear" {
+		t.Errorf("Name = %q", topo.Name())
+	}
+	if got := len(topo.Components()); got != 4 {
+		t.Errorf("components = %d, want 4", got)
+	}
+	if got := topo.TotalTasks(); got != 12 {
+		t.Errorf("TotalTasks = %d, want 12", got)
+	}
+	if got := len(topo.Spouts()); got != 1 {
+		t.Errorf("spouts = %d, want 1", got)
+	}
+	sinks := topo.Sinks()
+	if len(sinks) != 1 || sinks[0].Name != "b3" {
+		t.Errorf("sinks = %v, want [b3]", sinks)
+	}
+}
+
+func TestBuilderValidationErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		build   func() *Builder
+		wantSub string
+	}{
+		{
+			name: "duplicate component",
+			build: func() *Builder {
+				b := NewBuilder("t")
+				b.SetSpout("x", 1)
+				b.SetBolt("x", 1).ShuffleGrouping("x")
+				return b
+			},
+			wantSub: "declared twice",
+		},
+		{
+			name: "no components",
+			build: func() *Builder {
+				return NewBuilder("t")
+			},
+			wantSub: "no components",
+		},
+		{
+			name: "no spouts",
+			build: func() *Builder {
+				b := NewBuilder("t")
+				b.SetBolt("a", 1).ShuffleGrouping("a")
+				return b
+			},
+			wantSub: "self-loop",
+		},
+		{
+			name: "bolt without inputs",
+			build: func() *Builder {
+				b := NewBuilder("t")
+				b.SetSpout("s", 1)
+				b.SetBolt("b", 1)
+				return b
+			},
+			wantSub: "no incoming streams",
+		},
+		{
+			name: "spout with inputs",
+			build: func() *Builder {
+				b := NewBuilder("t")
+				b.SetSpout("s", 1)
+				b.SetBolt("b", 1).ShuffleGrouping("s")
+				b.streams = append(b.streams, Stream{From: "b", To: "s", Grouping: GroupingShuffle})
+				return b
+			},
+			wantSub: "has incoming streams",
+		},
+		{
+			name: "unknown stream source",
+			build: func() *Builder {
+				b := NewBuilder("t")
+				b.SetSpout("s", 1)
+				b.SetBolt("b", 1).ShuffleGrouping("ghost")
+				return b
+			},
+			wantSub: "does not exist",
+		},
+		{
+			name: "zero parallelism",
+			build: func() *Builder {
+				b := NewBuilder("t")
+				b.SetSpout("s", 0)
+				return b
+			},
+			wantSub: "parallelism",
+		},
+		{
+			name: "negative cpu load",
+			build: func() *Builder {
+				b := NewBuilder("t")
+				b.SetSpout("s", 1).SetCPULoad(-5)
+				return b
+			},
+			wantSub: "negative",
+		},
+		{
+			name: "unreachable bolt island",
+			build: func() *Builder {
+				b := NewBuilder("t")
+				b.SetSpout("s", 1)
+				b.SetBolt("a", 1).ShuffleGrouping("s")
+				b.SetBolt("x", 1).ShuffleGrouping("y")
+				b.SetBolt("y", 1).ShuffleGrouping("x")
+				return b
+			},
+			wantSub: "unreachable",
+		},
+		{
+			name: "empty topology name",
+			build: func() *Builder {
+				b := NewBuilder("")
+				b.SetSpout("s", 1)
+				return b
+			},
+			wantSub: "name is empty",
+		},
+		{
+			name: "negative workers",
+			build: func() *Builder {
+				b := NewBuilder("t").SetNumWorkers(-1)
+				b.SetSpout("s", 1)
+				return b
+			},
+			wantSub: "negative",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := tt.build().Build()
+			if err == nil {
+				t.Fatal("Build succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not contain %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestBFSOrderLinear(t *testing.T) {
+	topo := buildLinear(t, 2)
+	got := topo.BFSOrder()
+	want := []string{"spout", "b1", "b2", "b3"}
+	if len(got) != len(want) {
+		t.Fatalf("BFSOrder = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BFSOrder = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBFSOrderDiamond(t *testing.T) {
+	topo := buildDiamond(t)
+	got := topo.BFSOrder()
+	want := []string{"spout", "left", "right", "join"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BFSOrder = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBFSOrderMultipleSpouts(t *testing.T) {
+	b := NewBuilder("star")
+	b.SetSpout("s1", 1)
+	b.SetSpout("s2", 1)
+	b.SetBolt("hub", 2).ShuffleGrouping("s1").ShuffleGrouping("s2")
+	b.SetBolt("out1", 1).ShuffleGrouping("hub")
+	b.SetBolt("out2", 1).ShuffleGrouping("hub")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	got := topo.BFSOrder()
+	want := []string{"s1", "s2", "hub", "out1", "out2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BFSOrder = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBFSOrderWithCycle(t *testing.T) {
+	// Cyclic topologies are allowed (§7: R-Storm is not limited to
+	// acyclic topologies); BFS must terminate and cover every component.
+	b := NewBuilder("cyclic")
+	b.SetSpout("s", 1)
+	b.SetBolt("a", 1).ShuffleGrouping("s").ShuffleGrouping("b")
+	b.SetBolt("b", 1).ShuffleGrouping("a")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	got := topo.BFSOrder()
+	if len(got) != 3 {
+		t.Fatalf("BFSOrder = %v, want all 3 components", got)
+	}
+	seen := map[string]bool{}
+	for _, n := range got {
+		if seen[n] {
+			t.Fatalf("BFSOrder repeats %q: %v", n, got)
+		}
+		seen[n] = true
+	}
+}
+
+func TestTaskDerivation(t *testing.T) {
+	topo := buildLinear(t, 3)
+	tasks := topo.Tasks()
+	if len(tasks) != 12 {
+		t.Fatalf("tasks = %d, want 12", len(tasks))
+	}
+	// IDs dense and ordered.
+	for i, task := range tasks {
+		if task.ID != i {
+			t.Errorf("task %d has ID %d", i, task.ID)
+		}
+	}
+	spoutTasks := topo.TasksOf("spout")
+	if len(spoutTasks) != 3 {
+		t.Fatalf("spout tasks = %d", len(spoutTasks))
+	}
+	for i, task := range spoutTasks {
+		if task.Index != i || task.Component != "spout" {
+			t.Errorf("spout task %d = %+v", i, task)
+		}
+	}
+	if topo.TasksOf("nope") != nil && len(topo.TasksOf("nope")) != 0 {
+		t.Error("unknown component should have no tasks")
+	}
+}
+
+func TestTaskDemandAndTotals(t *testing.T) {
+	topo := buildLinear(t, 2)
+	spoutTask := topo.TasksOf("spout")[0]
+	d := topo.TaskDemand(spoutTask)
+	if d.CPU != 20 || d.MemoryMB != 256 {
+		t.Errorf("spout demand = %v", d)
+	}
+	total := topo.TotalDemand()
+	// 2 spout tasks * 20 + 6 bolt tasks * 30 = 220 CPU.
+	if total.CPU != 220 {
+		t.Errorf("total CPU = %v, want 220", total.CPU)
+	}
+	if total.MemoryMB != 8*256 {
+		t.Errorf("total mem = %v, want %v", total.MemoryMB, 8*256)
+	}
+	if got := topo.TaskDemand(Task{Component: "ghost"}); !got.IsZero() {
+		t.Errorf("unknown component demand = %v, want zero", got)
+	}
+}
+
+func TestProfileDefaults(t *testing.T) {
+	b := NewBuilder("t")
+	b.SetSpout("s", 1)
+	b.SetBolt("b", 1).ShuffleGrouping("s")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	p := topo.Component("b").Profile
+	if p.CPUPerTuple <= 0 || p.TupleBytes <= 0 || p.OutRatio != 1 || p.KeyCardinality <= 0 {
+		t.Errorf("defaults not applied: %+v", p)
+	}
+}
+
+func TestProfileExplicitValuesKept(t *testing.T) {
+	b := NewBuilder("t")
+	b.SetSpout("s", 1).SetProfile(ExecProfile{
+		CPUPerTuple:    2 * time.Millisecond,
+		TupleBytes:     4096,
+		OutRatio:       0.5,
+		KeyCardinality: 7,
+	})
+	b.SetBolt("b", 1).ShuffleGrouping("s")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	p := topo.Component("s").Profile
+	if p.CPUPerTuple != 2*time.Millisecond || p.TupleBytes != 4096 || p.OutRatio != 0.5 || p.KeyCardinality != 7 {
+		t.Errorf("explicit profile mutated: %+v", p)
+	}
+}
+
+func TestBuilderIsolationAfterBuild(t *testing.T) {
+	b := NewBuilder("t")
+	sd := b.SetSpout("s", 1)
+	b.SetBolt("b", 1).ShuffleGrouping("s")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sd.SetCPULoad(999) // mutating the builder must not affect the built topology
+	if got := topo.Component("s").CPULoad; got != 0 {
+		t.Errorf("built topology aliased builder state: CPULoad = %v", got)
+	}
+}
+
+func TestStreamAccessorsCopy(t *testing.T) {
+	topo := buildDiamond(t)
+	out := topo.Outgoing("spout")
+	if len(out) != 2 {
+		t.Fatalf("Outgoing(spout) = %v", out)
+	}
+	out[0] = Stream{} // mutating the returned slice must not corrupt the topology
+	if topo.Outgoing("spout")[0].To == "" {
+		t.Error("Outgoing returned aliased internal slice")
+	}
+	in := topo.Incoming("join")
+	if len(in) != 2 {
+		t.Fatalf("Incoming(join) = %v", in)
+	}
+}
+
+func TestGroupingKinds(t *testing.T) {
+	b := NewBuilder("t")
+	b.SetSpout("s", 2)
+	b.SetBolt("a", 2).FieldsGrouping("s", "k")
+	b.SetBolt("g", 1).GlobalGrouping("a")
+	b.SetBolt("all", 2).AllGrouping("g")
+	b.SetBolt("l", 2).LocalOrShuffleGrouping("all")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	wantKinds := map[string]GroupingKind{
+		"a":   GroupingFields,
+		"g":   GroupingGlobal,
+		"all": GroupingAll,
+		"l":   GroupingLocalOrShuffle,
+	}
+	for comp, want := range wantKinds {
+		in := topo.Incoming(comp)
+		if len(in) != 1 || in[0].Grouping != want {
+			t.Errorf("%s incoming = %v, want grouping %v", comp, in, want)
+		}
+	}
+	if topo.Incoming("a")[0].FieldsKey != "k" {
+		t.Error("fields key lost")
+	}
+}
+
+func TestQuickBFSCoversAllComponentsOnce(t *testing.T) {
+	// Property: for random linear-ish chains of length n with random
+	// parallelism, BFSOrder returns each component exactly once.
+	f := func(nRaw uint8, parRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		par := int(parRaw%4) + 1
+		b := NewBuilder("chain")
+		b.SetSpout("c0", par)
+		for i := 1; i <= n; i++ {
+			b.SetBolt(nameOf(i), par).ShuffleGrouping(nameOf(i - 1))
+		}
+		topo, err := b.Build()
+		if err != nil {
+			return false
+		}
+		order := topo.BFSOrder()
+		if len(order) != n+1 {
+			return false
+		}
+		seen := make(map[string]bool, len(order))
+		for _, c := range order {
+			if seen[c] {
+				return false
+			}
+			seen[c] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func nameOf(i int) string {
+	if i == 0 {
+		return "c0"
+	}
+	return "c" + string(rune('0'+i))
+}
+
+func TestKindAndStreamStrings(t *testing.T) {
+	if KindSpout.String() != "spout" || KindBolt.String() != "bolt" {
+		t.Error("kind strings wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+	s := Stream{From: "a", To: "b", Grouping: GroupingShuffle}
+	if s.String() != "a -> b (shuffle)" {
+		t.Errorf("stream string = %q", s.String())
+	}
+	if GroupingKind(42).String() == "" {
+		t.Error("unknown grouping should render")
+	}
+	task := Task{ID: 3, Component: "b1", Index: 1}
+	if task.String() != "b1[1]#3" {
+		t.Errorf("task string = %q", task.String())
+	}
+}
+
+func TestAdjacentPairs(t *testing.T) {
+	topo := buildDiamond(t)
+	pairs := topo.AdjacentPairs()
+	if len(pairs) != 4 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	want := [][2]string{{"spout", "left"}, {"spout", "right"}, {"left", "join"}, {"right", "join"}}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Errorf("pair %d = %v, want %v", i, pairs[i], want[i])
+		}
+	}
+}

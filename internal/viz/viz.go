@@ -1,0 +1,139 @@
+// Package viz renders simple ASCII charts for experiment reports: multi-
+// series line charts for throughput timelines (the paper's Fig. 8/9/12/13)
+// and bar charts for utilization comparisons (Fig. 10).
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// seriesMarks are the glyphs assigned to series in order.
+var seriesMarks = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// LineChart renders the series into a width x height ASCII plot with a
+// y-axis scale and a legend. Series longer than width are downsampled.
+func LineChart(title string, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	maxVal := 0.0
+	maxLen := 0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if maxLen == 0 || maxVal == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for si, s := range series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for x := 0; x < width; x++ {
+			// Map column to series index (downsample or stretch).
+			idx := x * maxLen / width
+			if idx >= len(s.Values) {
+				continue
+			}
+			v := s.Values[idx]
+			y := int(math.Round(v / maxVal * float64(height-1)))
+			row := height - 1 - y
+			if row < 0 {
+				row = 0
+			}
+			if grid[row][x] == ' ' || grid[row][x] == mark {
+				grid[row][x] = mark
+			} else {
+				grid[row][x] = '!'
+			}
+		}
+	}
+
+	for i, row := range grid {
+		yVal := maxVal * float64(height-1-i) / float64(height-1)
+		fmt.Fprintf(&b, "%10.0f |%s\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", seriesMarks[si%len(seriesMarks)], s.Name))
+	}
+	fmt.Fprintf(&b, "%10s  %s\n", "", strings.Join(legend, "   "))
+	return b.String()
+}
+
+// BarChart renders labeled value pairs (baseline vs comparison) as
+// horizontal bars scaled to the largest value.
+func BarChart(title string, labels []string, baseline, comparison []float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	maxVal := 0.0
+	labelW := 0
+	for i, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+		if i < len(baseline) && baseline[i] > maxVal {
+			maxVal = baseline[i]
+		}
+		if i < len(comparison) && comparison[i] > maxVal {
+			maxVal = comparison[i]
+		}
+	}
+	if maxVal == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	bar := func(v float64) string {
+		n := int(math.Round(v / maxVal * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		return strings.Repeat("█", n)
+	}
+	for i, l := range labels {
+		var base, comp float64
+		if i < len(baseline) {
+			base = baseline[i]
+		}
+		if i < len(comparison) {
+			comp = comparison[i]
+		}
+		fmt.Fprintf(&b, "%-*s default %10.1f |%s\n", labelW, l, base, bar(base))
+		fmt.Fprintf(&b, "%-*s r-storm %10.1f |%s\n", labelW, "", comp, bar(comp))
+	}
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChartRendersSeries(t *testing.T) {
+	out := LineChart("throughput", []Series{
+		{Name: "default", Values: []float64{10, 20, 30}},
+		{Name: "r-storm", Values: []float64{20, 40, 60}},
+	}, 30, 8)
+	if !strings.Contains(out, "throughput") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "default") || !strings.Contains(out, "r-storm") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing series marks")
+	}
+	// y-axis max equals the max value.
+	if !strings.Contains(out, "60") {
+		t.Errorf("missing y scale:\n%s", out)
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	out := LineChart("empty", nil, 30, 8)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart = %q", out)
+	}
+	out = LineChart("zeros", []Series{{Name: "z", Values: []float64{0, 0}}}, 30, 8)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("zero chart = %q", out)
+	}
+}
+
+func TestLineChartClampsTinyDimensions(t *testing.T) {
+	out := LineChart("tiny", []Series{{Name: "s", Values: []float64{1, 2}}}, 1, 1)
+	if out == "" {
+		t.Fatal("no output")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + >=4 rows + axis + legend
+	if len(lines) < 6 {
+		t.Errorf("too few lines: %d\n%s", len(lines), out)
+	}
+}
+
+func TestLineChartDownsamplesLongSeries(t *testing.T) {
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	out := LineChart("long", []Series{{Name: "s", Values: values}}, 40, 8)
+	for _, line := range strings.Split(out, "\n") {
+		if len(line) > 40+14 { // width + y-axis label margin
+			t.Errorf("line too long (%d): %q", len(line), line)
+		}
+	}
+}
+
+func TestLineChartCollisionMark(t *testing.T) {
+	// Two series with identical values collide onto the same cells; the
+	// chart must still render (either mark or the collision glyph).
+	out := LineChart("collide", []Series{
+		{Name: "a", Values: []float64{5, 5, 5}},
+		{Name: "b", Values: []float64{5, 5, 5}},
+	}, 20, 6)
+	if !strings.Contains(out, "!") && !strings.Contains(out, "*") {
+		t.Errorf("collision rendering missing:\n%s", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("utilization", []string{"linear", "diamond"},
+		[]float64{50, 30}, []float64{100, 60}, 20)
+	if !strings.Contains(out, "utilization") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "linear") || !strings.Contains(out, "diamond") {
+		t.Error("missing labels")
+	}
+	if !strings.Contains(out, "█") {
+		t.Error("missing bars")
+	}
+	if !strings.Contains(out, "100.0") {
+		t.Error("missing values")
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	out := BarChart("none", nil, nil, nil, 20)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty bar chart = %q", out)
+	}
+}
+
+func TestBarChartMismatchedLengths(t *testing.T) {
+	// Shorter value slices must not panic; missing entries render as 0.
+	out := BarChart("odd", []string{"a", "b", "c"}, []float64{10}, []float64{5, 6}, 10)
+	if !strings.Contains(out, "c") {
+		t.Errorf("labels lost: %q", out)
+	}
+}

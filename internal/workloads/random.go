@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rstorm/internal/topology"
+)
+
+// RandomParams bounds the shape of generated topologies.
+type RandomParams struct {
+	// MaxComponents caps the number of components (min 2). Default 8.
+	MaxComponents int
+	// MaxParallelism caps per-component parallelism. Default 6.
+	MaxParallelism int
+	// MaxCPULoad caps per-task CPU points. Default 60.
+	MaxCPULoad float64
+	// MaxMemoryMB caps per-task memory. Default 1024.
+	MaxMemoryMB float64
+	// FanInProb is the chance a bolt subscribes to an extra upstream
+	// component beyond its first. Default 0.3.
+	FanInProb float64
+}
+
+func (p RandomParams) withDefaults() RandomParams {
+	if p.MaxComponents < 2 {
+		p.MaxComponents = 8
+	}
+	if p.MaxParallelism < 1 {
+		p.MaxParallelism = 6
+	}
+	if p.MaxCPULoad <= 0 {
+		p.MaxCPULoad = 60
+	}
+	if p.MaxMemoryMB <= 0 {
+		p.MaxMemoryMB = 1024
+	}
+	if p.FanInProb <= 0 {
+		p.FanInProb = 0.3
+	}
+	return p
+}
+
+// RandomTopology generates a valid random DAG topology from the seed:
+// layered components (spouts in layer zero), every bolt subscribed to at
+// least one earlier component, mixed groupings, randomized loads and
+// profiles. The same seed always yields the same topology, making it
+// suitable for property-based scheduler tests.
+func RandomTopology(seed int64, params RandomParams) (*topology.Topology, error) {
+	p := params.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	nComponents := 2 + rng.Intn(p.MaxComponents-1)
+	nSpouts := 1 + rng.Intn(2)
+	if nSpouts >= nComponents {
+		nSpouts = 1
+	}
+
+	b := topology.NewBuilder(fmt.Sprintf("random-%d", seed))
+	names := make([]string, 0, nComponents)
+	randLoads := func() (cpu, mem float64) {
+		return 5 + rng.Float64()*(p.MaxCPULoad-5), 64 + rng.Float64()*(p.MaxMemoryMB-64)
+	}
+	randProfile := func() topology.ExecProfile {
+		return topology.ExecProfile{
+			CPUPerTuple:    time.Duration(50+rng.Intn(950)) * time.Microsecond,
+			TupleBytes:     64 + rng.Intn(1024),
+			OutRatio:       0.5 + rng.Float64(),
+			KeyCardinality: 128 << rng.Intn(6),
+		}
+	}
+	for i := 0; i < nSpouts; i++ {
+		name := fmt.Sprintf("spout%d", i)
+		cpu, mem := randLoads()
+		b.SetSpout(name, 1+rng.Intn(p.MaxParallelism)).
+			SetCPULoad(cpu).SetMemoryLoad(mem).SetProfile(randProfile())
+		names = append(names, name)
+	}
+	for i := nSpouts; i < nComponents; i++ {
+		name := fmt.Sprintf("bolt%d", i-nSpouts)
+		cpu, mem := randLoads()
+		d := b.SetBolt(name, 1+rng.Intn(p.MaxParallelism)).
+			SetCPULoad(cpu).SetMemoryLoad(mem).SetProfile(randProfile())
+		subscribe := func(src string) {
+			switch rng.Intn(5) {
+			case 0:
+				d.FieldsGrouping(src, "key")
+			case 1:
+				d.GlobalGrouping(src)
+			case 2:
+				d.LocalOrShuffleGrouping(src)
+			default:
+				d.ShuffleGrouping(src)
+			}
+		}
+		first := names[rng.Intn(len(names))]
+		subscribe(first)
+		if rng.Float64() < p.FanInProb && len(names) > 1 {
+			second := names[rng.Intn(len(names))]
+			if second != first {
+				subscribe(second)
+			}
+		}
+		names = append(names, name)
+	}
+	return b.Build()
+}

@@ -1,0 +1,290 @@
+package workloads
+
+import (
+	"testing"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/core"
+	"rstorm/internal/resource"
+	"rstorm/internal/topology"
+)
+
+func TestMicroTopologiesBuild(t *testing.T) {
+	builders := []struct {
+		name  string
+		build func(Bound) (*topology.Topology, error)
+	}{
+		{"linear", LinearTopology},
+		{"diamond", DiamondTopology},
+		{"star", StarTopology},
+	}
+	for _, b := range builders {
+		for _, bound := range []Bound{NetworkBound, ComputeBound} {
+			t.Run(b.name+"/"+bound.String(), func(t *testing.T) {
+				topo, err := b.build(bound)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				if topo.TotalTasks() == 0 {
+					t.Fatal("no tasks")
+				}
+				if len(topo.Spouts()) == 0 || len(topo.Sinks()) == 0 {
+					t.Fatal("missing spouts or sinks")
+				}
+			})
+		}
+	}
+}
+
+func TestLinearShape(t *testing.T) {
+	topo, err := LinearTopology(NetworkBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := topo.BFSOrder()
+	want := []string{"spout", "bolt1", "bolt2", "bolt3"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("BFS order = %v", order)
+		}
+	}
+	if got := topo.TotalTasks(); got != 24 {
+		t.Errorf("network-bound linear tasks = %d, want 24", got)
+	}
+	compute, err := LinearTopology(ComputeBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := compute.TotalTasks(); got != 12 {
+		t.Errorf("compute-bound linear tasks = %d, want 12", got)
+	}
+}
+
+func TestDiamondShape(t *testing.T) {
+	topo, err := DiamondTopology(NetworkBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topo.Incoming("sink")); got != 3 {
+		t.Errorf("sink fan-in = %d, want 3", got)
+	}
+	if got := len(topo.Outgoing("spout")); got != 3 {
+		t.Errorf("spout fan-out = %d, want 3", got)
+	}
+}
+
+func TestStarShape(t *testing.T) {
+	topo, err := StarTopology(NetworkBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(topo.Incoming("hub")); got != 2 {
+		t.Errorf("hub fan-in = %d", got)
+	}
+	if got := len(topo.Outgoing("hub")); got != 2 {
+		t.Errorf("hub fan-out = %d", got)
+	}
+	if got := len(topo.Sinks()); got != 2 {
+		t.Errorf("sinks = %d", got)
+	}
+}
+
+func TestComputeBoundLinearFillsSixNodesExactly(t *testing.T) {
+	// The Fig. 9a property: 12 tasks x 50 points x 1024 MB pack two per
+	// node on exactly 6 of 12 nodes with no CPU overcommit.
+	topo, err := LinearTopology(ComputeBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.Emulab12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewResourceAwareScheduler().Schedule(topo, c, core.NewGlobalState(c))
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	if got := len(a.NodesUsed()); got != 6 {
+		t.Errorf("nodes used = %d, want 6: %s", got, a)
+	}
+	for node, used := range a.UsedPerNode(topo) {
+		if used.CPU > 100 {
+			t.Errorf("node %s CPU overcommitted: %v", node, used.CPU)
+		}
+	}
+}
+
+func TestComputeBoundDiamondUsesSevenNodes(t *testing.T) {
+	topo, err := DiamondTopology(ComputeBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.Emulab12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewResourceAwareScheduler().Schedule(topo, c, core.NewGlobalState(c))
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	if got := len(a.NodesUsed()); got != 7 {
+		t.Errorf("nodes used = %d, want 7 (paper §6.3.2)", got)
+	}
+}
+
+func TestComputeBoundStarDefaultOverloadsOneNode(t *testing.T) {
+	// The Fig. 9c property: default Storm's striding with the topology's
+	// requested workers stacks two hub tasks on one machine, exceeding
+	// its CPU capacity; R-Storm never exceeds capacity.
+	topo, err := StarTopology(ComputeBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.Emulab12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := core.EvenScheduler{}.Schedule(topo, c, core.NewGlobalState(c))
+	if err != nil {
+		t.Fatalf("even: %v", err)
+	}
+	overloaded := 0
+	for _, used := range ea.UsedPerNode(topo) {
+		if used.CPU > 100 {
+			overloaded++
+		}
+	}
+	if overloaded == 0 {
+		t.Error("default scheduler should over-utilize at least one node")
+	}
+
+	ra, err := core.NewResourceAwareScheduler().Schedule(topo, c, core.NewGlobalState(c))
+	if err != nil {
+		t.Fatalf("r-storm: %v", err)
+	}
+	for node, used := range ra.UsedPerNode(topo) {
+		if used.CPU > 100 {
+			t.Errorf("r-storm overcommitted node %s: %v", node, used.CPU)
+		}
+	}
+}
+
+func TestYahooTopologiesBuild(t *testing.T) {
+	pl, err := PageLoadTopology()
+	if err != nil {
+		t.Fatalf("pageload: %v", err)
+	}
+	if pl.Name() != "pageload" || pl.TotalTasks() != 18 {
+		t.Errorf("pageload: %q %d tasks", pl.Name(), pl.TotalTasks())
+	}
+	// metrics and store are the sinks.
+	sinks := pl.Sinks()
+	if len(sinks) != 2 {
+		t.Errorf("pageload sinks = %v", sinks)
+	}
+
+	pr, err := ProcessingTopology()
+	if err != nil {
+		t.Fatalf("processing: %v", err)
+	}
+	if pr.TotalTasks() != 14 {
+		t.Errorf("processing tasks = %d, want 14", pr.TotalTasks())
+	}
+	// Deep pipeline: BFS covers 7 components in chain order.
+	if got := len(pr.BFSOrder()); got != 7 {
+		t.Errorf("processing components = %d", got)
+	}
+}
+
+func TestProcessingScaled(t *testing.T) {
+	pr2, err := ProcessingTopologyScaled(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr2.TotalTasks() != 28 {
+		t.Errorf("scaled tasks = %d, want 28", pr2.TotalTasks())
+	}
+	pr0, err := ProcessingTopologyScaled(0) // clamps to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr0.TotalTasks() != 14 {
+		t.Errorf("clamped tasks = %d, want 14", pr0.TotalTasks())
+	}
+}
+
+func TestBothYahooTopologiesFitTogetherOn24(t *testing.T) {
+	// The Fig. 13 property: R-Storm schedules PageLoad and scaled
+	// Processing together on the 24-node cluster, with no hard-
+	// constraint violations across topologies.
+	c, err := cluster.Emulab24()
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := core.NewGlobalState(c)
+	sched := core.NewResourceAwareScheduler()
+
+	pl, err := PageLoadTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := ProcessingTopologyScaled(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memUsed := make(map[cluster.NodeID]float64)
+	for _, topo := range []*topology.Topology{pl, pr} {
+		a, err := sched.Schedule(topo, c, state)
+		if err != nil {
+			t.Fatalf("schedule %s: %v", topo.Name(), err)
+		}
+		if err := state.Apply(topo, a); err != nil {
+			t.Fatalf("apply %s: %v", topo.Name(), err)
+		}
+		for node, used := range a.UsedPerNode(topo) {
+			memUsed[node] += used.MemoryMB
+		}
+	}
+	for node, mem := range memUsed {
+		if mem > 2048 {
+			t.Errorf("node %s memory %v exceeds capacity across topologies", node, mem)
+		}
+	}
+}
+
+func TestBoundString(t *testing.T) {
+	if NetworkBound.String() != "network-bound" || ComputeBound.String() != "compute-bound" {
+		t.Error("bound strings")
+	}
+	if Bound(9).String() != "unknown-bound" {
+		t.Error("unknown bound string")
+	}
+}
+
+func TestDemandsAreDeclared(t *testing.T) {
+	// Every benchmark component declares non-zero CPU and memory, since
+	// R-Storm schedules on declared demand.
+	all := []func() (*topology.Topology, error){
+		func() (*topology.Topology, error) { return LinearTopology(NetworkBound) },
+		func() (*topology.Topology, error) { return DiamondTopology(ComputeBound) },
+		func() (*topology.Topology, error) { return StarTopology(NetworkBound) },
+		PageLoadTopology,
+		ProcessingTopology,
+	}
+	for _, build := range all {
+		topo, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, comp := range topo.Components() {
+			d := comp.Demand()
+			if d.CPU <= 0 || d.MemoryMB <= 0 {
+				t.Errorf("%s/%s demand undeclared: %v", topo.Name(), comp.Name, d)
+			}
+			if err := d.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", topo.Name(), comp.Name, err)
+			}
+		}
+		_ = resource.Vector{}
+	}
+}

@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"time"
+
+	"rstorm/internal/topology"
+)
+
+// PageLoadTopology reconstructs the Yahoo! PageLoad topology of Fig. 11a.
+// The original processes event-level advertising data for near-real-time
+// analytical reporting (§6.4); its exact code is proprietary, so this
+// reconstruction keeps the published shape: an event spout feeding a
+// mostly linear enrichment pipeline with a metrics side-branch and a
+// keyed aggregation before the store stage.
+//
+//	event-spout → deserialize → filter → enrich → aggregate → store
+//	                              └→ metrics
+//
+// 18 tasks, ~590 declared CPU points: comfortably inside one 12-node rack
+// for R-Storm, while default Storm stripes it across both racks.
+func PageLoadTopology() (*topology.Topology, error) {
+	b := topology.NewBuilder("pageload")
+	b.SetMaxSpoutPending(14)
+	b.SetSpout("event-spout", 3).SetCPULoad(30).SetMemoryLoad(650).
+		SetProfile(topology.ExecProfile{CPUPerTuple: 220 * time.Microsecond, TupleBytes: 900})
+	b.SetBolt("deserialize", 3).ShuffleGrouping("event-spout").
+		SetCPULoad(40).SetMemoryLoad(650).
+		SetProfile(topology.ExecProfile{CPUPerTuple: 260 * time.Microsecond, TupleBytes: 700})
+	b.SetBolt("filter", 3).ShuffleGrouping("deserialize").
+		SetCPULoad(25).SetMemoryLoad(500).
+		SetProfile(topology.ExecProfile{CPUPerTuple: 150 * time.Microsecond, TupleBytes: 700, OutRatio: 0.85})
+	b.SetBolt("metrics", 2).ShuffleGrouping("deserialize").
+		SetCPULoad(20).SetMemoryLoad(400).
+		SetProfile(topology.ExecProfile{CPUPerTuple: 120 * time.Microsecond, TupleBytes: 200})
+	b.SetBolt("enrich", 3).ShuffleGrouping("filter").
+		SetCPULoad(45).SetMemoryLoad(650).
+		SetProfile(topology.ExecProfile{CPUPerTuple: 300 * time.Microsecond, TupleBytes: 1000})
+	b.SetBolt("aggregate", 2).FieldsGrouping("enrich", "pageKey").
+		SetCPULoad(35).SetMemoryLoad(650).
+		SetProfile(topology.ExecProfile{CPUPerTuple: 240 * time.Microsecond, TupleBytes: 400, KeyCardinality: 4096})
+	b.SetBolt("store", 2).ShuffleGrouping("aggregate").
+		SetCPULoad(30).SetMemoryLoad(600).
+		SetProfile(topology.ExecProfile{CPUPerTuple: 200 * time.Microsecond, TupleBytes: 400})
+	return b.Build()
+}
+
+// ProcessingTopology reconstructs the Yahoo! Processing topology of
+// Fig. 11b: a deeper, computation-heavier pipeline (decode, sessionize,
+// transform, dedupe, rank, persist) — each stage's per-tuple cost is
+// several times PageLoad's. 14 tasks whose memory loads admit exactly two
+// tasks per 2048 MB node, so R-Storm colocates adjacent pipeline stages
+// (spout+decode, sessionize+transform, …) without exceeding 100 CPU
+// points, while default Storm strides the stages across both racks.
+func ProcessingTopology() (*topology.Topology, error) {
+	return ProcessingTopologyScaled(1)
+}
+
+// ProcessingTopologyScaled builds the Processing topology with every
+// component's parallelism multiplied by scale. The multi-topology
+// experiment (Fig. 13) runs Processing at twice the Fig. 12b size: the
+// paper's Fig. 13 reports Processing at 67k tuples/10s, far above the
+// single-cluster runs, indicating a larger production deployment.
+func ProcessingTopologyScaled(scale int) (*topology.Topology, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	b := topology.NewBuilder("processing")
+	b.SetMaxSpoutPending(6)
+	b.SetSpout("feed-spout", 2*scale).SetCPULoad(25).SetMemoryLoad(650).
+		SetProfile(topology.ExecProfile{CPUPerTuple: 350 * time.Microsecond, TupleBytes: 1200})
+	b.SetBolt("decode", 2*scale).ShuffleGrouping("feed-spout").
+		SetCPULoad(35).SetMemoryLoad(650).
+		SetProfile(topology.ExecProfile{CPUPerTuple: 560 * time.Microsecond, TupleBytes: 1000})
+	b.SetBolt("sessionize", 2*scale).FieldsGrouping("decode", "sessionId").
+		SetCPULoad(40).SetMemoryLoad(650).
+		SetProfile(topology.ExecProfile{CPUPerTuple: 630 * time.Microsecond, TupleBytes: 1000, KeyCardinality: 8192})
+	b.SetBolt("transform", 2*scale).ShuffleGrouping("sessionize").
+		SetCPULoad(45).SetMemoryLoad(650).
+		SetProfile(topology.ExecProfile{CPUPerTuple: 700 * time.Microsecond, TupleBytes: 900})
+	b.SetBolt("dedupe", 2*scale).FieldsGrouping("transform", "eventId").
+		SetCPULoad(35).SetMemoryLoad(650).
+		SetProfile(topology.ExecProfile{CPUPerTuple: 490 * time.Microsecond, TupleBytes: 800, KeyCardinality: 8192, OutRatio: 0.9})
+	b.SetBolt("rank", 2*scale).ShuffleGrouping("dedupe").
+		SetCPULoad(30).SetMemoryLoad(650).
+		SetProfile(topology.ExecProfile{CPUPerTuple: 455 * time.Microsecond, TupleBytes: 600})
+	b.SetBolt("db-sink", 2*scale).ShuffleGrouping("rank").
+		SetCPULoad(25).SetMemoryLoad(650).
+		SetProfile(topology.ExecProfile{CPUPerTuple: 385 * time.Microsecond, TupleBytes: 600})
+	return b.Build()
+}

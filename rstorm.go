@@ -1,0 +1,236 @@
+// Package rstorm is a from-scratch Go reproduction of R-Storm, the
+// resource-aware scheduler for Apache Storm (Peng et al., Middleware 2015).
+//
+// The package is a facade over the implementation packages:
+//
+//   - Topologies are built with a TopologyBuilder, declaring spouts, bolts,
+//     stream groupings, and per-task resource demands (SetCPULoad /
+//     SetMemoryLoad — the paper's §5.2 user API).
+//   - Clusters describe racks of worker nodes with CPU/memory/bandwidth
+//     capacities and a four-level network hierarchy (intra-process,
+//     inter-process, inter-node, inter-rack).
+//   - Schedulers map tasks to nodes: NewResourceAwareScheduler implements
+//     the paper's Algorithms 1–4; NewEvenScheduler reproduces default
+//     Storm's round-robin; NewOfflineLinearScheduler is the Aniello-style
+//     baseline; NewExactScheduler solves small instances optimally.
+//   - Simulate executes scheduled topologies on a discrete-event model of
+//     the paper's testbed and reports throughput timelines, utilization
+//     and latency.
+//   - NewNimbus provides the master-daemon view: supervisor membership,
+//     topology submission, periodic scheduling rounds, and reassignment
+//     on node failure.
+//
+// Quick start:
+//
+//	b := rstorm.NewTopologyBuilder("wordcount")
+//	b.SetSpout("words", 4).SetCPULoad(25).SetMemoryLoad(512)
+//	b.SetBolt("count", 4).FieldsGrouping("words", "word").
+//		SetCPULoad(50).SetMemoryLoad(512)
+//	topo, err := b.Build()
+//	// handle err
+//	c, err := rstorm.Emulab12()
+//	// handle err
+//	result, err := rstorm.ScheduleAndSimulate(c, rstorm.SimConfig{},
+//		rstorm.NewResourceAwareScheduler(), topo)
+//	// handle err
+//	fmt.Println(result)
+package rstorm
+
+import (
+	"rstorm/internal/cluster"
+	"rstorm/internal/core"
+	"rstorm/internal/nimbus"
+	"rstorm/internal/resource"
+	"rstorm/internal/simulator"
+	"rstorm/internal/topology"
+)
+
+// Topology model (see internal/topology).
+type (
+	// Topology is an immutable, validated computation graph.
+	Topology = topology.Topology
+	// TopologyBuilder assembles a Topology.
+	TopologyBuilder = topology.Builder
+	// SpoutDeclarer configures a declared spout.
+	SpoutDeclarer = topology.SpoutDeclarer
+	// BoltDeclarer configures a declared bolt.
+	BoltDeclarer = topology.BoltDeclarer
+	// Component is a spout or bolt with parallelism and resource loads.
+	Component = topology.Component
+	// ExecProfile is a task's simulated runtime behaviour.
+	ExecProfile = topology.ExecProfile
+	// Task is one parallel instance of a component.
+	Task = topology.Task
+	// Stream is a directed edge between components.
+	Stream = topology.Stream
+	// GroupingKind selects stream partitioning.
+	GroupingKind = topology.GroupingKind
+	// TopologySpec is the JSON file form of a topology.
+	TopologySpec = topology.Spec
+)
+
+// Stream groupings.
+const (
+	GroupingShuffle        = topology.GroupingShuffle
+	GroupingFields         = topology.GroupingFields
+	GroupingGlobal         = topology.GroupingGlobal
+	GroupingAll            = topology.GroupingAll
+	GroupingLocalOrShuffle = topology.GroupingLocalOrShuffle
+)
+
+// Cluster model (see internal/cluster).
+type (
+	// Cluster describes racks of worker nodes and the network model.
+	Cluster = cluster.Cluster
+	// ClusterBuilder assembles a Cluster.
+	ClusterBuilder = cluster.Builder
+	// Node is one worker machine.
+	Node = cluster.Node
+	// NodeSpec declares a node's capacities.
+	NodeSpec = cluster.NodeSpec
+	// NodeID identifies a node.
+	NodeID = cluster.NodeID
+	// RackID identifies a rack.
+	RackID = cluster.RackID
+	// NetworkModel holds latencies, distances and uplink bandwidth.
+	NetworkModel = cluster.NetworkModel
+)
+
+// Resource model (see internal/resource).
+type (
+	// ResourceVector is a point in the CPU/memory/bandwidth space.
+	ResourceVector = resource.Vector
+	// Weights scale the axes of the scheduler's distance function.
+	Weights = resource.Weights
+)
+
+// Scheduling (see internal/core).
+type (
+	// Scheduler maps a topology's tasks onto nodes.
+	Scheduler = core.Scheduler
+	// Assignment is a task → placement mapping.
+	Assignment = core.Assignment
+	// Placement is a node and worker slot.
+	Placement = core.Placement
+	// GlobalState tracks cluster-wide reservations across topologies.
+	GlobalState = core.GlobalState
+	// RASOption configures the resource-aware scheduler.
+	RASOption = core.RASOption
+)
+
+// Simulation (see internal/simulator).
+type (
+	// SimConfig tunes a simulation run.
+	SimConfig = simulator.Config
+	// SimResult is a finished simulation's output.
+	SimResult = simulator.Result
+	// TopologyResult is one topology's measurements.
+	TopologyResult = simulator.TopologyResult
+	// Simulation executes scheduled topologies on virtual time.
+	Simulation = simulator.Simulation
+)
+
+// Master daemon (see internal/nimbus).
+type (
+	// Nimbus is the master daemon.
+	Nimbus = nimbus.Nimbus
+	// Supervisor is a worker node's daemon.
+	Supervisor = nimbus.Supervisor
+)
+
+// Sentinel errors, matchable with errors.Is.
+var (
+	// ErrInsufficientResources reports an unsatisfiable hard constraint.
+	ErrInsufficientResources = core.ErrInsufficientResources
+	// ErrNoSlots reports exhausted worker slots.
+	ErrNoSlots = core.ErrNoSlots
+)
+
+// NewTopologyBuilder returns a builder for a topology with the given name.
+func NewTopologyBuilder(name string) *TopologyBuilder {
+	return topology.NewBuilder(name)
+}
+
+// NewClusterBuilder returns a builder using the default network model.
+func NewClusterBuilder() *ClusterBuilder {
+	return cluster.NewBuilder()
+}
+
+// EmulabNodeSpec mirrors one worker of the paper's testbed: 100 CPU
+// points, 2048 MB, 100 Mbps NIC, 4 worker slots.
+func EmulabNodeSpec() NodeSpec { return cluster.EmulabNodeSpec() }
+
+// Emulab12 builds the paper's main evaluation cluster: two racks of six
+// nodes (§6.1).
+func Emulab12() (*Cluster, error) { return cluster.Emulab12() }
+
+// Emulab24 builds the multi-topology cluster: two racks of twelve (§6.5).
+func Emulab24() (*Cluster, error) { return cluster.Emulab24() }
+
+// TwoRack builds racks x nodesPerRack identical nodes.
+func TwoRack(racks, nodesPerRack int, spec NodeSpec) (*Cluster, error) {
+	return cluster.TwoRack(racks, nodesPerRack, spec)
+}
+
+// NewResourceAwareScheduler returns R-Storm's scheduler (paper §4) with
+// memory hard, CPU and bandwidth soft, and normalized distance weights.
+func NewResourceAwareScheduler(opts ...RASOption) Scheduler {
+	return core.NewResourceAwareScheduler(opts...)
+}
+
+// WithWeights overrides the scheduler's soft-constraint weights.
+func WithWeights(w Weights) RASOption { return core.WithWeights(w) }
+
+// NewEvenScheduler returns default Storm's round-robin scheduler.
+func NewEvenScheduler() Scheduler { return core.EvenScheduler{} }
+
+// NewOfflineLinearScheduler returns the Aniello-style linearization
+// baseline (§7).
+func NewOfflineLinearScheduler() Scheduler { return core.OfflineLinearScheduler{} }
+
+// NewExactScheduler returns the branch-and-bound solver for small
+// instances.
+func NewExactScheduler() Scheduler { return core.NewExactScheduler() }
+
+// NewGlobalState returns a fresh reservation tracker for the cluster.
+func NewGlobalState(c *Cluster) *GlobalState { return core.NewGlobalState(c) }
+
+// NewSimulation returns a simulation over the cluster; add scheduled
+// topologies with AddTopology, then Run.
+func NewSimulation(c *Cluster, cfg SimConfig) (*Simulation, error) {
+	return simulator.New(c, cfg)
+}
+
+// ScheduleAndSimulate schedules every topology in order with the given
+// scheduler (sharing one GlobalState, as Nimbus would) and executes them
+// together on the simulator.
+func ScheduleAndSimulate(
+	c *Cluster,
+	cfg SimConfig,
+	sched Scheduler,
+	topos ...*Topology,
+) (*SimResult, error) {
+	state := core.NewGlobalState(c)
+	sim, err := simulator.New(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, topo := range topos {
+		a, err := sched.Schedule(topo, c, state)
+		if err != nil {
+			return nil, err
+		}
+		if err := state.Apply(topo, a); err != nil {
+			return nil, err
+		}
+		if err := sim.AddTopology(topo, a); err != nil {
+			return nil, err
+		}
+	}
+	return sim.Run()
+}
+
+// NewNimbus returns a master daemon over the cluster using the scheduler.
+func NewNimbus(c *Cluster, sched Scheduler) (*Nimbus, error) {
+	return nimbus.New(c, sched)
+}

@@ -25,6 +25,7 @@ func benchOpts() experiments.Options {
 // headline comparison as custom metrics.
 func benchFigure(b *testing.B, id string) {
 	b.Helper()
+	b.ReportAllocs()
 	e, ok := experiments.ByID(id)
 	if !ok {
 		b.Fatalf("unknown experiment %q", id)
@@ -37,12 +38,16 @@ func benchFigure(b *testing.B, id string) {
 		}
 		last = report
 	}
-	if last != nil && len(last.Rows) > 0 {
-		row := last.Rows[0]
-		b.ReportMetric(row.Baseline, "default")
-		b.ReportMetric(row.RStorm, "rstorm")
-		b.ReportMetric(row.ImprovementPct, "improve_%")
+	if last == nil {
+		b.Fatalf("%s: no report produced; headline metrics would be silently dropped", id)
 	}
+	if len(last.Rows) == 0 {
+		b.Fatalf("%s: report has no rows; headline metrics would be silently dropped", id)
+	}
+	row := last.Rows[0]
+	b.ReportMetric(row.Baseline, "default")
+	b.ReportMetric(row.RStorm, "rstorm")
+	b.ReportMetric(row.ImprovementPct, "improve_%")
 }
 
 // Figure 8: network-bound micro-benchmarks (paper: +50% / +30% / +47%).
@@ -100,6 +105,7 @@ func schedulerLatencyTopo(b *testing.B, components, par int) *rstorm.Topology {
 
 func benchSchedulerLatency(b *testing.B, sched rstorm.Scheduler, components, par, racks, nodesPerRack int) {
 	b.Helper()
+	b.ReportAllocs()
 	topo := schedulerLatencyTopo(b, components, par)
 	c, err := rstorm.TwoRack(racks, nodesPerRack, rstorm.EmulabNodeSpec())
 	if err != nil {
@@ -140,6 +146,7 @@ func BenchmarkSchedulerLatencyOffline400Tasks(b *testing.B) {
 // evaluation's event rates.
 
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	c, err := cluster.Emulab12()
 	if err != nil {
 		b.Fatal(err)
@@ -176,6 +183,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // Assignment analysis cost on a large placement.
 
 func BenchmarkAssignmentNetworkCost(b *testing.B) {
+	b.ReportAllocs()
 	topo := schedulerLatencyTopo(b, 8, 50)
 	c, err := rstorm.TwoRack(4, 16, rstorm.EmulabNodeSpec())
 	if err != nil {

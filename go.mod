@@ -1,0 +1,3 @@
+module rstorm
+
+go 1.24

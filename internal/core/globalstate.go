@@ -73,6 +73,20 @@ func (s *GlobalState) FreeSlots(id cluster.NodeID) []int {
 	return s.freeSlotsLocked(id)
 }
 
+// FirstFreeSlot returns the lowest free worker-slot index of a node and
+// whether one exists. Unlike FreeSlots it allocates nothing, which matters
+// in scheduler inner loops that probe every node per task.
+func (s *GlobalState) FirstFreeSlot(id cluster.NodeID) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, owner := range s.slots[id] {
+		if owner == "" {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 func (s *GlobalState) freeSlotsLocked(id cluster.NodeID) []int {
 	var out []int
 	for i, owner := range s.slots[id] {

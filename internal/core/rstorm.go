@@ -98,6 +98,45 @@ func TaskOrdering(topo *topology.Topology) []topology.Task {
 	return out
 }
 
+// slotUnknown / slotNone are sentinels in schedState's per-node slot cache.
+const (
+	slotUnknown = -1
+	slotNone    = -2
+)
+
+// schedState is one Schedule call's dense working set. Node IDs are
+// resolved to integer indices once up front, so the O(tasks × nodes) inner
+// loop of selectNode runs over flat slices with no map operations, no
+// NodeID re-resolution, and no repeated FreeSlots scans:
+//
+//   - avail mirrors GlobalState availability as a slice indexed by node.
+//   - netdist caches the network distance from the ref node per node
+//     (static once the ref node is fixed — Algorithm 4 picks it once).
+//   - slot lazily caches each node's first free worker slot; the scheduler
+//     packs all of a topology's tasks into one worker per node, so a
+//     node's answer never changes within a Schedule call (GlobalState is
+//     not mutated until the caller applies the assignment atomically).
+type schedState struct {
+	ids     []cluster.NodeID
+	avail   []resource.Vector
+	netdist []float64
+	slot    []int
+	state   *GlobalState
+}
+
+// hasFreeSlot reports (resolving and caching on first query) whether node
+// i has a worker slot this topology can use.
+func (ss *schedState) hasFreeSlot(i int) bool {
+	if ss.slot[i] == slotUnknown {
+		if free, ok := ss.state.FirstFreeSlot(ss.ids[i]); ok {
+			ss.slot[i] = free
+		} else {
+			ss.slot[i] = slotNone
+		}
+	}
+	return ss.slot[i] >= 0
+}
+
 // Schedule implements Scheduler.
 func (s *ResourceAwareScheduler) Schedule(
 	topo *topology.Topology,
@@ -111,39 +150,41 @@ func (s *ResourceAwareScheduler) Schedule(
 		return nil, fmt.Errorf("scheduler classes: %w", err)
 	}
 
-	avail := state.AvailableAll() // scratch copy; Apply happens later, atomically
-	slotOf := make(map[cluster.NodeID]int)
-	hasFreeSlot := func(n cluster.NodeID) bool {
-		if _, already := slotOf[n]; already {
-			return true // topology already holds a worker on this node
-		}
-		return len(state.FreeSlots(n)) > 0
+	availMap := state.AvailableAll() // scratch copy; Apply happens later, atomically
+	ids := c.NodeIDs()
+	ss := &schedState{
+		ids:     ids,
+		avail:   make([]resource.Vector, len(ids)),
+		netdist: make([]float64, len(ids)),
+		slot:    make([]int, len(ids)),
+		state:   state,
+	}
+	for i, id := range ids {
+		ss.avail[i] = availMap[id]
+		ss.slot[i] = slotUnknown
 	}
 
 	assignment := NewAssignment(topo.Name(), s.Name())
-	var refNode cluster.NodeID
+	haveRef := false
 
 	for _, task := range s.ordering(topo) {
 		demand := topo.TaskDemand(task)
-		if refNode == "" {
-			refNode = s.pickRefNode(c, avail)
+		if !haveRef {
+			// The ref node is chosen once, before any availability is
+			// consumed, so availMap still matches ss.avail here.
+			refNode := s.pickRefNode(c, availMap)
+			for i, id := range ids {
+				ss.netdist[i] = c.NetworkDistance(refNode, id)
+			}
+			haveRef = true
 		}
-		node, ok := s.selectNode(c, avail, demand, refNode, hasFreeSlot)
+		ni, ok := s.selectNode(ss, demand)
 		if !ok {
 			return nil, fmt.Errorf(
 				"task %s (demand %v): %w", task, demand, ErrInsufficientResources)
 		}
-		slot, ok := slotOf[node]
-		if !ok {
-			free := state.FreeSlots(node)
-			if len(free) == 0 {
-				return nil, fmt.Errorf("node %s: %w", node, ErrNoSlots)
-			}
-			slot = free[0]
-			slotOf[node] = slot
-		}
-		assignment.Place(task.ID, Placement{Node: node, Slot: slot})
-		avail[node] = avail[node].Sub(demand)
+		assignment.Place(task.ID, Placement{Node: ids[ni], Slot: ss.slot[ni]})
+		ss.avail[ni] = ss.avail[ni].Sub(demand)
 	}
 	return assignment, nil
 }
@@ -151,17 +192,22 @@ func (s *ResourceAwareScheduler) Schedule(
 // pickRefNode implements Algorithm 4 lines 6–9: the node with the most
 // available resources inside the rack with the most available resources.
 // Resource totals are compared after weight normalization so axes are
-// commensurable.
+// commensurable; each node's weighted total is computed once up front
+// rather than re-weighting in the rack-sum and best-node passes.
 func (s *ResourceAwareScheduler) pickRefNode(
 	c *cluster.Cluster,
 	avail map[cluster.NodeID]resource.Vector,
 ) cluster.NodeID {
+	totals := make(map[cluster.NodeID]float64, len(avail))
+	for id, a := range avail {
+		totals[id] = s.weights.Apply(a).Total()
+	}
 	var bestRack cluster.RackID
 	bestRackTotal := -1.0
 	for _, rack := range c.Racks() {
 		var sum float64
 		for _, id := range c.NodesInRack(rack) {
-			sum += s.weights.Apply(avail[id]).Total()
+			sum += totals[id]
 		}
 		if sum > bestRackTotal {
 			bestRackTotal = sum
@@ -171,7 +217,7 @@ func (s *ResourceAwareScheduler) pickRefNode(
 	var bestNode cluster.NodeID
 	bestNodeTotal := -1.0
 	for _, id := range c.NodesInRack(bestRack) {
-		if total := s.weights.Apply(avail[id]).Total(); total > bestNodeTotal {
+		if total := totals[id]; total > bestNodeTotal {
 			bestNodeTotal = total
 			bestNode = id
 		}
@@ -185,26 +231,22 @@ func (s *ResourceAwareScheduler) pickRefNode(
 // bandwidth axis. Ties break toward cluster declaration order for
 // determinism.
 func (s *ResourceAwareScheduler) selectNode(
-	c *cluster.Cluster,
-	avail map[cluster.NodeID]resource.Vector,
-	demand resource.Vector,
-	refNode cluster.NodeID,
-	hasFreeSlot func(cluster.NodeID) bool,
-) (cluster.NodeID, bool) {
-	var best cluster.NodeID
+	ss *schedState, demand resource.Vector,
+) (int, bool) {
+	best := -1
 	bestDist := -1.0
-	for _, id := range c.NodeIDs() {
-		a := avail[id]
+	for i := range ss.avail {
+		a := ss.avail[i]
 		if !resource.SatisfiesHard(a, demand, s.classes) {
 			continue
 		}
-		if !hasFreeSlot(id) {
+		if !ss.hasFreeSlot(i) {
 			continue
 		}
-		d := resource.Distance(demand, a, c.NetworkDistance(refNode, id), s.weights)
+		d := resource.Distance(demand, a, ss.netdist[i], s.weights)
 		if bestDist < 0 || d < bestDist {
 			bestDist = d
-			best = id
+			best = i
 		}
 	}
 	return best, bestDist >= 0

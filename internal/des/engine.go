@@ -1,13 +1,26 @@
 // Package des is a deterministic discrete-event simulation kernel: a
-// priority queue of timestamped callbacks and a virtual clock. Events at
+// priority queue of timestamped events and a virtual clock. Events at
 // equal timestamps fire in scheduling order, so a simulation driven by a
 // seeded RNG is fully reproducible.
+//
+// The queue is a hand-rolled 4-ary min-heap of event values stored inline
+// in a single slice — no per-event boxing, no interface round-trips through
+// container/heap, and no pointer chasing during sift operations. Popped
+// slots are recycled in place (the slice keeps its capacity), so once the
+// heap has grown to the simulation's peak event population, scheduling is
+// allocation-free: the backing array is the free list.
 package des
 
 import (
-	"container/heap"
 	"time"
 )
+
+// Event is a typed simulation event. Hot paths schedule pooled Event
+// records via ScheduleEvent instead of closures, keeping steady-state
+// event dispatch allocation-free; Fire runs when the event's time comes.
+type Event interface {
+	Fire()
+}
 
 // Engine owns the virtual clock and the pending event queue. It is not
 // safe for concurrent use: a simulation runs single-threaded, which is what
@@ -27,7 +40,7 @@ func NewEngine() *Engine {
 func (e *Engine) Now() time.Duration { return e.now }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.queue.events) }
 
 // Schedule queues fn to run after delay. Negative delays are clamped to
 // zero (the event fires "now", after already-queued events at this time).
@@ -45,18 +58,42 @@ func (e *Engine) ScheduleAt(at time.Duration, fn func()) {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	e.queue.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleEvent queues a typed event after delay. Negative delays are
+// clamped to zero. The Engine holds only the interface value; callers own
+// the event's storage and may pool it once Fire has run.
+func (e *Engine) ScheduleEvent(delay time.Duration, ev Event) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.ScheduleEventAt(e.now+delay, ev)
+}
+
+// ScheduleEventAt queues a typed event at an absolute virtual time. Times
+// in the past are clamped to the current time.
+func (e *Engine) ScheduleEventAt(at time.Duration, ev Event) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.queue.push(event{at: at, seq: e.seq, ev: ev})
 }
 
 // Step runs the earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event ran.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if len(e.queue.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
+	ev := e.queue.pop()
 	e.now = ev.at
-	ev.fn()
+	if ev.ev != nil {
+		ev.ev.Fire()
+	} else {
+		ev.fn()
+	}
 	return true
 }
 
@@ -65,7 +102,7 @@ func (e *Engine) Step() bool {
 // they fall within the horizon. It returns the number of events processed.
 func (e *Engine) RunUntil(until time.Duration) int {
 	processed := 0
-	for len(e.queue) > 0 && e.queue[0].at <= until {
+	for len(e.queue.events) > 0 && e.queue.events[0].at <= until {
 		e.Step()
 		processed++
 	}
@@ -85,34 +122,87 @@ func (e *Engine) Drain() int {
 	return processed
 }
 
-// event is one scheduled callback.
+// event is one scheduled callback or typed event, stored by value.
 type event struct {
 	at  time.Duration
 	seq uint64
 	fn  func()
+	ev  Event
 }
 
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before reports strict heap order. seq strictly increases across
+// Schedule* calls, so (at, seq) is a total order and equal-timestamp
+// events pop in exact FIFO scheduling order regardless of heap shape.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+// eventQueue is a 4-ary min-heap of event values ordered by (at, seq).
+// 4-ary beats binary here: sift-down depth halves, and the four children
+// sit in two adjacent cache lines.
+type eventQueue struct {
+	events []event
+}
 
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) push(ev event) {
+	q.events = append(q.events, ev)
+	q.siftUp(len(q.events) - 1)
+}
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+func (q *eventQueue) pop() event {
+	es := q.events
+	top := es[0]
+	n := len(es) - 1
+	es[0] = es[n]
+	es[n] = event{} // release fn/ev references; capacity is retained
+	q.events = es[:n]
+	if n > 1 {
+		q.siftDown(0)
+	}
+	return top
+}
+
+func (q *eventQueue) siftUp(i int) {
+	es := q.events
+	ev := es[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !ev.before(&es[parent]) {
+			break
+		}
+		es[i] = es[parent]
+		i = parent
+	}
+	es[i] = ev
+}
+
+func (q *eventQueue) siftDown(i int) {
+	es := q.events
+	n := len(es)
+	ev := es[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if es[c].before(&es[best]) {
+				best = c
+			}
+		}
+		if !es[best].before(&ev) {
+			break
+		}
+		es[i] = es[best]
+		i = best
+	}
+	es[i] = ev
 }

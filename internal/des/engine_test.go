@@ -1,6 +1,7 @@
 package des
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
@@ -108,6 +109,102 @@ func TestStepOnEmpty(t *testing.T) {
 		t.Fatal("Drain on empty queue processed events")
 	}
 }
+
+// recordingEvent implements Event for typed-event tests.
+type recordingEvent struct {
+	id  int
+	out *[]int
+}
+
+func (e *recordingEvent) Fire() { *e.out = append(*e.out, e.id) }
+
+func TestTypedEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.ScheduleEvent(3*time.Second, &recordingEvent{id: 3, out: &order})
+	e.ScheduleEvent(1*time.Second, &recordingEvent{id: 1, out: &order})
+	e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	e.Drain()
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestTypedEventsInterleaveFIFOWithClosures(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 6; i++ {
+		if i%2 == 0 {
+			e.ScheduleEvent(time.Second, &recordingEvent{id: i, out: &order})
+		} else {
+			i := i
+			e.Schedule(time.Second, func() { order = append(order, i) })
+		}
+	}
+	e.Drain()
+	for i := 0; i < 6; i++ {
+		if order[i] != i {
+			t.Fatalf("equal-timestamp typed/closure events not FIFO: %v", order)
+		}
+	}
+}
+
+// TestHeapFIFOUnderRandomInterleaving is the property test for the 4-ary
+// heap: under randomized interleaved Schedule/Step sequences with heavily
+// colliding timestamps, events sharing a timestamp must fire in exact
+// scheduling order, and timestamps must be globally non-decreasing.
+func TestHeapFIFOUnderRandomInterleaving(t *testing.T) {
+	type fired struct {
+		at  time.Duration
+		seq int
+	}
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		e := NewEngine()
+		var log []fired
+		seq := 0
+		schedule := func() {
+			// Few distinct timestamps ahead of now -> many collisions.
+			at := e.Now() + time.Duration(rng.Intn(4))*time.Millisecond
+			id := seq
+			seq++
+			if rng.Intn(2) == 0 {
+				e.ScheduleAt(at, func() { log = append(log, fired{at: at, seq: id}) })
+			} else {
+				at := at
+				e.ScheduleEventAt(at, eventFunc(func() { log = append(log, fired{at: at, seq: id}) }))
+			}
+		}
+		for op := 0; op < 400; op++ {
+			if rng.Intn(3) == 0 {
+				e.Step()
+			} else {
+				schedule()
+			}
+		}
+		e.Drain()
+		if len(log) != seq {
+			t.Fatalf("trial %d: fired %d of %d events", trial, len(log), seq)
+		}
+		for i := 1; i < len(log); i++ {
+			prev, cur := log[i-1], log[i]
+			if cur.at < prev.at {
+				t.Fatalf("trial %d: time went backwards: %v after %v", trial, cur.at, prev.at)
+			}
+			if cur.at == prev.at && cur.seq < prev.seq {
+				t.Fatalf("trial %d: equal-timestamp events out of FIFO order: seq %d fired after %d at %v",
+					trial, prev.seq, cur.seq, cur.at)
+			}
+		}
+	}
+}
+
+// eventFunc adapts a func to Event for tests.
+type eventFunc func()
+
+func (f eventFunc) Fire() { f() }
 
 func TestQuickClockNeverGoesBackwards(t *testing.T) {
 	f := func(delays []int16) bool {

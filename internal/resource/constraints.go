@@ -126,10 +126,12 @@ func (c Classes) Validate() error {
 
 // SatisfiesHard reports whether availability covers demand on every hard
 // axis. This is the H_θ > H_τ check of Algorithm 4: a node is eligible only
-// if no hard constraint would be violated.
+// if no hard constraint would be violated. It runs in scheduler inner loops
+// (every candidate node, every task), so it filters axes in place rather
+// than materializing a HardAxes slice per call.
 func SatisfiesHard(avail, demand Vector, classes Classes) bool {
-	for _, a := range classes.HardAxes() {
-		if Component(avail, a) < Component(demand, a) {
+	for _, a := range Axes {
+		if classes[a] == Hard && Component(avail, a) < Component(demand, a) {
 			return false
 		}
 	}

@@ -1,0 +1,178 @@
+package simulator
+
+import (
+	"time"
+)
+
+// The simulator's hot path schedules small typed event records instead of
+// closures: a closure per tuple per hop is an allocation per tuple per hop,
+// and the recursive continuation chains (deliverSeq's next(i+1) closures)
+// made steady-state GC pressure proportional to delivered tuples. Event
+// records, tuples, and tuple trees are recycled on single-threaded free
+// lists owned by the Simulation, so after warm-up the event loop allocates
+// nothing. The lists are plain LIFO stacks — deterministic, no sync.Pool
+// nondeterminism — and recycling never affects simulation behaviour because
+// no logic depends on object identity.
+
+// Event kinds dispatched by simEvent.Fire.
+const (
+	evSpoutCycle uint8 = iota // run spoutCycle on task
+	evSpoutFire               // spout service complete: emit a root tuple
+	evBoltTry                 // attempt to start the next queued tuple
+	evBoltFire                // bolt service complete: emit outputs
+	evArrive                  // tuple reaches dest's input queue after latency
+	evLinkDone                // link finished serializing its head transfer
+	evComplete                // fire an acceptance completion
+)
+
+// Completion kinds: what to do when a transfer/enqueue is accepted.
+const (
+	compNone    uint8 = iota // no completion (zero value)
+	compDeliver              // advance task's in-progress delivery sequence
+	compRelease              // return a window slot to link
+)
+
+// completion is the typed replacement for the old `accepted func()`
+// continuation: it names the one thing that happens when a tuple hand-off
+// is admitted downstream. Stored by value in queue waiters and transfers.
+type completion struct {
+	kind uint8
+	task *simTask // compDeliver: the emitter whose delivery advances
+	link *link    // compRelease: the link regaining a window slot
+}
+
+// simEvent is one pooled, typed event record. A single struct with a kind
+// tag (rather than one type per kind) keeps the free list trivially shared
+// across all event kinds.
+type simEvent struct {
+	s    *Simulation
+	kind uint8
+	task *simTask   // spout/bolt the event concerns
+	tup  *tuple     // evBoltFire, evArrive
+	dest *simTask   // evArrive
+	link *link      // evLinkDone
+	tr   transfer   // evLinkDone
+	comp completion // evArrive, evComplete
+}
+
+// Fire implements des.Event. It copies what it needs, returns the record
+// to the pool, then dispatches, so handlers may immediately reuse pooled
+// records for the events they schedule.
+func (e *simEvent) Fire() {
+	s := e.s
+	switch e.kind {
+	case evSpoutCycle:
+		t := e.task
+		s.freeEvent(e)
+		s.spoutCycle(t)
+	case evSpoutFire:
+		t := e.task
+		s.freeEvent(e)
+		s.spoutFire(t)
+	case evBoltTry:
+		t := e.task
+		s.freeEvent(e)
+		s.boltTry(t)
+	case evBoltFire:
+		t, tup := e.task, e.tup
+		s.freeEvent(e)
+		s.boltFire(t, tup)
+	case evArrive:
+		dest, tup, comp := e.dest, e.tup, e.comp
+		s.freeEvent(e)
+		s.enqueueAt(dest, tup, comp)
+	case evLinkDone:
+		n, tr := e.link, e.tr
+		s.freeEvent(e)
+		s.linkDone(n, tr)
+	case evComplete:
+		comp := e.comp
+		s.freeEvent(e)
+		s.complete(comp)
+	}
+}
+
+func (s *Simulation) newEvent(kind uint8) *simEvent {
+	if n := len(s.eventPool); n > 0 {
+		ev := s.eventPool[n-1]
+		s.eventPool = s.eventPool[:n-1]
+		ev.kind = kind
+		return ev
+	}
+	return &simEvent{s: s, kind: kind}
+}
+
+func (s *Simulation) freeEvent(ev *simEvent) {
+	*ev = simEvent{s: ev.s}
+	s.eventPool = append(s.eventPool, ev)
+}
+
+// scheduleTask schedules a task-only event (spout cycle/fire, bolt try).
+func (s *Simulation) scheduleTask(delay time.Duration, kind uint8, t *simTask) {
+	ev := s.newEvent(kind)
+	ev.task = t
+	s.engine.ScheduleEvent(delay, ev)
+}
+
+// scheduleComplete schedules a completion to fire after delay.
+func (s *Simulation) scheduleComplete(delay time.Duration, comp completion) {
+	ev := s.newEvent(evComplete)
+	ev.comp = comp
+	s.engine.ScheduleEvent(delay, ev)
+}
+
+// scheduleArrive schedules tup's arrival at dest's input queue.
+func (s *Simulation) scheduleArrive(delay time.Duration, dest *simTask, tup *tuple, comp completion) {
+	ev := s.newEvent(evArrive)
+	ev.dest = dest
+	ev.tup = tup
+	ev.comp = comp
+	s.engine.ScheduleEvent(delay, ev)
+}
+
+// complete fires an acceptance completion.
+func (s *Simulation) complete(c completion) {
+	switch c.kind {
+	case compDeliver:
+		c.task.outIdx++
+		s.stepDeliver(c.task)
+	case compRelease:
+		c.link.inFlight--
+		c.link.startServe(s)
+	}
+}
+
+func (s *Simulation) newTuple(bytes int, key uint64, created time.Duration, tr *tree) *tuple {
+	if n := len(s.tuplePool); n > 0 {
+		tup := s.tuplePool[n-1]
+		s.tuplePool = s.tuplePool[:n-1]
+		tup.bytes = bytes
+		tup.key = key
+		tup.created = created
+		tup.tree = tr
+		return tup
+	}
+	return &tuple{bytes: bytes, key: key, created: created, tree: tr}
+}
+
+func (s *Simulation) freeTuple(tup *tuple) {
+	tup.tree = nil
+	s.tuplePool = append(s.tuplePool, tup)
+}
+
+func (s *Simulation) newTree(spout *simTask) *tree {
+	if n := len(s.treePool); n > 0 {
+		tr := s.treePool[n-1]
+		s.treePool = s.treePool[:n-1]
+		tr.spout = spout
+		tr.pending = 0
+		tr.failed = false
+		return tr
+	}
+	return &tree{spout: spout}
+}
+
+func (s *Simulation) freeTree(tr *tree) {
+	tr.spout = nil
+	s.treePool = append(s.treePool, tr)
+}

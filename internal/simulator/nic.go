@@ -16,7 +16,7 @@ type transfer struct {
 	uplink *link
 	// accepted unblocks the sender once the transfer is admitted to the
 	// egress queue.
-	accepted func()
+	accepted completion
 }
 
 // link models a store-and-forward network stage: a bounded FIFO served at a
@@ -30,8 +30,8 @@ type link struct {
 	capacity int
 	window   int
 
-	queue    []transfer
-	waiters  []transfer
+	queue    ring[transfer]
+	waiters  ring[transfer]
 	serving  bool
 	inFlight int
 	busy     metrics.BusyTracker
@@ -50,34 +50,30 @@ func newLink(alive func() bool, mbps float64, capacity, window int) *link {
 func (n *link) send(s *Simulation, tr transfer) {
 	if !n.alive() {
 		s.dropTuple(tr.tup)
-		s.engine.Schedule(0, tr.accepted)
+		s.scheduleComplete(0, tr.accepted)
 		return
 	}
-	if len(n.queue) < n.capacity {
-		n.queue = append(n.queue, tr)
-		s.engine.Schedule(0, tr.accepted)
+	if n.queue.len() < n.capacity {
+		n.queue.push(tr)
+		s.scheduleComplete(0, tr.accepted)
 		n.startServe(s)
 		return
 	}
-	n.waiters = append(n.waiters, tr)
+	n.waiters.push(tr)
 }
 
 // startServe begins transmitting the head transfer if the link is idle and
 // the in-flight window has room.
 func (n *link) startServe(s *Simulation) {
-	if n.serving || !n.alive() || len(n.queue) == 0 || n.inFlight >= n.window {
+	if n.serving || !n.alive() || n.queue.len() == 0 || n.inFlight >= n.window {
 		return
 	}
 	n.serving = true
-	tr := n.queue[0]
-	n.queue[0] = transfer{}
-	n.queue = n.queue[1:]
-	if len(n.waiters) > 0 {
-		w := n.waiters[0]
-		n.waiters[0] = transfer{}
-		n.waiters = n.waiters[1:]
-		n.queue = append(n.queue, w)
-		s.engine.Schedule(0, w.accepted)
+	tr := n.queue.pop()
+	if n.waiters.len() > 0 {
+		w := n.waiters.pop()
+		n.queue.push(w)
+		s.scheduleComplete(0, w.accepted)
 	}
 
 	service := time.Nanosecond
@@ -88,40 +84,42 @@ func (n *link) startServe(s *Simulation) {
 		}
 	}
 	n.busy.AddBusy(service)
-	s.engine.Schedule(service, func() {
-		n.serving = false
-		n.inFlight++
-		release := func() {
-			n.inFlight--
-			n.startServe(s)
-		}
-		if up := tr.uplink; up != nil {
-			// Hand off to the rack uplink; the NIC's window slot
-			// frees once the uplink admits the transfer.
-			up.send(s, transfer{
-				tup:      tr.tup,
-				dest:     tr.dest,
-				latency:  tr.latency,
-				accepted: release,
-			})
-		} else {
-			s.engine.Schedule(tr.latency, func() {
-				s.enqueueAt(tr.dest, tr.tup, release)
-			})
-		}
-		n.startServe(s)
-	})
+	ev := s.newEvent(evLinkDone)
+	ev.link = n
+	ev.tr = tr
+	s.engine.ScheduleEvent(service, ev)
+}
+
+// linkDone runs when the link finishes serializing a transfer: the tuple
+// occupies a window slot while it propagates (through the rack uplink for
+// inter-rack hops) and the slot frees once it is admitted downstream.
+func (s *Simulation) linkDone(n *link, tr transfer) {
+	n.serving = false
+	n.inFlight++
+	release := completion{kind: compRelease, link: n}
+	if up := tr.uplink; up != nil {
+		// Hand off to the rack uplink; the NIC's window slot
+		// frees once the uplink admits the transfer.
+		up.send(s, transfer{
+			tup:      tr.tup,
+			dest:     tr.dest,
+			latency:  tr.latency,
+			accepted: release,
+		})
+	} else {
+		s.scheduleArrive(tr.latency, tr.dest, tr.tup, release)
+	}
+	n.startServe(s)
 }
 
 // fail drops everything queued and unblocks parked senders.
 func (n *link) fail(s *Simulation) {
-	for _, tr := range n.queue {
-		s.dropTuple(tr.tup)
+	for n.queue.len() > 0 {
+		s.dropTuple(n.queue.pop().tup)
 	}
-	n.queue = nil
-	for _, tr := range n.waiters {
+	for n.waiters.len() > 0 {
+		tr := n.waiters.pop()
 		s.dropTuple(tr.tup)
-		s.engine.Schedule(0, tr.accepted)
+		s.scheduleComplete(0, tr.accepted)
 	}
-	n.waiters = nil
 }

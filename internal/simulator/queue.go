@@ -3,72 +3,71 @@ package simulator
 // waiter is a blocked producer holding a tuple that did not fit.
 type waiter struct {
 	tup      *tuple
-	accepted func()
+	accepted completion
 }
 
 // boundedQueue is a FIFO with capacity and a waiter list. When the queue is
 // full, producers park in the waiter list and are admitted (their accepted
-// callback fired) as consumers drain — this is how backpressure propagates
-// from an overloaded task back to the spouts.
+// completion fired) as consumers drain — this is how backpressure propagates
+// from an overloaded task back to the spouts. Both lists are ring buffers,
+// so steady-state enqueue/dequeue traffic does not allocate.
 type boundedQueue struct {
 	capacity int
-	items    []*tuple
-	waiters  []waiter
+	items    ring[*tuple]
+	waiters  ring[waiter]
 }
 
 func newBoundedQueue(capacity int) *boundedQueue {
 	return &boundedQueue{capacity: capacity}
 }
 
-func (q *boundedQueue) len() int { return len(q.items) }
+func (q *boundedQueue) len() int { return q.items.len() }
 
-func (q *boundedQueue) empty() bool { return len(q.items) == 0 }
+func (q *boundedQueue) empty() bool { return q.items.len() == 0 }
 
 // tryEnqueue appends tup if there is space and reports whether it was
 // admitted. When full, the producer must park via addWaiter.
 func (q *boundedQueue) tryEnqueue(tup *tuple) bool {
-	if len(q.items) >= q.capacity {
+	if q.items.len() >= q.capacity {
 		return false
 	}
-	q.items = append(q.items, tup)
+	q.items.push(tup)
 	return true
 }
 
 // addWaiter parks a blocked producer.
-func (q *boundedQueue) addWaiter(tup *tuple, accepted func()) {
-	q.waiters = append(q.waiters, waiter{tup: tup, accepted: accepted})
+func (q *boundedQueue) addWaiter(tup *tuple, accepted completion) {
+	q.waiters.push(waiter{tup: tup, accepted: accepted})
 }
 
 // dequeue pops the head. If producers are parked, the first one's tuple is
-// admitted into the freed slot and its accepted callback is returned for
-// the caller to schedule (the simulator defers callbacks through the event
-// engine to keep control flow iterative).
-func (q *boundedQueue) dequeue() (tup *tuple, unblocked func(), ok bool) {
-	if len(q.items) == 0 {
-		return nil, nil, false
+// admitted into the freed slot and its accepted completion is returned for
+// the caller to schedule (the simulator defers completions through the
+// event engine to keep control flow iterative). unblocked.kind is compNone
+// when no producer was waiting.
+func (q *boundedQueue) dequeue() (tup *tuple, unblocked completion, ok bool) {
+	if q.items.len() == 0 {
+		return nil, completion{}, false
 	}
-	tup = q.items[0]
-	q.items[0] = nil
-	q.items = q.items[1:]
-	if len(q.waiters) > 0 {
-		w := q.waiters[0]
-		q.waiters[0] = waiter{}
-		q.waiters = q.waiters[1:]
-		q.items = append(q.items, w.tup)
+	tup = q.items.pop()
+	if q.waiters.len() > 0 {
+		w := q.waiters.pop()
+		q.items.push(w.tup)
 		unblocked = w.accepted
 	}
 	return tup, unblocked, true
 }
 
 // drain empties the queue and waiter list, returning all tuples (queued
-// first) and the parked producers' callbacks. Used when a node fails.
-func (q *boundedQueue) drain() (tuples []*tuple, unblocked []func()) {
-	tuples = append(tuples, q.items...)
-	q.items = nil
-	for _, w := range q.waiters {
+// first) and the parked producers' completions. Used when a node fails.
+func (q *boundedQueue) drain() (tuples []*tuple, unblocked []completion) {
+	for q.items.len() > 0 {
+		tuples = append(tuples, q.items.pop())
+	}
+	for q.waiters.len() > 0 {
+		w := q.waiters.pop()
 		tuples = append(tuples, w.tup)
 		unblocked = append(unblocked, w.accepted)
 	}
-	q.waiters = nil
 	return tuples, unblocked
 }

@@ -1,0 +1,53 @@
+package simulator
+
+// ring is a growable FIFO deque backed by a circular buffer. Unlike the
+// append/re-slice idiom it never slides its backing array, so steady-state
+// push/pop traffic on task queues and link queues is allocation-free once
+// the buffer has reached its high-water mark.
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+func (r *ring[T]) len() int { return r.n }
+
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	// Compare-and-wrap instead of modulo: this runs per tuple hop, and an
+	// integer divide is the most expensive thing left in the path.
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = v
+	r.n++
+}
+
+func (r *ring[T]) pop() T {
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero // release references for pooling/GC
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	return v
+}
+
+// grow doubles capacity, relinearizing FIFO order from head.
+func (r *ring[T]) grow() {
+	capacity := len(r.buf) * 2
+	if capacity == 0 {
+		capacity = 8
+	}
+	buf := make([]T, capacity)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = buf
+	r.head = 0
+}

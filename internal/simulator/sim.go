@@ -37,6 +37,23 @@ type simTask struct {
 	busy      bool
 	dead      bool
 	tracker   metrics.BusyTracker
+	// service is the stretched per-tuple cost, frozen at Run start once
+	// the node's overcommit factor is known.
+	service time.Duration
+	// procWin / sinkWin cache the component's metric series after first
+	// use, keeping map lookups out of the per-tuple path. Lazily bound so
+	// a component that never records keeps no series (matching the
+	// Result contents of the lazy map-based implementation).
+	procWin *metrics.Windowed
+	sinkWin *metrics.Windowed
+
+	// outBuf is the task's delivery scratch buffer. A task has at most
+	// one emission in flight (spouts park until the previous root tuple's
+	// fan-out is accepted; bolts stay busy until theirs is), so the buffer
+	// is safely reused across emissions instead of allocating a fresh
+	// outbound slice per tuple. outIdx is the delivery cursor.
+	outBuf []outbound
+	outIdx int
 
 	// Spout state.
 	isSpout  int // 1 if spout (int for alignment clarity; 0 otherwise)
@@ -44,11 +61,21 @@ type simTask struct {
 	parked   bool // waiting for a max-pending credit
 }
 
+// wire is a precomputed delivery edge to one consumer task: the network
+// path classification is static per task pair, so it is resolved once at
+// topology-add time instead of per tuple.
+type wire struct {
+	dest    *simTask
+	latency time.Duration
+	net     bool  // path crosses the network (consumes NIC bandwidth)
+	uplink  *link // rack uplink for inter-rack hops, else nil
+}
+
 // router fans one outgoing stream out to consumer tasks per its grouping.
 type router struct {
 	stream  topology.Stream
-	targets []*simTask
-	local   []*simTask // same worker process, for local-or-shuffle
+	wires   []wire // one per consumer task, in task order
+	local   []int  // indices into wires of same-worker consumers
 	rr      int
 	localRR int
 	carry   float64
@@ -91,6 +118,11 @@ type Simulation struct {
 	failures []failure
 	dropped  int64
 	ran      bool
+
+	// Free lists (see events.go). Single-threaded LIFO stacks.
+	eventPool []*simEvent
+	tuplePool []*tuple
+	treePool  []*tree
 }
 
 // New returns a Simulation over the cluster.
@@ -177,17 +209,30 @@ func (s *Simulation) AddTopology(topo *topology.Topology, a *core.Assignment) er
 		node.cpuDemand += comp.CPULoad
 		run.tasks[task.ID] = st
 	}
-	// Routers need all tasks of the run built first.
+	// Routers need all tasks of the run built first. Path level, latency,
+	// and rack uplink are static per (emitter, consumer) pair, so they are
+	// resolved here once rather than per delivered tuple.
+	net := s.cluster.Network()
 	for _, task := range topo.Tasks() {
 		st := run.tasks[task.ID]
 		for _, stream := range topo.Outgoing(task.Component) {
 			r := &router{stream: stream}
 			for _, ct := range topo.TasksOf(stream.To) {
 				target := run.tasks[ct.ID]
-				r.targets = append(r.targets, target)
-				if target.placement == st.placement {
-					r.local = append(r.local, target)
+				sameWorker := target.placement == st.placement
+				path := s.cluster.PathBetween(st.node.id, target.node.id, sameWorker)
+				w := wire{
+					dest:    target,
+					latency: net.Latency(path),
+					net:     path.CrossesNetwork(),
 				}
+				if path == cluster.PathInterRack && net.InterRackMbps > 0 {
+					w.uplink = s.uplinks[st.node.rack]
+				}
+				if sameWorker {
+					r.local = append(r.local, len(r.wires))
+				}
+				r.wires = append(r.wires, w)
 			}
 			st.outs = append(st.outs, r)
 		}
@@ -236,6 +281,13 @@ func (s *Simulation) Run() (*Result, error) {
 			n.slowdown = 1000 // no declared CPU at all: crawl
 		}
 	}
+	// Freeze per-task service times now that slowdowns are known.
+	for _, run := range s.runs {
+		for _, task := range run.topo.Tasks() {
+			st := run.tasks[task.ID]
+			st.service = s.serviceTime(st)
+		}
+	}
 	for _, f := range s.failures {
 		f := f
 		s.engine.Schedule(f.at, func() { s.failNode(f.node) })
@@ -244,8 +296,7 @@ func (s *Simulation) Run() (*Result, error) {
 		for _, task := range run.topo.Tasks() {
 			st := run.tasks[task.ID]
 			if st.isSpout == 1 {
-				st := st
-				s.engine.Schedule(0, func() { s.spoutCycle(st) })
+				s.scheduleTask(0, evSpoutCycle, st)
 			}
 		}
 	}
@@ -272,29 +323,34 @@ func (s *Simulation) spoutCycle(t *simTask) {
 		t.parked = true
 		return
 	}
-	service := s.serviceTime(t)
-	s.engine.Schedule(service, func() {
-		if t.dead {
-			return
-		}
-		t.tracker.AddBusy(service)
-		now := s.engine.Now()
-		key := s.rng.Uint64() % uint64(t.comp.Profile.KeyCardinality)
-		tr := &tree{spout: t}
-		outs := s.routeOutputs(t, key, now, tr, true)
-		t.run.emitted++
-		if t.isSink {
-			// A spout with no consumers is its own sink: count it.
-			s.recordSink(t, now, now)
-		}
-		if len(outs) == 0 {
-			s.engine.Schedule(0, func() { s.spoutCycle(t) })
-			return
-		}
-		tr.pending = len(outs)
-		t.inFlight++
-		s.deliverSeq(t, outs, func() { s.spoutCycle(t) })
-	})
+	s.scheduleTask(t.service, evSpoutFire, t)
+}
+
+// spoutFire runs when a spout's per-tuple service completes: it emits one
+// root tuple tree and starts delivering its fan-out.
+func (s *Simulation) spoutFire(t *simTask) {
+	if t.dead {
+		return
+	}
+	t.tracker.AddBusy(t.service)
+	now := s.engine.Now()
+	key := s.rng.Uint64() % uint64(t.comp.Profile.KeyCardinality)
+	tr := s.newTree(t)
+	outs := s.routeOutputs(t, key, now, tr, true)
+	t.run.emitted++
+	if t.isSink {
+		// A spout with no consumers is its own sink: count it.
+		s.recordSink(t, now, now)
+	}
+	if len(outs) == 0 {
+		s.freeTree(tr)
+		s.scheduleTask(0, evSpoutCycle, t)
+		return
+	}
+	tr.pending = len(outs)
+	t.inFlight++
+	t.outIdx = 0
+	s.stepDeliver(t)
 }
 
 // boltTry starts processing the next queued tuple if the task is idle.
@@ -306,46 +362,57 @@ func (s *Simulation) boltTry(t *simTask) {
 	if !ok {
 		return
 	}
-	if unblocked != nil {
-		s.engine.Schedule(0, unblocked)
+	if unblocked.kind != compNone {
+		s.scheduleComplete(0, unblocked)
 	}
 	t.busy = true
-	service := s.serviceTime(t)
-	s.engine.Schedule(service, func() {
-		t.tracker.AddBusy(service)
-		if t.dead {
-			return
-		}
-		now := s.engine.Now()
-		t.run.processed++
-		t.run.procWinFor(t.comp.Name, s.cfg.MetricsWindow).Record(now, 1)
-		if t.isSink {
-			s.recordSink(t, now, tup.created)
-		}
-		outs := s.routeOutputs(t, tup.key, tup.created, tup.tree, false)
-		tup.tree.pending += len(outs) - 1
-		if tup.tree.pending == 0 {
-			s.completeTree(tup.tree)
-		}
-		s.deliverSeq(t, outs, func() {
-			t.busy = false
-			s.boltTry(t)
-		})
-	})
+	ev := s.newEvent(evBoltFire)
+	ev.task = t
+	ev.tup = tup
+	s.engine.ScheduleEvent(t.service, ev)
+}
+
+// boltFire runs when a bolt's service completes: it records the processed
+// tuple and emits (then delivers) its outputs.
+func (s *Simulation) boltFire(t *simTask, tup *tuple) {
+	t.tracker.AddBusy(t.service)
+	if t.dead {
+		return
+	}
+	now := s.engine.Now()
+	t.run.processed++
+	if t.procWin == nil {
+		t.procWin = t.run.procWinFor(t.comp.Name, s.cfg.MetricsWindow)
+	}
+	t.procWin.Record(now, 1)
+	if t.isSink {
+		s.recordSink(t, now, tup.created)
+	}
+	outs := s.routeOutputs(t, tup.key, tup.created, tup.tree, false)
+	tr := tup.tree
+	s.freeTuple(tup)
+	tr.pending += len(outs) - 1
+	if tr.pending == 0 {
+		s.completeTree(tr)
+	}
+	t.outIdx = 0
+	s.stepDeliver(t)
 }
 
 // outbound is one tuple instance headed to a destination task.
 type outbound struct {
-	tup  *tuple
-	dest *simTask
+	tup *tuple
+	wire
 }
 
 // routeOutputs materializes the output tuple instances for one processed
-// (or spout-generated) tuple across every outgoing stream.
+// (or spout-generated) tuple across every outgoing stream, into the task's
+// reusable scratch buffer.
 func (s *Simulation) routeOutputs(
 	t *simTask, key uint64, created time.Duration, tr *tree, fromSpout bool,
 ) []outbound {
-	var outs []outbound
+	outs := t.outBuf[:0]
+	bytes := t.comp.Profile.TupleBytes
 	for _, r := range t.outs {
 		n := 1
 		if !fromSpout {
@@ -354,99 +421,104 @@ func (s *Simulation) routeOutputs(
 			r.carry -= float64(n)
 		}
 		for i := 0; i < n; i++ {
-			tup := &tuple{
-				bytes:   t.comp.Profile.TupleBytes,
-				key:     key,
-				created: created,
-				tree:    tr,
-			}
-			switch r.stream.Grouping {
-			case topology.GroupingAll:
-				for _, dest := range r.targets {
-					outs = append(outs, outbound{tup: &tuple{
-						bytes: tup.bytes, key: tup.key, created: tup.created, tree: tr,
-					}, dest: dest})
+			if r.stream.Grouping == topology.GroupingAll {
+				// One tuple instance per consumer task; no template
+				// tuple is built and discarded.
+				for wi := range r.wires {
+					outs = append(outs, outbound{
+						tup:  s.newTuple(bytes, key, created, tr),
+						wire: r.wires[wi],
+					})
 				}
+				continue
+			}
+			var wi int
+			switch r.stream.Grouping {
 			case topology.GroupingGlobal:
-				outs = append(outs, outbound{tup: tup, dest: r.targets[0]})
+				wi = 0
 			case topology.GroupingFields:
-				outs = append(outs, outbound{tup: tup, dest: r.targets[hashKey(key, len(r.targets))]})
+				wi = hashKey(key, len(r.wires))
 			case topology.GroupingLocalOrShuffle:
 				if len(r.local) > 0 {
-					outs = append(outs, outbound{tup: tup, dest: r.local[r.localRR%len(r.local)]})
+					wi = r.local[r.localRR%len(r.local)]
 					r.localRR++
 				} else {
-					outs = append(outs, outbound{tup: tup, dest: r.targets[r.rr%len(r.targets)]})
+					wi = r.rr % len(r.wires)
 					r.rr++
 				}
 			default: // shuffle
-				outs = append(outs, outbound{tup: tup, dest: r.targets[r.rr%len(r.targets)]})
+				wi = r.rr % len(r.wires)
 				r.rr++
 			}
+			outs = append(outs, outbound{
+				tup:  s.newTuple(bytes, key, created, tr),
+				wire: r.wires[wi],
+			})
 		}
 	}
+	t.outBuf = outs
 	return outs
 }
 
-// deliverSeq delivers outs one at a time; done fires after the last is
-// accepted, which is what blocks an emitter on downstream backpressure.
-func (s *Simulation) deliverSeq(from *simTask, outs []outbound, done func()) {
-	var next func(i int)
-	next = func(i int) {
-		if i >= len(outs) {
-			done()
-			return
-		}
-		s.deliver(from, outs[i], func() { next(i + 1) })
+// stepDeliver delivers the task's next pending outbound, or finishes the
+// sequence. Deliveries are strictly one at a time: the next one starts
+// only when the previous is accepted downstream, which is what blocks an
+// emitter on backpressure.
+func (s *Simulation) stepDeliver(t *simTask) {
+	if t.outIdx >= len(t.outBuf) {
+		s.finishDeliver(t)
+		return
 	}
-	next(0)
+	s.deliver(t, t.outBuf[t.outIdx], completion{kind: compDeliver, task: t})
+}
+
+// finishDeliver runs after the last outbound of an emission is accepted:
+// spouts loop, bolts go idle and poll their queue.
+func (s *Simulation) finishDeliver(t *simTask) {
+	if t.isSpout == 1 {
+		s.spoutCycle(t)
+		return
+	}
+	t.busy = false
+	s.boltTry(t)
 }
 
 // deliver moves one tuple instance toward its destination: directly (with
 // path latency) for local hand-offs, through the sender's NIC for remote
-// ones. accepted fires when the sender may proceed.
-func (s *Simulation) deliver(from *simTask, ob outbound, accepted func()) {
+// ones. comp fires when the sender may proceed.
+func (s *Simulation) deliver(from *simTask, ob outbound, comp completion) {
 	if ob.dest.dead || ob.dest.node.dead {
 		s.dropTuple(ob.tup)
-		s.engine.Schedule(0, accepted)
+		s.scheduleComplete(0, comp)
 		return
 	}
-	sameWorker := from.placement == ob.dest.placement
-	path := s.cluster.PathBetween(from.node.id, ob.dest.node.id, sameWorker)
-	latency := s.cluster.Network().Latency(path)
-	if !path.CrossesNetwork() {
-		s.engine.Schedule(latency, func() {
-			s.enqueueAt(ob.dest, ob.tup, accepted)
-		})
+	if !ob.net {
+		s.scheduleArrive(ob.latency, ob.dest, ob.tup, comp)
 		return
-	}
-	var uplink *link
-	if path == cluster.PathInterRack && s.cluster.Network().InterRackMbps > 0 {
-		uplink = s.uplinks[from.node.rack]
 	}
 	from.node.nic.send(s, transfer{
 		tup:      ob.tup,
 		dest:     ob.dest,
-		latency:  latency,
-		uplink:   uplink,
-		accepted: accepted,
+		latency:  ob.latency,
+		uplink:   ob.uplink,
+		accepted: comp,
 	})
 }
 
 // enqueueAt admits a tuple to a task's input queue, parking the producer
-// callback when full.
-func (s *Simulation) enqueueAt(dest *simTask, tup *tuple, accepted func()) {
+// completion when full.
+func (s *Simulation) enqueueAt(dest *simTask, tup *tuple, comp completion) {
 	if dest.dead || dest.node.dead {
 		s.dropTuple(tup)
-		s.engine.Schedule(0, accepted)
+		s.scheduleComplete(0, comp)
 		return
 	}
 	if dest.queue.tryEnqueue(tup) {
-		s.engine.Schedule(0, accepted)
-		s.engine.Schedule(0, func() { s.boltTry(dest) })
+		s.scheduleComplete(0, comp)
+		s.scheduleTask(0, evBoltTry, dest)
 		return
 	}
-	dest.queue.addWaiter(tup, accepted)
+	dest.queue.addWaiter(tup, comp)
 }
 
 // recordSink counts a tuple arriving at a sink component and samples its
@@ -460,7 +532,10 @@ func (s *Simulation) recordSink(t *simTask, now, created time.Duration) {
 		return
 	}
 	t.run.delivered++
-	t.run.sinkWinFor(t.comp.Name, s.cfg.MetricsWindow).Record(now, 1)
+	if t.sinkWin == nil {
+		t.sinkWin = t.run.sinkWinFor(t.comp.Name, s.cfg.MetricsWindow)
+	}
+	t.sinkWin.Record(now, 1)
 	t.run.latencySum += age
 	t.run.latencyN++
 }
@@ -469,26 +544,29 @@ func (s *Simulation) recordSink(t *simTask, now, created time.Duration) {
 // the spout recovers its credit rather than wedging.
 func (s *Simulation) dropTuple(tup *tuple) {
 	s.dropped++
-	if tup.tree == nil {
+	tr := tup.tree
+	s.freeTuple(tup)
+	if tr == nil {
 		return
 	}
-	tup.tree.failed = true
-	tup.tree.pending--
-	if tup.tree.pending == 0 {
-		s.completeTree(tup.tree)
+	tr.failed = true
+	tr.pending--
+	if tr.pending == 0 {
+		s.completeTree(tr)
 	}
 }
 
 // completeTree returns a max-pending credit to the spout and wakes it.
 func (s *Simulation) completeTree(tr *tree) {
 	sp := tr.spout
+	s.freeTree(tr)
 	if sp == nil {
 		return
 	}
 	sp.inFlight--
 	if sp.parked && !sp.dead {
 		sp.parked = false
-		s.engine.Schedule(0, func() { s.spoutCycle(sp) })
+		s.scheduleTask(0, evSpoutCycle, sp)
 	}
 }
 
@@ -505,8 +583,8 @@ func (s *Simulation) failNode(id cluster.NodeID) {
 		for _, tup := range tuples {
 			s.dropTuple(tup)
 		}
-		for _, fn := range unblocked {
-			s.engine.Schedule(0, fn)
+		for _, comp := range unblocked {
+			s.scheduleComplete(0, comp)
 		}
 	}
 	n.nic.fail(s)

@@ -1,7 +1,6 @@
 package simulator
 
 import (
-	"hash/fnv"
 	"time"
 )
 
@@ -9,13 +8,14 @@ import (
 // tuple instances descending from the root. When pending reaches zero the
 // tree is complete and the spout regains a max-pending credit — Storm's
 // acking flow control, with the ack notification itself modeled as free.
+// Trees are pooled (see events.go).
 type tree struct {
 	spout   *simTask
 	pending int
 	failed  bool // a descendant was dropped (node failure)
 }
 
-// tuple is one in-flight tuple instance.
+// tuple is one in-flight tuple instance. Tuples are pooled (see events.go).
 type tuple struct {
 	bytes   int
 	key     uint64
@@ -23,13 +23,18 @@ type tuple struct {
 	tree    *tree
 }
 
-// hashKey maps a key to a consumer index for fields grouping.
+// hashKey maps a key to a consumer index for fields grouping. It is FNV-1a
+// over the key's 8 little-endian bytes, inlined (bit-identical to
+// hash/fnv's sum64a) so the per-tuple path does not allocate a hasher.
 func hashKey(key uint64, n int) int {
-	h := fnv.New64a()
-	var buf [8]byte
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
 	for i := 0; i < 8; i++ {
-		buf[i] = byte(key >> (8 * i))
+		h ^= key >> (8 * i) & 0xff
+		h *= prime64
 	}
-	_, _ = h.Write(buf[:])
-	return int(h.Sum64() % uint64(n))
+	return int(h % uint64(n))
 }

@@ -1,23 +1,30 @@
 // Command rstorm-sim runs a topology on the simulated cluster under a
-// chosen scheduler and prints throughput, utilization and latency.
+// chosen scheduler and prints throughput, utilization and latency, plus a
+// per-component measured-utilization table from the runtime metrics tap.
 //
 // Usage:
 //
 //	rstorm-sim -topology topo.json [-cluster cluster.yaml] \
 //	           [-scheduler r-storm|default-even|offline-linear] \
-//	           [-duration 60s] [-fail node-0-3@20s]
+//	           [-duration 60s] [-fail node-0-3@20s] \
+//	           [-adaptive] [-control-interval 1s]
 //
 // Without -topology it runs the built-in network-bound Linear benchmark.
+// With -adaptive the run is driven by the feedback control loop
+// (internal/adaptive): measured per-component demands replace the declared
+// ones and hotspots trigger incremental rebalances mid-run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
+	"rstorm/internal/adaptive"
 	"rstorm/internal/cluster"
 	"rstorm/internal/core"
 	"rstorm/internal/simulator"
@@ -27,13 +34,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "rstorm-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("rstorm-sim", flag.ContinueOnError)
 	var (
 		topoPath    = fs.String("topology", "", "JSON topology spec (default: built-in linear benchmark)")
@@ -44,6 +51,8 @@ func run(args []string) error {
 		seed        = fs.Int64("seed", 1, "RNG seed")
 		failSpec    = fs.String("fail", "", "inject a node failure, e.g. node-0-3@20s")
 		showAssign  = fs.Bool("assignment", false, "print the task placement")
+		adaptiveOn  = fs.Bool("adaptive", false, "close the loop: profile measured demands and rebalance incrementally")
+		ctrlIvl     = fs.Duration("control-interval", 0, "adaptive control epoch (default: one metrics window)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,7 +80,7 @@ func run(args []string) error {
 		return fmt.Errorf("apply: %w", err)
 	}
 	if *showAssign {
-		fmt.Println(a)
+		fmt.Fprintln(w, a)
 	}
 
 	sim, err := simulator.New(c, simulator.Config{
@@ -94,11 +103,44 @@ func run(args []string) error {
 			return err
 		}
 	}
-	result, err := sim.Run()
-	if err != nil {
-		return err
+
+	var (
+		result     *simulator.Result
+		prof       *adaptive.Profiler
+		rebalances []adaptive.RebalanceEvent
+	)
+	if *adaptiveOn {
+		// Replanning always uses the R-Storm distance machinery, whatever
+		// scheduler produced the initial placement — so -adaptive also
+		// demonstrates the loop repairing a default-even schedule.
+		loop := adaptive.NewLoop(sim, c, core.NewResourceAwareScheduler(),
+			adaptive.LoopConfig{Interval: *ctrlIvl})
+		if err := loop.Manage(topo, a); err != nil {
+			return err
+		}
+		prof = loop.Controller().Profiler()
+		lr, err := loop.Run()
+		if err != nil {
+			return err
+		}
+		result = lr.Result
+		rebalances = lr.Events
+		a = lr.Assignments[topo.Name()]
+	} else {
+		prof = adaptive.NewProfiler(adaptive.ProfilerConfig{})
+		if err := sim.SetObserver(prof); err != nil {
+			return err
+		}
+		result, err = sim.Run()
+		if err != nil {
+			return err
+		}
 	}
-	printResult(topo, a, result, c)
+	printResult(w, topo, a, result, c)
+	if *adaptiveOn {
+		printRebalances(w, rebalances, result)
+	}
+	printMeasured(w, topo, prof)
 	return nil
 }
 
@@ -155,22 +197,22 @@ func parseFailure(spec string) (cluster.NodeID, time.Duration, error) {
 	return cluster.NodeID(parts[0]), at, nil
 }
 
-func printResult(topo *topology.Topology, a *core.Assignment, result *simulator.Result, c *cluster.Cluster) {
+func printResult(w io.Writer, topo *topology.Topology, a *core.Assignment, result *simulator.Result, c *cluster.Cluster) {
 	tr := result.Topology(topo.Name())
-	fmt.Printf("topology    %s (%d tasks, %d components)\n",
+	fmt.Fprintf(w, "topology    %s (%d tasks, %d components)\n",
 		topo.Name(), topo.TotalTasks(), len(topo.Components()))
-	fmt.Printf("scheduler   %s\n", a.Scheduler)
-	fmt.Printf("placement   %d nodes, %d workers, network cost %.1f\n",
+	fmt.Fprintf(w, "scheduler   %s\n", a.Scheduler)
+	fmt.Fprintf(w, "placement   %d nodes, %d workers, network cost %.1f\n",
 		len(a.NodesUsed()), a.WorkersUsed(), a.NetworkCost(topo, c))
-	fmt.Printf("throughput  %.0f tuples/%s (mean after warmup)\n",
+	fmt.Fprintf(w, "throughput  %.0f tuples/%s (mean after warmup)\n",
 		tr.MeanSinkThroughput, result.Window)
-	fmt.Printf("totals      emitted=%d processed=%d delivered=%d dropped=%d\n",
+	fmt.Fprintf(w, "totals      emitted=%d processed=%d delivered=%d dropped=%d\n",
 		tr.TuplesEmitted, tr.TuplesProcessed, tr.TuplesDelivered, result.TuplesDropped)
-	fmt.Printf("latency     %v mean spout-to-sink\n", tr.MeanLatency)
-	fmt.Printf("cpu util    %.1f%% mean over used nodes\n", result.MeanUtilizationUsed*100)
+	fmt.Fprintf(w, "latency     %v mean spout-to-sink\n", tr.MeanLatency)
+	fmt.Fprintf(w, "cpu util    %.1f%% mean over used nodes\n", result.MeanUtilizationUsed*100)
 
-	fmt.Println()
-	fmt.Print(viz.LineChart(
+	fmt.Fprintln(w)
+	fmt.Fprint(w, viz.LineChart(
 		fmt.Sprintf("sink throughput per %s window", result.Window),
 		[]viz.Series{{Name: topo.Name(), Values: tr.SinkSeries}}, 72, 12))
 
@@ -179,12 +221,47 @@ func printResult(topo *topology.Topology, a *core.Assignment, result *simulator.
 		names = append(names, comp)
 	}
 	sort.Strings(names)
-	fmt.Println("\nper-component processed totals:")
+	fmt.Fprintln(w, "\nper-component processed totals:")
 	for _, comp := range names {
 		var total float64
 		for _, v := range tr.ComponentSeries[comp] {
 			total += v
 		}
-		fmt.Printf("  %-16s %12.0f tuples\n", comp, total)
+		fmt.Fprintf(w, "  %-16s %12.0f tuples\n", comp, total)
+	}
+}
+
+// printRebalances lists the adaptive loop's mid-run migrations.
+func printRebalances(w io.Writer, events []adaptive.RebalanceEvent, result *simulator.Result) {
+	fmt.Fprintln(w, "\nadaptive rebalances:")
+	if len(events) == 0 {
+		fmt.Fprintln(w, "  none (placement already matched measured demands)")
+		return
+	}
+	for _, e := range events {
+		fmt.Fprintf(w, "  t=%-8v %-10s trigger=%-10s moved %d tasks\n",
+			e.At, e.Topology, e.Trigger, e.Moves)
+	}
+	fmt.Fprintf(w, "  tuples failed by migration: %d\n", result.TuplesMigrated)
+}
+
+// printMeasured renders the metrics tap's per-component summary: declared
+// vs measured CPU demand, utilization, queue pressure and NIC egress.
+func printMeasured(w io.Writer, topo *topology.Topology, prof *adaptive.Profiler) {
+	stats := prof.Stats(topo.Name())
+	if len(stats) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nmeasured per-component demand (EWMA over %d windows):\n", prof.Windows())
+	fmt.Fprintf(w, "  %-16s %6s %9s %9s %7s %7s %11s %10s\n",
+		"component", "tasks", "decl-cpu", "meas-cpu", "util", "queue", "egress-mbps", "overflows")
+	for _, st := range stats {
+		comp := topo.Component(st.Component)
+		if comp == nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-16s %6d %9.1f %9.1f %6.1f%% %6.1f%% %11.2f %10d\n",
+			st.Component, st.Tasks, comp.CPULoad, st.CPUPoints,
+			st.Utilization*100, st.QueueFill*100, st.EgressMbps, st.Overflows)
 	}
 }

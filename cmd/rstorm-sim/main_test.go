@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -79,7 +80,8 @@ func TestLoadTopologyFromFile(t *testing.T) {
 func TestRunEndToEnd(t *testing.T) {
 	// Exercise the whole command with a tiny duration and an injected
 	// failure; it must complete without error.
-	err := run([]string{
+	var out bytes.Buffer
+	err := run(&out, []string{
 		"-duration", "2s", "-window", "1s",
 		"-scheduler", "r-storm",
 		"-fail", "node-0-0@1s",
@@ -88,14 +90,85 @@ func TestRunEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
+	if !strings.Contains(out.String(), "throughput") {
+		t.Errorf("missing result summary:\n%s", out.String())
+	}
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-scheduler", "nope", "-duration", "1s"}); err == nil {
+	var out bytes.Buffer
+	if err := run(&out, []string{"-scheduler", "nope", "-duration", "1s"}); err == nil {
 		t.Error("bad scheduler accepted")
 	}
-	if err := run([]string{"-fail", "garbage", "-duration", "2s", "-window", "1s"}); err == nil ||
+	if err := run(&out, []string{"-fail", "garbage", "-duration", "2s", "-window", "1s"}); err == nil ||
 		!strings.Contains(err.Error(), "failure spec") {
 		t.Errorf("bad failure spec err = %v", err)
+	}
+}
+
+// TestRunPrintsMeasuredTable: every run (adaptive or not) must report the
+// metrics tap's per-component measured-demand table.
+func TestRunPrintsMeasuredTable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, []string{"-duration", "2s", "-window", "500ms"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "measured per-component demand") {
+		t.Fatalf("missing measured table:\n%s", s)
+	}
+	for _, col := range []string{"decl-cpu", "meas-cpu", "util", "egress-mbps", "overflows"} {
+		if !strings.Contains(s, col) {
+			t.Errorf("measured table missing column %q", col)
+		}
+	}
+	// The built-in linear benchmark's components must all appear.
+	for _, comp := range []string{"spout", "bolt1", "bolt2", "bolt3"} {
+		if !strings.Contains(s, comp) {
+			t.Errorf("measured table missing component %q", comp)
+		}
+	}
+}
+
+// TestRunAdaptiveMode drives the feedback loop from the CLI on a topology
+// spec whose declarations undersell a truly heavy stage, and expects the
+// loop to report its rebalances.
+func TestRunAdaptiveMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "liar.json")
+	spec := `{
+	  "name": "liar",
+	  "components": [
+	    {"name": "s", "kind": "spout", "parallelism": 2, "cpuLoad": 10, "memoryLoadMb": 256,
+	     "profile": {"cpuPerTupleUs": 100, "tupleBytes": 128}},
+	    {"name": "work", "kind": "bolt", "parallelism": 6, "cpuLoad": 10, "memoryLoadMb": 256,
+	     "profile": {"cpuPerTupleUs": 2000, "tupleBytes": 128, "cpuPoints": 80},
+	     "inputs": [{"from": "s"}]},
+	    {"name": "z", "kind": "bolt", "parallelism": 2, "cpuLoad": 10, "memoryLoadMb": 256,
+	     "profile": {"cpuPerTupleUs": 100, "tupleBytes": 128},
+	     "inputs": [{"from": "work"}]}
+	  ]
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run(&out, []string{
+		"-topology", path,
+		"-adaptive",
+		"-duration", "8s", "-window", "500ms",
+	})
+	if err != nil {
+		t.Fatalf("run -adaptive: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "adaptive rebalances:") {
+		t.Fatalf("missing rebalance report:\n%s", s)
+	}
+	if !strings.Contains(s, "trigger=hotspot") {
+		t.Errorf("adaptive loop never triggered on the mis-declared stage:\n%s", s)
+	}
+	if !strings.Contains(s, "measured per-component demand") {
+		t.Error("adaptive run missing measured table")
 	}
 }

@@ -1,0 +1,305 @@
+package adaptive
+
+import (
+	"fmt"
+	"sync"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/core"
+	"rstorm/internal/resource"
+	"rstorm/internal/simulator"
+	"rstorm/internal/topology"
+)
+
+// Trigger names why the controller decided to rebalance.
+const (
+	TriggerHotspot   = "hotspot"   // a component saturated or overflowing
+	TriggerImbalance = "imbalance" // everything idle: consolidation pass
+)
+
+// ControllerConfig tunes hotspot detection and the rebalance policy.
+type ControllerConfig struct {
+	// HighUtil marks a component hot when its EWMA utilization reaches
+	// this fraction. Default 0.9.
+	HighUtil float64
+	// QueueHigh marks a component hot when its EWMA queue fill reaches
+	// this fraction (overflow pressure shows up here before utilization
+	// does for bursty stages). Default 0.7.
+	QueueHigh float64
+	// LowUtil marks a topology imbalanced (over-provisioned) when every
+	// component's EWMA utilization is at or below it. Default 0.2.
+	LowUtil float64
+	// Hysteresis is the number of consecutive windows a condition must
+	// hold before the controller acts — the anti-flap guard. Default 2.
+	Hysteresis int
+	// Cooldown is the number of windows after a rebalance during which
+	// the controller stays quiet, letting estimates re-converge on the
+	// new placement before judging it. Default 3.
+	Cooldown int
+	// MinWindows is the number of windows the profiler must have seen
+	// before any decision (warm-up). Default 2.
+	MinWindows int
+	// MaxMoves caps migrations per rebalance (0 = no cap).
+	MaxMoves int
+	// Margin is the stickiness passed to the incremental reschedule.
+	// Default 0.15.
+	Margin float64
+}
+
+func (c ControllerConfig) withDefaults() ControllerConfig {
+	if c.HighUtil <= 0 {
+		c.HighUtil = 0.9
+	}
+	if c.QueueHigh <= 0 {
+		c.QueueHigh = 0.7
+	}
+	if c.LowUtil <= 0 {
+		c.LowUtil = 0.2
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 2
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 3
+	}
+	if c.MinWindows <= 0 {
+		c.MinWindows = 2
+	}
+	if c.Margin <= 0 {
+		c.Margin = 0.15
+	}
+	return c
+}
+
+// topoState is the controller's per-topology decision state.
+type topoState struct {
+	hotStreak  int
+	coldStreak int
+	cooldown   int  // remaining quiet windows
+	quiet      bool // this window falls inside the cooldown
+	rebalances int
+	totalMoves int
+	lastAction string
+
+	// Per-window evaluation scratch, valid only inside OnWindow.
+	winSeen    bool
+	winHot     bool
+	winAllCold bool
+}
+
+// Controller is the feedback half of the adaptive loop: it watches the
+// profiler's estimates, applies hysteresis and cooldown, and plans
+// incremental rebalances through the R-Storm scheduler. It implements
+// simulator.Observer by chaining through its Profiler.
+//
+// The simulation feeding OnWindow is single-threaded, but controller
+// state is also read from other goroutines (the StatisticServer's
+// /adaptive route), so all state access is mutex-guarded.
+type Controller struct {
+	mu       sync.Mutex
+	cfg      ControllerConfig
+	profiler *Profiler
+	sched    *core.ResourceAwareScheduler
+	topos    map[string]*topoState
+	order    []string
+}
+
+// NewController wires a controller over a profiler and scheduler. A nil
+// profiler or scheduler gets a default instance.
+func NewController(p *Profiler, sched *core.ResourceAwareScheduler, cfg ControllerConfig) *Controller {
+	if p == nil {
+		p = NewProfiler(ProfilerConfig{})
+	}
+	if sched == nil {
+		sched = core.NewResourceAwareScheduler()
+	}
+	return &Controller{
+		cfg:      cfg.withDefaults(),
+		profiler: p,
+		sched:    sched,
+		topos:    make(map[string]*topoState),
+	}
+}
+
+// Profiler exposes the underlying demand profiler.
+func (c *Controller) Profiler() *Profiler { return c.profiler }
+
+// OnWindow implements simulator.Observer: fold the window into the
+// profiler, then update each topology's hot/cold streaks. It runs inside
+// the simulator's event loop every metrics window, so it evaluates the
+// profiler's estimates in place rather than through the copying accessors.
+func (c *Controller) OnWindow(samples []simulator.TaskSample) {
+	c.profiler.OnWindow(samples)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ts := range c.topos {
+		ts.winSeen = false
+	}
+	c.profiler.eachComponent(func(name string, st *ComponentStats) {
+		ts := c.topos[name]
+		if ts == nil {
+			ts = &topoState{}
+			c.topos[name] = ts
+			c.order = append(c.order, name)
+		}
+		if !ts.winSeen {
+			ts.winSeen = true
+			ts.winHot = false
+			ts.winAllCold = true
+		}
+		// Saturation alone is not a hotspot: a fully busy executor on an
+		// uncontended node is the pipeline's natural bottleneck and
+		// migration cannot speed it up. Placement is at fault — and
+		// fixable — only when the host is overcommitted.
+		contended := st.MaxSlowdown > 1.001
+		if contended && (st.MaxUtilization >= c.cfg.HighUtil || st.QueueFill >= c.cfg.QueueHigh) {
+			ts.winHot = true
+		}
+		if st.MaxUtilization > c.cfg.LowUtil {
+			ts.winAllCold = false
+		}
+	})
+	for _, name := range c.order {
+		ts := c.topos[name]
+		if !ts.winSeen {
+			continue
+		}
+		ts.quiet = ts.cooldown > 0
+		if ts.cooldown > 0 {
+			ts.cooldown--
+		}
+		if ts.winHot {
+			ts.hotStreak++
+		} else {
+			ts.hotStreak = 0
+		}
+		if ts.winAllCold && !ts.winHot {
+			ts.coldStreak++
+		} else {
+			ts.coldStreak = 0
+		}
+	}
+}
+
+// ShouldRebalance reports whether the named topology has earned a
+// rebalance this window, and why.
+func (c *Controller) ShouldRebalance(name string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts := c.topos[name]
+	if ts == nil || ts.quiet || c.profiler.Windows() < c.cfg.MinWindows {
+		return "", false
+	}
+	if ts.hotStreak >= c.cfg.Hysteresis {
+		return TriggerHotspot, true
+	}
+	if ts.coldStreak >= c.cfg.Hysteresis {
+		return TriggerImbalance, true
+	}
+	return "", false
+}
+
+// Plan computes the incremental rebalance for a topology from the
+// profiler's measured demands. available is the per-node availability
+// *excluding* this topology's own usage (dead nodes zeroed, co-resident
+// topologies' load subtracted — see Loop.availabilityFor); nil means the
+// topology has the whole cluster to itself. Plan does not mutate
+// controller state; call NotifyRebalanced once the plan has been applied
+// (or discarded) so the cooldown starts.
+func (c *Controller) Plan(
+	topo *topology.Topology,
+	clu *cluster.Cluster,
+	current *core.Assignment,
+	available map[cluster.NodeID]resource.Vector,
+) (*core.Assignment, []core.Move, error) {
+	if current == nil {
+		return nil, nil, fmt.Errorf("topology %q has no current assignment", topo.Name())
+	}
+	return c.sched.IncrementalReschedule(topo, clu, current, core.IncrementalOptions{
+		Demands:   c.profiler.MeasuredDemands(topo),
+		Available: available,
+		MaxMoves:  c.cfg.MaxMoves,
+		Margin:    c.cfg.Margin,
+		// Tasks killed by node failures are pinned: nothing is left to
+		// migrate, and planning them would burn the MaxMoves budget on
+		// moves the simulator must revert.
+		Frozen: c.profiler.DeadTasks(topo.Name()),
+	})
+}
+
+// NotifyRebalanced records an applied (or deliberately empty) rebalance
+// and starts the cooldown, resetting the streaks that triggered it.
+func (c *Controller) NotifyRebalanced(name string, moves int, trigger string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts := c.topos[name]
+	if ts == nil {
+		ts = &topoState{}
+		c.topos[name] = ts
+		c.order = append(c.order, name)
+	}
+	ts.cooldown = c.cfg.Cooldown
+	ts.quiet = true
+	ts.hotStreak = 0
+	ts.coldStreak = 0
+	if moves > 0 {
+		ts.rebalances++
+		ts.totalMoves += moves
+	}
+	ts.lastAction = fmt.Sprintf("%s: %d moves", trigger, moves)
+}
+
+// TopologyStatus is one topology's controller state snapshot.
+type TopologyStatus struct {
+	Name       string           `json:"name"`
+	HotStreak  int              `json:"hotStreak"`
+	ColdStreak int              `json:"coldStreak"`
+	Cooldown   int              `json:"cooldown"`
+	Rebalances int              `json:"rebalances"`
+	TotalMoves int              `json:"totalMoves"`
+	LastAction string           `json:"lastAction,omitempty"`
+	Components []ComponentStats `json:"components"`
+}
+
+// ControllerStatus is the JSON-friendly snapshot served by the
+// StatisticServer's /adaptive route.
+type ControllerStatus struct {
+	Windows    int              `json:"windows"`
+	HighUtil   float64          `json:"highUtil"`
+	LowUtil    float64          `json:"lowUtil"`
+	QueueHigh  float64          `json:"queueHigh"`
+	Hysteresis int              `json:"hysteresis"`
+	Cooldown   int              `json:"cooldown"`
+	Topologies []TopologyStatus `json:"topologies"`
+}
+
+// Status snapshots the controller for operator tooling. Safe to call from
+// other goroutines (the StatisticServer's /adaptive route).
+func (c *Controller) Status() ControllerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := ControllerStatus{
+		Windows:    c.profiler.Windows(),
+		HighUtil:   c.cfg.HighUtil,
+		LowUtil:    c.cfg.LowUtil,
+		QueueHigh:  c.cfg.QueueHigh,
+		Hysteresis: c.cfg.Hysteresis,
+		Cooldown:   c.cfg.Cooldown,
+	}
+	for _, name := range c.order {
+		ts := c.topos[name]
+		out.Topologies = append(out.Topologies, TopologyStatus{
+			Name:       name,
+			HotStreak:  ts.hotStreak,
+			ColdStreak: ts.coldStreak,
+			Cooldown:   ts.cooldown,
+			Rebalances: ts.rebalances,
+			TotalMoves: ts.totalMoves,
+			LastAction: ts.lastAction,
+			Components: c.profiler.Stats(name),
+		})
+	}
+	return out
+}
+
+var _ simulator.Observer = (*Controller)(nil)

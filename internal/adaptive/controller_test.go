@@ -1,0 +1,113 @@
+package adaptive
+
+import (
+	"testing"
+
+	"rstorm/internal/simulator"
+)
+
+func hotWindow() []simulator.TaskSample {
+	return []simulator.TaskSample{
+		sample("t", "work", 0, "n0", 1.0, 2),
+		sample("t", "s", 1, "n1", 0.2, 1),
+	}
+}
+
+func coldWindow() []simulator.TaskSample {
+	return []simulator.TaskSample{
+		sample("t", "work", 0, "n0", 0.05, 1),
+		sample("t", "s", 1, "n1", 0.05, 1),
+	}
+}
+
+func newTestController() *Controller {
+	return NewController(NewProfiler(ProfilerConfig{Alpha: 1}), nil, ControllerConfig{
+		Hysteresis: 2,
+		Cooldown:   3,
+		MinWindows: 2,
+	})
+}
+
+func TestHotspotRequiresHysteresis(t *testing.T) {
+	c := newTestController()
+	c.OnWindow(hotWindow())
+	if _, ok := c.ShouldRebalance("t"); ok {
+		t.Error("rebalance after one hot window (hysteresis 2)")
+	}
+	c.OnWindow(hotWindow())
+	trigger, ok := c.ShouldRebalance("t")
+	if !ok || trigger != TriggerHotspot {
+		t.Fatalf("ShouldRebalance = %q, %v; want hotspot", trigger, ok)
+	}
+}
+
+func TestCooldownSilencesController(t *testing.T) {
+	c := newTestController()
+	c.OnWindow(hotWindow())
+	c.OnWindow(hotWindow())
+	c.NotifyRebalanced("t", 3, TriggerHotspot)
+	// Still hot, but the cooldown must hold for 3 windows.
+	for i := 0; i < 3; i++ {
+		c.OnWindow(hotWindow())
+		if _, ok := c.ShouldRebalance("t"); ok {
+			t.Fatalf("rebalance during cooldown window %d", i)
+		}
+	}
+	// Cooldown over; the streak rebuilt during it satisfies hysteresis.
+	c.OnWindow(hotWindow())
+	if _, ok := c.ShouldRebalance("t"); !ok {
+		t.Error("no rebalance after cooldown expired")
+	}
+}
+
+func TestImbalanceDetection(t *testing.T) {
+	c := newTestController()
+	c.OnWindow(coldWindow())
+	c.OnWindow(coldWindow())
+	trigger, ok := c.ShouldRebalance("t")
+	if !ok || trigger != TriggerImbalance {
+		t.Fatalf("ShouldRebalance = %q, %v; want imbalance", trigger, ok)
+	}
+	// A hot component breaks the cold streak.
+	c.OnWindow(hotWindow())
+	if trigger, _ := c.ShouldRebalance("t"); trigger == TriggerImbalance {
+		t.Error("imbalance still reported after a hot window")
+	}
+}
+
+func TestMinWindowsWarmup(t *testing.T) {
+	c := NewController(nil, nil, ControllerConfig{Hysteresis: 1, MinWindows: 3})
+	c.OnWindow(hotWindow())
+	if _, ok := c.ShouldRebalance("t"); ok {
+		t.Error("rebalance before MinWindows of profiling")
+	}
+	c.OnWindow(hotWindow())
+	c.OnWindow(hotWindow())
+	if _, ok := c.ShouldRebalance("t"); !ok {
+		t.Error("no rebalance after warmup")
+	}
+}
+
+func TestStatusSnapshot(t *testing.T) {
+	c := newTestController()
+	c.OnWindow(hotWindow())
+	c.OnWindow(hotWindow())
+	c.NotifyRebalanced("t", 4, TriggerHotspot)
+	st := c.Status()
+	if st.Windows != 2 {
+		t.Errorf("Windows = %d", st.Windows)
+	}
+	if len(st.Topologies) != 1 {
+		t.Fatalf("Topologies = %+v", st.Topologies)
+	}
+	ts := st.Topologies[0]
+	if ts.Name != "t" || ts.Rebalances != 1 || ts.TotalMoves != 4 || ts.Cooldown != 3 {
+		t.Errorf("status = %+v", ts)
+	}
+	if len(ts.Components) != 2 {
+		t.Errorf("components = %+v", ts.Components)
+	}
+	if ts.LastAction == "" {
+		t.Error("LastAction empty")
+	}
+}

@@ -1,0 +1,211 @@
+package adaptive
+
+import (
+	"fmt"
+	"time"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/core"
+	"rstorm/internal/resource"
+	"rstorm/internal/simulator"
+	"rstorm/internal/topology"
+)
+
+// LoopConfig tunes the epoch driver.
+type LoopConfig struct {
+	// Interval is the control epoch: how much virtual time passes between
+	// controller evaluations. Zero defaults to the simulator's metrics
+	// window (every flushed window is a decision point).
+	Interval time.Duration
+	// Profiler and Controller configure the estimation and policy halves.
+	Profiler   ProfilerConfig
+	Controller ControllerConfig
+}
+
+// RebalanceEvent records one applied mid-run rebalance.
+type RebalanceEvent struct {
+	At       time.Duration `json:"at"`
+	Topology string        `json:"topology"`
+	Trigger  string        `json:"trigger"`
+	Moves    int           `json:"moves"`
+}
+
+// LoopResult bundles a finished adaptive run.
+type LoopResult struct {
+	// Result is the simulation's output.
+	Result *simulator.Result
+	// Events are the rebalances applied, in virtual-time order.
+	Events []RebalanceEvent
+	// Assignments are the final placements per topology.
+	Assignments map[string]*core.Assignment
+	// Status is the controller's end-of-run snapshot.
+	Status ControllerStatus
+}
+
+// TotalMoves sums migrations across all rebalances.
+func (r *LoopResult) TotalMoves() int {
+	var n int
+	for _, e := range r.Events {
+		n += e.Moves
+	}
+	return n
+}
+
+// Loop drives a simulation in pause/reassign/resume epochs: it runs the
+// simulator one control interval at a time, lets the controller judge the
+// freshly profiled window, and applies incremental rebalances between
+// epochs. The whole loop is deterministic for a fixed simulator seed.
+type Loop struct {
+	sim     *simulator.Simulation
+	cluster *cluster.Cluster
+	ctrl    *Controller
+	cfg     LoopConfig
+
+	names   []string
+	topos   map[string]*topology.Topology
+	current map[string]*core.Assignment
+}
+
+// NewLoop builds a Loop over a prepared (not yet started) simulation.
+// sched is the scheduler used for incremental replanning; nil defaults to
+// a fresh R-Storm scheduler.
+func NewLoop(
+	sim *simulator.Simulation,
+	clu *cluster.Cluster,
+	sched *core.ResourceAwareScheduler,
+	cfg LoopConfig,
+) *Loop {
+	if cfg.Interval <= 0 {
+		cfg.Interval = sim.Config().MetricsWindow
+	}
+	ctrl := NewController(NewProfiler(cfg.Profiler), sched, cfg.Controller)
+	return &Loop{
+		sim:     sim,
+		cluster: clu,
+		ctrl:    ctrl,
+		cfg:     cfg,
+		topos:   make(map[string]*topology.Topology),
+		current: make(map[string]*core.Assignment),
+	}
+}
+
+// Controller exposes the loop's controller (for status endpoints).
+func (l *Loop) Controller() *Controller { return l.ctrl }
+
+// Manage registers a topology the loop may rebalance. The topology must
+// already be added to the simulation with the same assignment.
+func (l *Loop) Manage(topo *topology.Topology, a *core.Assignment) error {
+	name := topo.Name()
+	if _, dup := l.topos[name]; dup {
+		return fmt.Errorf("topology %q already managed", name)
+	}
+	if a == nil || !a.Complete(topo) {
+		return fmt.Errorf("topology %q needs a complete assignment", name)
+	}
+	l.names = append(l.names, name)
+	l.topos[name] = topo
+	l.current[name] = a
+	return nil
+}
+
+// Run executes the adaptive loop to the simulation's configured duration.
+func (l *Loop) Run() (*LoopResult, error) {
+	if len(l.names) == 0 {
+		return nil, fmt.Errorf("no topologies managed")
+	}
+	if err := l.sim.SetObserver(l.ctrl); err != nil {
+		return nil, err
+	}
+	if err := l.sim.Start(); err != nil {
+		return nil, err
+	}
+	duration := l.sim.Config().Duration
+	var events []RebalanceEvent
+	for t := l.cfg.Interval; t < duration; t += l.cfg.Interval {
+		if err := l.sim.RunTo(t); err != nil {
+			return nil, err
+		}
+		for _, name := range l.names {
+			trigger, ok := l.ctrl.ShouldRebalance(name)
+			if !ok {
+				continue
+			}
+			topo := l.topos[name]
+			next, moves, err := l.ctrl.Plan(topo, l.cluster, l.current[name], l.availabilityFor(name))
+			if err != nil {
+				return nil, fmt.Errorf("planning rebalance of %q: %w", name, err)
+			}
+			migrated := 0
+			if len(moves) > 0 {
+				// Reassign reports how many tasks actually moved (a plan
+				// may relocate dead tasks, which have nothing to migrate)
+				// and normalizes the assignment to what it applied.
+				migrated, err = l.sim.Reassign(name, next)
+				if err != nil {
+					return nil, fmt.Errorf("applying rebalance of %q: %w", name, err)
+				}
+				l.current[name] = next
+				if migrated > 0 {
+					events = append(events, RebalanceEvent{
+						At:       t,
+						Topology: name,
+						Trigger:  trigger,
+						Moves:    migrated,
+					})
+				}
+			}
+			// Cooldown starts either way: a plan with no moves means the
+			// current placement is the best the measured demands allow,
+			// and re-planning every window would be churn.
+			l.ctrl.NotifyRebalanced(name, migrated, trigger)
+		}
+	}
+	res, err := l.sim.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return l.buildResult(res, events), nil
+}
+
+// availabilityFor builds the replanner's base availability for one
+// topology: full node capacities, minus every *other* managed topology's
+// load at its measured (falling back to declared) demands, with nodes
+// killed by failure injection zeroed out so no migration targets them.
+// The planned topology's own usage is subtracted by the incremental pass
+// itself.
+func (l *Loop) availabilityFor(excl string) map[cluster.NodeID]resource.Vector {
+	avail := make(map[cluster.NodeID]resource.Vector, l.cluster.Size())
+	for _, n := range l.cluster.Nodes() {
+		avail[n.ID] = n.Spec.Capacity
+	}
+	for _, id := range l.sim.DeadNodes() {
+		avail[id] = resource.Vector{}
+	}
+	for _, name := range l.names {
+		if name == excl {
+			continue
+		}
+		topo := l.topos[name]
+		cur := l.current[name]
+		demands := l.ctrl.Profiler().MeasuredDemands(topo)
+		for _, task := range topo.Tasks() {
+			d, ok := demands[task.Component]
+			if !ok {
+				d = topo.TaskDemand(task)
+			}
+			if p, ok := cur.PlacementOf(task.ID); ok {
+				avail[p.Node] = avail[p.Node].Sub(d)
+			}
+		}
+	}
+	return avail
+}
+
+func (l *Loop) buildResult(res *simulator.Result, events []RebalanceEvent) *LoopResult {
+	return &LoopResult{
+		Result:      res,
+		Events:      events,
+		Assignments: l.current,
+		Status:      l.ctrl.Status(),
+	}
+}

@@ -1,0 +1,342 @@
+// Package adaptive closes R-Storm's scheduling loop. The paper schedules
+// from user-declared resource demands and never looks back; this package
+// adds the feedback path the follow-on literature (DRS, Fu et al.;
+// A2C-based Storm scheduling, Dong et al.) shows is where further wins
+// live: a runtime metrics tap on the simulator feeds a demand profiler
+// that replaces declared CPU/bandwidth demands with measured ones, a
+// feedback controller detects hotspots and imbalance with hysteresis, and
+// an incremental reschedule (internal/core) migrates only the offending
+// tasks. DESIGN.md documents the estimator and the control policy.
+package adaptive
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/resource"
+	"rstorm/internal/simulator"
+	"rstorm/internal/topology"
+)
+
+// ProfilerConfig tunes demand estimation.
+type ProfilerConfig struct {
+	// Alpha is the EWMA smoothing factor applied to each new window
+	// (1 = latest window only). Default 0.5.
+	Alpha float64
+}
+
+func (c ProfilerConfig) withDefaults() ProfilerConfig {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.5
+	}
+	return c
+}
+
+// ComponentStats is the profiler's rolling estimate for one component.
+// All per-task quantities are means over the component's live tasks.
+type ComponentStats struct {
+	Topology  string `json:"topology"`
+	Component string `json:"component"`
+	Tasks     int    `json:"tasks"`
+	// Windows counts flushes folded into the estimates.
+	Windows int `json:"windows"`
+	// Utilization is the EWMA mean executor busy fraction in [0,1];
+	// MaxUtilization tracks the busiest task, which is what hotspot
+	// detection keys on (one saturated task bottlenecks the pipeline
+	// even when its siblings idle).
+	Utilization    float64 `json:"utilization"`
+	MaxUtilization float64 `json:"maxUtilization"`
+	// CPUPoints is the EWMA measured per-task CPU demand in points. On an
+	// overcommitted node the per-task shares are attributed from the
+	// node's stretch factor, so a saturated component's true demand is
+	// recovered exactly (DESIGN.md).
+	CPUPoints float64 `json:"cpuPoints"`
+	// MaxSlowdown is the worst CPU overcommit stretch among the
+	// component's host nodes in the latest window (not smoothed: the
+	// stretch is constant between rebalances). 1 means no contention —
+	// and a saturated component on uncontended nodes is pipeline-bound,
+	// not placement-bound, so migration cannot help it.
+	MaxSlowdown float64 `json:"maxSlowdown"`
+	// EgressMbps is the EWMA per-task NIC egress rate.
+	EgressMbps float64 `json:"egressMbps"`
+	// QueueFill is the EWMA input-queue fill fraction at window ends.
+	QueueFill float64 `json:"queueFill"`
+	// Overflows is the cumulative count of enqueue attempts that hit a
+	// full queue (backpressure events).
+	Overflows int64 `json:"overflows"`
+	// MeanLatency is the EWMA spout-to-sink latency (sink components).
+	MeanLatency time.Duration `json:"meanLatencyNs"`
+}
+
+type compKey struct{ topo, comp string }
+
+// Profiler folds per-window task samples into per-component demand
+// estimates. It implements simulator.Observer; the simulation feeding
+// OnWindow is single-threaded, but estimates are also read from other
+// goroutines (the StatisticServer's /adaptive route), so state access is
+// mutex-guarded.
+type Profiler struct {
+	mu      sync.Mutex
+	cfg     ProfilerConfig
+	stats   map[compKey]*ComponentStats
+	order   []compKey // first-seen order, for deterministic iteration
+	windows int
+
+	// dead records tasks observed dead (node failures), per topology —
+	// the replanner freezes these in place, since there is no executor
+	// left to migrate.
+	dead map[string]map[int]bool
+
+	// nodeBusy is scratch for per-node busy aggregation, reused across
+	// flushes.
+	nodeBusy map[cluster.NodeID]time.Duration
+}
+
+// NewProfiler returns a Profiler with the given configuration.
+func NewProfiler(cfg ProfilerConfig) *Profiler {
+	return &Profiler{
+		cfg:      cfg.withDefaults(),
+		stats:    make(map[compKey]*ComponentStats),
+		dead:     make(map[string]map[int]bool),
+		nodeBusy: make(map[cluster.NodeID]time.Duration),
+	}
+}
+
+// Windows returns the number of flushes observed.
+func (p *Profiler) Windows() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.windows
+}
+
+// OnWindow implements simulator.Observer.
+func (p *Profiler) OnWindow(samples []simulator.TaskSample) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.windows++
+	window := time.Duration(0)
+	if len(samples) > 0 {
+		window = samples[0].WindowEnd - samples[0].WindowStart
+	}
+	if window <= 0 {
+		return
+	}
+	// First pass: per-node busy totals, needed to attribute an
+	// overcommitted node's capacity across its tasks.
+	for k := range p.nodeBusy {
+		delete(p.nodeBusy, k)
+	}
+	for i := range samples {
+		if !samples[i].Dead {
+			p.nodeBusy[samples[i].Node] += samples[i].Busy
+		}
+	}
+	// Second pass: per-component accumulation of this window.
+	type acc struct {
+		tasks    int
+		util     float64
+		maxUtil  float64
+		maxSlow  float64
+		points   float64
+		mbps     float64
+		fill     float64
+		overflow int64
+		latSum   time.Duration
+		latN     int64
+	}
+	accs := make(map[compKey]*acc, len(p.stats))
+	var keys []compKey
+	for i := range samples {
+		s := &samples[i]
+		if s.Dead {
+			d := p.dead[s.Topology]
+			if d == nil {
+				d = make(map[int]bool)
+				p.dead[s.Topology] = d
+			}
+			d[s.TaskID] = true
+			continue
+		}
+		k := compKey{s.Topology, s.Component}
+		a := accs[k]
+		if a == nil {
+			a = &acc{}
+			accs[k] = a
+			keys = append(keys, k)
+		}
+		a.tasks++
+		a.util += s.Utilization()
+		if u := s.Utilization(); u > a.maxUtil {
+			a.maxUtil = u
+		}
+		if s.Slowdown > a.maxSlow {
+			a.maxSlow = s.Slowdown
+		}
+		a.points += p.taskPoints(s, window)
+		a.mbps += float64(s.BytesOut) * 8 / 1e6 / window.Seconds()
+		a.fill += s.QueueFill()
+		a.overflow += s.Overflows
+		a.latSum += s.LatencySum
+		a.latN += s.LatencyN
+	}
+	alpha := p.cfg.Alpha
+	for _, k := range keys {
+		a := accs[k]
+		st := p.stats[k]
+		if st == nil {
+			st = &ComponentStats{Topology: k.topo, Component: k.comp}
+			p.stats[k] = st
+			p.order = append(p.order, k)
+		}
+		n := float64(a.tasks)
+		st.Tasks = a.tasks
+		st.Windows++
+		st.Overflows += a.overflow
+		ew := func(prev, sample float64) float64 {
+			if st.Windows == 1 {
+				return sample
+			}
+			return alpha*sample + (1-alpha)*prev
+		}
+		st.Utilization = ew(st.Utilization, a.util/n)
+		st.MaxUtilization = ew(st.MaxUtilization, a.maxUtil)
+		st.MaxSlowdown = a.maxSlow
+		st.CPUPoints = ew(st.CPUPoints, a.points/n)
+		st.EgressMbps = ew(st.EgressMbps, a.mbps/n)
+		st.QueueFill = ew(st.QueueFill, a.fill/n)
+		if a.latN > 0 {
+			st.MeanLatency = time.Duration(ew(float64(st.MeanLatency),
+				float64(a.latSum)/float64(a.latN)))
+		}
+	}
+	// Components with no live tasks left this window decay to zero load
+	// instead of freezing at their last (possibly hot) estimate — a fully
+	// failed component must not read as a perpetual hotspot.
+	for _, k := range p.order {
+		if _, live := accs[k]; live {
+			continue
+		}
+		st := p.stats[k]
+		st.Tasks = 0
+		st.Windows++
+		st.Utilization = 0
+		st.MaxUtilization = 0
+		st.MaxSlowdown = 1
+		st.CPUPoints = 0
+		st.EgressMbps = 0
+		st.QueueFill = 0
+	}
+}
+
+// DeadTasks returns the IDs of a topology's tasks observed dead so far.
+// The returned map is live profiler state: callers must not mutate it and
+// should treat it as read-only under the profiler's single observation
+// stream.
+func (p *Profiler) DeadTasks(topo string) map[int]bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dead[topo]
+}
+
+// taskPoints estimates one task's CPU demand in points for this window.
+//
+// The simulator's contention model stretches service times by
+// f = max(1, D/C) where D is the node's true aggregate demand and C its
+// capacity. When f > 1 the node is saturated and D = f·C exactly, so the
+// node's true demand is attributed across its tasks in proportion to their
+// busy time — recovering each saturated task's true points. When f == 1
+// the executor's un-stretched busy fraction bounds its demand: one fully
+// busy executor thread consumes at most a node's worth of points, so the
+// estimate is busyFrac·C (capped at C).
+func (p *Profiler) taskPoints(s *simulator.TaskSample, window time.Duration) float64 {
+	c := s.NodeCPUCapacity
+	if c <= 0 {
+		return 0
+	}
+	if s.Slowdown > 1 {
+		total := p.nodeBusy[s.Node]
+		if total <= 0 {
+			return 0
+		}
+		return s.Slowdown * c * float64(s.Busy) / float64(total)
+	}
+	points := c * s.Utilization()
+	if points > c {
+		points = c
+	}
+	return points
+}
+
+// eachComponent visits every component's live estimate in first-seen
+// order without copying — the controller's per-window evaluation path.
+// The *ComponentStats must not be retained or mutated by fn.
+func (p *Profiler) eachComponent(fn func(topo string, st *ComponentStats)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, k := range p.order {
+		fn(k.topo, p.stats[k])
+	}
+}
+
+// Stats returns the named topology's component estimates in first-seen
+// (topology registration) order.
+func (p *Profiler) Stats(topo string) []ComponentStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []ComponentStats
+	for _, k := range p.order {
+		if k.topo == topo {
+			out = append(out, *p.stats[k])
+		}
+	}
+	return out
+}
+
+// Topologies returns the topology names seen so far, sorted.
+func (p *Profiler) Topologies() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	seen := make(map[string]bool)
+	var out []string
+	for _, k := range p.order {
+		if !seen[k.topo] {
+			seen[k.topo] = true
+			out = append(out, k.topo)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MeasuredDemands returns per-component, per-task demand vectors with the
+// declared CPU (and bandwidth) axes replaced by measured estimates. Memory
+// stays declared — the simulator has no memory model to measure, and it is
+// the hard axis the measured reschedule must still respect. Components
+// with no samples yet are omitted, falling back to declarations.
+func (p *Profiler) MeasuredDemands(topo *topology.Topology) map[string]resource.Vector {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]resource.Vector)
+	name := topo.Name()
+	for _, k := range p.order {
+		if k.topo != name {
+			continue
+		}
+		comp := topo.Component(k.comp)
+		if comp == nil {
+			continue
+		}
+		st := p.stats[k]
+		if st.Windows == 0 {
+			continue
+		}
+		out[k.comp] = resource.Vector{
+			CPU:       st.CPUPoints,
+			MemoryMB:  comp.MemoryLoad,
+			Bandwidth: st.EgressMbps,
+		}
+	}
+	return out
+}

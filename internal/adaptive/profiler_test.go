@@ -1,0 +1,150 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/simulator"
+	"rstorm/internal/topology"
+)
+
+// sample builds a TaskSample over a 1s window.
+func sample(topo, comp string, id int, node cluster.NodeID, busyFrac, slowdown float64) simulator.TaskSample {
+	const window = time.Second
+	return simulator.TaskSample{
+		Topology:        topo,
+		Component:       comp,
+		TaskID:          id,
+		Node:            node,
+		WindowStart:     0,
+		WindowEnd:       window,
+		Busy:            time.Duration(busyFrac * float64(window)),
+		Slowdown:        slowdown,
+		NodeCPUCapacity: 100,
+		QueueCap:        128,
+	}
+}
+
+// TestSaturatedAttributionRecoversTruePoints: on an overcommitted node the
+// stretch factor pins the node's aggregate true demand at f*C, so equal
+// shares must come out exact: 4 fully-busy tasks under f=3.2 on 100 points
+// truly need 80 points each.
+func TestSaturatedAttributionRecoversTruePoints(t *testing.T) {
+	p := NewProfiler(ProfilerConfig{Alpha: 1})
+	var samples []simulator.TaskSample
+	for i := 0; i < 4; i++ {
+		samples = append(samples, sample("t", "work", i, "n0", 1.0, 3.2))
+	}
+	p.OnWindow(samples)
+	stats := p.Stats("t")
+	if len(stats) != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if got := stats[0].CPUPoints; math.Abs(got-80) > 1e-9 {
+		t.Errorf("CPUPoints = %v, want 80", got)
+	}
+	if got := stats[0].Utilization; math.Abs(got-1) > 1e-9 {
+		t.Errorf("Utilization = %v, want 1", got)
+	}
+}
+
+// TestUnsaturatedEstimateIsThreadFraction: with no contention the busy
+// fraction of one executor bounds its demand.
+func TestUnsaturatedEstimateIsThreadFraction(t *testing.T) {
+	p := NewProfiler(ProfilerConfig{Alpha: 1})
+	p.OnWindow([]simulator.TaskSample{
+		sample("t", "light", 0, "n0", 0.3, 1),
+		sample("t", "light", 1, "n1", 0.1, 1),
+	})
+	stats := p.Stats("t")
+	if got := stats[0].CPUPoints; math.Abs(got-20) > 1e-9 { // mean of 30 and 10
+		t.Errorf("CPUPoints = %v, want 20", got)
+	}
+}
+
+func TestEWMASmoothsWindows(t *testing.T) {
+	p := NewProfiler(ProfilerConfig{Alpha: 0.5})
+	p.OnWindow([]simulator.TaskSample{sample("t", "c", 0, "n0", 0.8, 1)})
+	p.OnWindow([]simulator.TaskSample{sample("t", "c", 0, "n0", 0.4, 1)})
+	stats := p.Stats("t")
+	// First window seeds (80), second folds: 0.5*40 + 0.5*80 = 60.
+	if got := stats[0].CPUPoints; math.Abs(got-60) > 1e-9 {
+		t.Errorf("CPUPoints = %v, want 60", got)
+	}
+	if p.Windows() != 2 {
+		t.Errorf("Windows = %d", p.Windows())
+	}
+}
+
+func TestDeadTasksExcluded(t *testing.T) {
+	p := NewProfiler(ProfilerConfig{Alpha: 1})
+	dead := sample("t", "c", 1, "n0", 0.9, 1)
+	dead.Dead = true
+	p.OnWindow([]simulator.TaskSample{
+		sample("t", "c", 0, "n0", 0.5, 1),
+		dead,
+	})
+	stats := p.Stats("t")
+	if stats[0].Tasks != 1 {
+		t.Errorf("live tasks = %d, want 1", stats[0].Tasks)
+	}
+	if got := stats[0].CPUPoints; math.Abs(got-50) > 1e-9 {
+		t.Errorf("CPUPoints = %v, want 50 (dead task excluded)", got)
+	}
+}
+
+// TestFullyDeadComponentDecaysToIdle: once every task of a component is
+// dead, its stats must drop to zero load instead of freezing at the last
+// hot estimate — otherwise the controller chases a phantom hotspot
+// forever. The dead tasks are also recorded for the planner to freeze.
+func TestFullyDeadComponentDecaysToIdle(t *testing.T) {
+	p := NewProfiler(ProfilerConfig{Alpha: 1})
+	p.OnWindow([]simulator.TaskSample{sample("t", "work", 3, "n0", 1.0, 2)})
+	if got := p.Stats("t")[0].MaxUtilization; got != 1 {
+		t.Fatalf("pre-death MaxUtilization = %v", got)
+	}
+	dead := sample("t", "work", 3, "n0", 0, 2)
+	dead.Dead = true
+	p.OnWindow([]simulator.TaskSample{dead})
+	st := p.Stats("t")[0]
+	if st.MaxUtilization != 0 || st.Utilization != 0 || st.MaxSlowdown != 1 || st.Tasks != 0 {
+		t.Errorf("dead component did not decay: %+v", st)
+	}
+	if st.Windows != 2 {
+		t.Errorf("Windows = %d", st.Windows)
+	}
+	if !p.DeadTasks("t")[3] {
+		t.Error("dead task 3 not recorded")
+	}
+	if p.DeadTasks("other") != nil {
+		t.Error("unknown topology has dead tasks")
+	}
+}
+
+func TestMeasuredDemandsReplaceDeclaredCPU(t *testing.T) {
+	b := topology.NewBuilder("t")
+	b.SetSpout("s", 1).SetCPULoad(10).SetMemoryLoad(256)
+	b.SetBolt("work", 1).ShuffleGrouping("s").SetCPULoad(10).SetMemoryLoad(512)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	p := NewProfiler(ProfilerConfig{Alpha: 1})
+	p.OnWindow([]simulator.TaskSample{
+		sample("t", "s", 0, "n0", 0.1, 1),
+		sample("t", "work", 1, "n1", 1.0, 2),
+	})
+	d := p.MeasuredDemands(topo)
+	if got := d["work"].CPU; math.Abs(got-200) > 1e-9 {
+		// Sole busy task on a 2x-stretched node: attributed the whole f*C.
+		t.Errorf("work CPU = %v, want 200", got)
+	}
+	if got := d["work"].MemoryMB; got != 512 {
+		t.Errorf("work memory = %v, want declared 512", got)
+	}
+	if got := d["s"].CPU; math.Abs(got-10) > 1e-9 {
+		t.Errorf("spout CPU = %v, want 10", got)
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/resource"
+	"rstorm/internal/topology"
+)
+
+// Move records one task migration decided by an incremental reschedule.
+type Move struct {
+	TaskID int
+	From   Placement
+	To     Placement
+}
+
+// String implements fmt.Stringer.
+func (m Move) String() string {
+	return fmt.Sprintf("task %d: %s -> %s", m.TaskID, m.From, m.To)
+}
+
+// IncrementalOptions tunes IncrementalReschedule.
+type IncrementalOptions struct {
+	// Demands overrides per-component, per-task demand vectors — typically
+	// the adaptive profiler's *measured* demands, replacing the user's
+	// declarations. Components absent from the map fall back to their
+	// declared demand.
+	Demands map[string]resource.Vector
+	// Available is the base availability per node *excluding* this
+	// topology's own usage (other topologies' reservations subtracted).
+	// Nil means full node capacity.
+	Available map[cluster.NodeID]resource.Vector
+	// SlotFor resolves a worker slot on a node that currently hosts none
+	// of this topology's tasks. Nil defaults to slot 0 (single-topology
+	// clusters); Nimbus passes GlobalState.FirstFreeSlot.
+	SlotFor func(cluster.NodeID) (int, bool)
+	// Frozen pins tasks to their current placement and excludes them from
+	// the walk entirely — they neither move nor consume the MaxMoves
+	// budget. The adaptive loop freezes tasks killed by node failures:
+	// there is no executor left to migrate, and replanning them every
+	// round would starve live hotspot migrations of the budget.
+	Frozen map[int]bool
+	// MaxMoves caps migrations per call; 0 means no cap. Capping trades
+	// convergence speed for per-round disruption — the control loop's
+	// hysteresis carries the remainder into later rounds.
+	MaxMoves int
+	// Margin is the relative distance improvement an equally-feasible
+	// alternative must offer before a task moves (0.15 = 15% closer).
+	// It is the anti-oscillation stickiness of the control loop.
+	Margin float64
+}
+
+// candidate tiers: a node that covers the task's CPU demand outright beats
+// any node that would overcommit CPU, regardless of distance. The paper's
+// distance is symmetric — slightly-overfull and slightly-underfull look the
+// same — which is fine for declared demands (the scheduler never overcommits
+// what it believes) but wrong for *measured* demands, where escaping an
+// overloaded node is the whole point.
+const (
+	tierCPUFit  = 1 // hard constraints satisfied, CPU demand covered
+	tierOver    = 2 // hard constraints satisfied, CPU overcommitted
+	tierInvalid = 3 // hard constraint violated
+)
+
+// IncrementalReschedule computes a migration-aware improvement of an
+// existing assignment: every task keeps its placement unless another node
+// is strictly more attractive under the (measured) demands — a stricter
+// feasibility tier, or a distance improvement beyond the stickiness margin.
+// It reuses R-Storm's node-selection machinery (Algorithm 4's ref-node
+// network distance and weighted Euclidean fit) but walks tasks in schedule
+// order against the *current* load picture instead of an empty cluster, so
+// only the offending tasks move. This is the control-plane alternative to
+// Storm's full teardown-and-reschedule rebalance, which restarts every
+// worker of the topology.
+//
+// The returned assignment is complete and disjoint from `current`; moves
+// lists the changed placements in task-schedule order.
+func (s *ResourceAwareScheduler) IncrementalReschedule(
+	topo *topology.Topology,
+	c *cluster.Cluster,
+	current *Assignment,
+	opts IncrementalOptions,
+) (*Assignment, []Move, error) {
+	if err := s.weights.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("scheduler weights: %w", err)
+	}
+	if err := s.classes.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("scheduler classes: %w", err)
+	}
+	if current == nil || !current.Complete(topo) {
+		return nil, nil, fmt.Errorf("incremental reschedule of %q needs a complete current assignment", topo.Name())
+	}
+
+	ids := c.NodeIDs()
+	idx := make(map[cluster.NodeID]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	demandOf := func(task topology.Task) resource.Vector {
+		if d, ok := opts.Demands[task.Component]; ok {
+			return d
+		}
+		return topo.TaskDemand(task)
+	}
+
+	// Availability under the measured demands: base minus every task's
+	// demand at its current placement.
+	avail := make([]resource.Vector, len(ids))
+	for i, id := range ids {
+		if opts.Available != nil {
+			avail[i] = opts.Available[id]
+		} else if n := c.Node(id); n != nil {
+			avail[i] = n.Spec.Capacity
+		}
+	}
+	for _, task := range topo.Tasks() {
+		p, ok := current.PlacementOf(task.ID)
+		if !ok {
+			continue
+		}
+		ni, ok := idx[p.Node]
+		if !ok {
+			return nil, nil, fmt.Errorf("task %d currently on unknown node %q", task.ID, p.Node)
+		}
+		avail[ni] = avail[ni].Sub(demandOf(task))
+	}
+
+	// Ref node per Algorithm 4 over the measured availability, fixing the
+	// network-distance axis for the whole pass.
+	availMap := make(map[cluster.NodeID]resource.Vector, len(ids))
+	for i, id := range ids {
+		availMap[id] = avail[i]
+	}
+	refNode := s.pickRefNode(c, availMap)
+	netdist := make([]float64, len(ids))
+	for i, id := range ids {
+		netdist[i] = c.NetworkDistance(refNode, id)
+	}
+
+	// This topology's worker slot per node, for move targets (the
+	// scheduler packs one worker per node per topology). Walk tasks in
+	// dense-ID order so a node hosting several worker slots (a
+	// default-even placement) resolves deterministically to the lowest
+	// task's slot rather than to map iteration order.
+	slotOn := make(map[cluster.NodeID]int, len(ids))
+	for _, task := range topo.Tasks() {
+		p, ok := current.PlacementOf(task.ID)
+		if !ok {
+			continue
+		}
+		if _, seen := slotOn[p.Node]; !seen {
+			slotOn[p.Node] = p.Slot
+		}
+	}
+	slotFor := func(id cluster.NodeID) (int, bool) {
+		if slot, ok := slotOn[id]; ok {
+			return slot, true
+		}
+		if opts.SlotFor != nil {
+			return opts.SlotFor(id)
+		}
+		return 0, true
+	}
+
+	tierOf := func(a, d resource.Vector) int {
+		if !resource.SatisfiesHard(a, d, s.classes) {
+			return tierInvalid
+		}
+		if a.CPU >= d.CPU {
+			return tierCPUFit
+		}
+		return tierOver
+	}
+
+	// Walk tasks in descending measured-demand order (stable within ties,
+	// so equal-demand tasks keep the BFS schedule order): the biggest
+	// offenders escape an overloaded node first, and once they have
+	// drained it below capacity the small tasks see a feasible home and
+	// stay put — which is what keeps the move count minimal.
+	order := s.ordering(topo)
+	sort.SliceStable(order, func(i, j int) bool {
+		return s.weights.Apply(demandOf(order[i])).Total() >
+			s.weights.Apply(demandOf(order[j])).Total()
+	})
+
+	next := NewAssignment(topo.Name(), s.Name()+"-incremental")
+	var moves []Move
+	for _, task := range order {
+		cur := current.Placements[task.ID]
+		if opts.Frozen[task.ID] {
+			next.Place(task.ID, cur)
+			continue
+		}
+		d := demandOf(task)
+		ci := idx[cur.Node]
+		// Lift the task off its node, then judge every node — including
+		// its own — from the resulting availability.
+		avail[ci] = avail[ci].Add(d)
+		best, bestTier, bestDist := -1, tierInvalid+1, 0.0
+		for i := range ids {
+			tier := tierOf(avail[i], d)
+			if tier == tierInvalid {
+				continue
+			}
+			if _, ok := slotFor(ids[i]); !ok {
+				continue
+			}
+			dist := resource.Distance(d, avail[i], netdist[i], s.weights)
+			if tier < bestTier || (tier == bestTier && dist < bestDist) {
+				best, bestTier, bestDist = i, tier, dist
+			}
+		}
+		chosen := ci
+		if best >= 0 && best != ci {
+			curTier := tierOf(avail[ci], d)
+			curDist := resource.Distance(d, avail[ci], netdist[ci], s.weights)
+			improves := bestTier < curTier ||
+				(bestTier == curTier && bestDist < curDist*(1-opts.Margin))
+			if improves && (opts.MaxMoves <= 0 || len(moves) < opts.MaxMoves) {
+				chosen = best
+			}
+		}
+		avail[chosen] = avail[chosen].Sub(d)
+		if chosen == ci {
+			next.Place(task.ID, cur)
+			continue
+		}
+		slot, _ := slotFor(ids[chosen])
+		to := Placement{Node: ids[chosen], Slot: slot}
+		slotOn[to.Node] = to.Slot
+		next.Place(task.ID, to)
+		moves = append(moves, Move{TaskID: task.ID, From: cur, To: to})
+	}
+	return next, moves, nil
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"testing"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/resource"
+	"rstorm/internal/topology"
+)
+
+// incrTopo builds a chain whose "work" stage declares light CPU.
+func incrTopo(t *testing.T, workPar int) *topology.Topology {
+	t.Helper()
+	b := topology.NewBuilder("incr")
+	b.SetSpout("s", 2).SetCPULoad(10).SetMemoryLoad(128)
+	b.SetBolt("work", workPar).ShuffleGrouping("s").SetCPULoad(10).SetMemoryLoad(128)
+	b.SetBolt("z", 2).ShuffleGrouping("work").SetCPULoad(10).SetMemoryLoad(128)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return topo
+}
+
+func incrCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.Emulab12()
+	if err != nil {
+		t.Fatalf("Emulab12: %v", err)
+	}
+	return c
+}
+
+func TestIncrementalRescheduleIsNoopWhenPlacementIsGood(t *testing.T) {
+	topo := incrTopo(t, 4)
+	c := incrCluster(t)
+	sched := NewResourceAwareScheduler()
+	current, err := sched.Schedule(topo, c, NewGlobalState(c))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	next, moves, err := sched.IncrementalReschedule(topo, c, current, IncrementalOptions{Margin: 0.15})
+	if err != nil {
+		t.Fatalf("IncrementalReschedule: %v", err)
+	}
+	if len(moves) != 0 {
+		t.Errorf("fresh R-Storm schedule produced moves: %v", moves)
+	}
+	for id, p := range current.Placements {
+		if next.Placements[id] != p {
+			t.Errorf("task %d moved without a Move record: %v -> %v", id, p, next.Placements[id])
+		}
+	}
+}
+
+// TestIncrementalEscapesOvercommit is the hotspot case: measured demands
+// reveal the packed node is far over CPU capacity, so exactly enough work
+// tasks migrate to CPU-fit nodes, and nothing else is touched.
+func TestIncrementalEscapesOvercommit(t *testing.T) {
+	topo := incrTopo(t, 6)
+	c := incrCluster(t)
+	ids := c.NodeIDs()
+	// Everything packed on one node (what a scheduler believing the
+	// declarations would happily do: 10 tasks x 10 points).
+	current := NewAssignment("incr", "r-storm")
+	for _, task := range topo.Tasks() {
+		current.Place(task.ID, Placement{Node: ids[0], Slot: 0})
+	}
+	// Measured truth: each work task needs 80 points.
+	demands := map[string]resource.Vector{
+		"work": {CPU: 80, MemoryMB: 128},
+	}
+	sched := NewResourceAwareScheduler()
+	next, moves, err := sched.IncrementalReschedule(topo, c, current, IncrementalOptions{
+		Demands: demands,
+		Margin:  0.15,
+	})
+	if err != nil {
+		t.Fatalf("IncrementalReschedule: %v", err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("no moves despite 6x80 points on a 100-point node")
+	}
+	if len(moves) >= topo.TotalTasks() {
+		t.Errorf("moves = %d, want strictly fewer than a full reschedule (%d tasks)",
+			len(moves), topo.TotalTasks())
+	}
+	// Post-move, no node may hold more than one work task (80 of 100
+	// points each), and light tasks must not have been shuffled around.
+	workPerNode := make(map[cluster.NodeID]int)
+	for _, task := range topo.Tasks() {
+		p := next.Placements[task.ID]
+		if task.Component == "work" {
+			workPerNode[p.Node]++
+		} else if p != current.Placements[task.ID] {
+			t.Errorf("light task %d moved: %v -> %v", task.ID, current.Placements[task.ID], p)
+		}
+	}
+	for node, n := range workPerNode {
+		if n > 1 {
+			t.Errorf("node %s still hosts %d work tasks of 80 points", node, n)
+		}
+	}
+	if !next.Complete(topo) {
+		t.Error("incremental assignment incomplete")
+	}
+}
+
+func TestIncrementalMaxMovesCapsDisruption(t *testing.T) {
+	topo := incrTopo(t, 6)
+	c := incrCluster(t)
+	ids := c.NodeIDs()
+	current := NewAssignment("incr", "r-storm")
+	for _, task := range topo.Tasks() {
+		current.Place(task.ID, Placement{Node: ids[0], Slot: 0})
+	}
+	demands := map[string]resource.Vector{"work": {CPU: 80, MemoryMB: 128}}
+	sched := NewResourceAwareScheduler()
+	_, moves, err := sched.IncrementalReschedule(topo, c, current, IncrementalOptions{
+		Demands:  demands,
+		MaxMoves: 2,
+		Margin:   0.15,
+	})
+	if err != nil {
+		t.Fatalf("IncrementalReschedule: %v", err)
+	}
+	if len(moves) != 2 {
+		t.Errorf("moves = %d, want exactly the cap of 2", len(moves))
+	}
+}
+
+// TestIncrementalRespectsHardConstraints: move targets must satisfy the
+// hard memory axis under the measured demands.
+func TestIncrementalRespectsHardConstraints(t *testing.T) {
+	// Two nodes: one huge-memory (current, CPU-starved under truth), one
+	// with too little memory to accept any task.
+	big := cluster.NodeSpec{Capacity: resource.Vector{CPU: 100, MemoryMB: 4096}, Slots: 4, NICMbps: 100}
+	tiny := cluster.NodeSpec{Capacity: resource.Vector{CPU: 400, MemoryMB: 64}, Slots: 4, NICMbps: 100}
+	cb := cluster.NewBuilder()
+	cb.AddNode("big", "rack-0", big)
+	cb.AddNode("tiny", "rack-0", tiny)
+	c, err := cb.Build()
+	if err != nil {
+		t.Fatalf("Build cluster: %v", err)
+	}
+	topo := incrTopo(t, 4)
+	current := NewAssignment("incr", "r-storm")
+	for _, task := range topo.Tasks() {
+		current.Place(task.ID, Placement{Node: "big", Slot: 0})
+	}
+	demands := map[string]resource.Vector{"work": {CPU: 90, MemoryMB: 128}}
+	sched := NewResourceAwareScheduler()
+	next, _, err := sched.IncrementalReschedule(topo, c, current, IncrementalOptions{Demands: demands})
+	if err != nil {
+		t.Fatalf("IncrementalReschedule: %v", err)
+	}
+	for _, task := range topo.Tasks() {
+		if next.Placements[task.ID].Node == "tiny" {
+			t.Errorf("task %d placed on memory-starved node", task.ID)
+		}
+	}
+}
+
+// TestIncrementalFrozenTasksPinnedAndFree: frozen tasks keep their
+// placement — even an infeasible one — and do not consume the MaxMoves
+// budget, so live migrations are never starved by unmovable (dead) tasks.
+func TestIncrementalFrozenTasksPinnedAndFree(t *testing.T) {
+	topo := incrTopo(t, 6)
+	c := incrCluster(t)
+	ids := c.NodeIDs()
+	current := NewAssignment("incr", "r-storm")
+	for _, task := range topo.Tasks() {
+		current.Place(task.ID, Placement{Node: ids[0], Slot: 0})
+	}
+	// Freeze half the work tasks (IDs 2,3,4 — as if their node died).
+	frozen := map[int]bool{2: true, 3: true, 4: true}
+	demands := map[string]resource.Vector{"work": {CPU: 80, MemoryMB: 128}}
+	sched := NewResourceAwareScheduler()
+	next, moves, err := sched.IncrementalReschedule(topo, c, current, IncrementalOptions{
+		Demands:  demands,
+		Frozen:   frozen,
+		MaxMoves: 3,
+		Margin:   0.15,
+	})
+	if err != nil {
+		t.Fatalf("IncrementalReschedule: %v", err)
+	}
+	for id := range frozen {
+		if next.Placements[id] != current.Placements[id] {
+			t.Errorf("frozen task %d moved to %v", id, next.Placements[id])
+		}
+	}
+	// The full MaxMoves budget must have gone to live work tasks.
+	if len(moves) != 3 {
+		t.Fatalf("moves = %d, want 3 (budget spent on live tasks)", len(moves))
+	}
+	for _, m := range moves {
+		if frozen[m.TaskID] {
+			t.Errorf("budget spent on frozen task %d", m.TaskID)
+		}
+	}
+}
+
+func TestIncrementalValidation(t *testing.T) {
+	topo := incrTopo(t, 2)
+	c := incrCluster(t)
+	sched := NewResourceAwareScheduler()
+	if _, _, err := sched.IncrementalReschedule(topo, c, nil, IncrementalOptions{}); err == nil {
+		t.Error("nil current assignment accepted")
+	}
+	incomplete := NewAssignment("incr", "x")
+	if _, _, err := sched.IncrementalReschedule(topo, c, incomplete, IncrementalOptions{}); err == nil {
+		t.Error("incomplete current assignment accepted")
+	}
+	bad := NewAssignment("incr", "x")
+	for _, task := range topo.Tasks() {
+		bad.Place(task.ID, Placement{Node: "ghost", Slot: 0})
+	}
+	if _, _, err := sched.IncrementalReschedule(topo, c, bad, IncrementalOptions{}); err == nil {
+		t.Error("unknown current node accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func elasticityOpts() Options {
+	return Options{
+		Duration:      12 * time.Second,
+		MetricsWindow: 2 * time.Second, // ignored: the experiment uses its own window
+		Seed:          1,
+	}
+}
+
+// TestElasticityClosesTheLoop is the acceptance regression for the
+// adaptive subsystem: with deliberately mis-declared demands, the adaptive
+// run must recover at least 90% of the honestly-declared oracle's
+// steady-state throughput, static R-Storm must not, and the incremental
+// rebalance must migrate strictly fewer tasks than a full reschedule
+// (which restarts all of them).
+func TestElasticityClosesTheLoop(t *testing.T) {
+	e, ok := ByID("elasticity")
+	if !ok {
+		t.Fatal("elasticity experiment not registered")
+	}
+	report, err := e.Run(elasticityOpts())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(report.Rows) < 5 {
+		t.Fatalf("rows = %+v", report.Rows)
+	}
+	recovery := report.Rows[1] // oracle (baseline) vs adaptive
+	if recovery.Baseline <= 0 {
+		t.Fatalf("oracle throughput = %v", recovery.Baseline)
+	}
+	if ratio := recovery.RStorm / recovery.Baseline; ratio < 0.9 {
+		t.Errorf("adaptive recovered only %.1f%% of the oracle (%v vs %v)",
+			ratio*100, recovery.RStorm, recovery.Baseline)
+	}
+	gap := report.Rows[2] // oracle (baseline) vs static
+	if ratio := gap.RStorm / gap.Baseline; ratio >= 0.9 {
+		t.Errorf("static R-Storm unexpectedly recovered %.1f%% of the oracle; "+
+			"the mis-declaration should hurt it", ratio*100)
+	}
+	migration := report.Rows[3] // full reschedule (baseline) vs incremental moves
+	if migration.RStorm <= 0 || migration.RStorm >= migration.Baseline {
+		t.Errorf("incremental moves = %v, want within (0, %v)", migration.RStorm, migration.Baseline)
+	}
+	for _, key := range []string{"oracle (honest decl)", "static (mis-decl)", "adaptive (mis-decl)"} {
+		if len(report.Series[key]) == 0 {
+			t.Errorf("series %q missing", key)
+		}
+	}
+}
+
+// TestElasticityDeterministic: the whole three-run experiment — adaptive
+// control decisions included — must be reproducible for a fixed seed.
+func TestElasticityDeterministic(t *testing.T) {
+	e, _ := ByID("elasticity")
+	first, err := e.Run(elasticityOpts())
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	second, err := e.Run(elasticityOpts())
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("elasticity runs diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}

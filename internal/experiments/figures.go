@@ -13,7 +13,7 @@ import (
 )
 
 // All returns every figure experiment in paper order, followed by the
-// ablations from DESIGN.md.
+// ablations from DESIGN.md and the adaptive-scheduling elasticity figure.
 func All() []Experiment {
 	return []Experiment{
 		Fig8a(), Fig8b(), Fig8c(),
@@ -24,6 +24,7 @@ func All() []Experiment {
 		AblationTaskOrdering(),
 		AblationGreedyVsExact(),
 		AblationWeights(),
+		Elasticity(),
 	}
 }
 

@@ -154,15 +154,7 @@ func (n *Nimbus) RunSchedulingRound() []string {
 			still = append(still, name)
 			continue
 		}
-		data, err := EncodeAssignment(a)
-		if err == nil {
-			path := assignmentsPath + "/" + name
-			if n.store.Exists(path) {
-				_ = n.store.Set(path, data)
-			} else {
-				_ = n.store.Create(path, data, 0)
-			}
-		}
+		n.persistAssignment(name, a)
 		n.logf("scheduled %q on %d nodes via %s", name, len(a.NodesUsed()), a.Scheduler)
 		scheduled = append(scheduled, name)
 	}
@@ -236,6 +228,21 @@ func (n *Nimbus) registerSupervisor(id cluster.NodeID) error {
 	n.alive[id] = true
 	n.logf("supervisor %s joined", id)
 	return nil
+}
+
+// persistAssignment writes an assignment to the coordination store,
+// creating or overwriting its node.
+func (n *Nimbus) persistAssignment(name string, a *core.Assignment) {
+	data, err := EncodeAssignment(a)
+	if err != nil {
+		return
+	}
+	path := assignmentsPath + "/" + name
+	if n.store.Exists(path) {
+		_ = n.store.Set(path, data)
+	} else {
+		_ = n.store.Create(path, data, 0)
+	}
 }
 
 func (n *Nimbus) dropPendingLocked(name string) {

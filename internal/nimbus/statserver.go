@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"strings"
+
+	"rstorm/internal/adaptive"
 )
 
 // StatisticServer exposes the master's state over HTTP — the analogue of
@@ -16,25 +18,40 @@ import (
 //	GET /assignments            every assignment, keyed by topology
 //	GET /assignments/{name}     one topology's assignment
 //	GET /events                 the master's action log
+//	GET /adaptive               adaptive-controller state (when attached)
 //
 // Mount it on any mux or serve it directly:
 //
 //	srv := nimbus.NewStatisticServer(n)
 //	http.ListenAndServe(":8080", srv)
 type StatisticServer struct {
-	nimbus *Nimbus
-	mux    *http.ServeMux
+	nimbus   *Nimbus
+	mux      *http.ServeMux
+	adaptive func() adaptive.ControllerStatus
 }
 
 var _ http.Handler = (*StatisticServer)(nil)
 
+// StatServerOption configures a StatisticServer.
+type StatServerOption func(*StatisticServer)
+
+// WithAdaptiveStatus attaches an adaptive controller's status snapshot to
+// the /adaptive route (typically adaptive.Controller.Status).
+func WithAdaptiveStatus(fn func() adaptive.ControllerStatus) StatServerOption {
+	return func(s *StatisticServer) { s.adaptive = fn }
+}
+
 // NewStatisticServer returns the HTTP facade over a Nimbus.
-func NewStatisticServer(n *Nimbus) *StatisticServer {
+func NewStatisticServer(n *Nimbus, opts ...StatServerOption) *StatisticServer {
 	s := &StatisticServer{nimbus: n, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("/summary", s.handleSummary)
 	s.mux.HandleFunc("/assignments", s.handleAssignments)
 	s.mux.HandleFunc("/assignments/", s.handleAssignment)
 	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/adaptive", s.handleAdaptive)
 	return s
 }
 
@@ -95,6 +112,18 @@ func (s *StatisticServer) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.nimbus.Events())
+}
+
+func (s *StatisticServer) handleAdaptive(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.adaptive == nil {
+		http.Error(w, "adaptive controller not attached", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.adaptive())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

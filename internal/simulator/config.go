@@ -18,7 +18,11 @@
 //
 // Simplifications (documented in DESIGN.md): ack completion notification is
 // free (no acker executors), and CPU contention uses a static
-// processor-sharing slowdown per node rather than instantaneous sharing.
+// processor-sharing slowdown per node — driven by the components' *true*
+// demand (ExecProfile.CPUPoints, defaulting to the declared load) and
+// refrozen at Reassign epoch boundaries — rather than instantaneous
+// sharing. An optional Observer taps per-task runtime metrics each window
+// for the adaptive control loop (internal/adaptive).
 package simulator
 
 import (

@@ -23,6 +23,7 @@ const (
 	evArrive                  // tuple reaches dest's input queue after latency
 	evLinkDone                // link finished serializing its head transfer
 	evComplete                // fire an acceptance completion
+	evWindowFlush             // metrics-window boundary: feed the observer
 )
 
 // Completion kinds: what to do when a transfer/enqueue is accepted.
@@ -89,6 +90,9 @@ func (e *simEvent) Fire() {
 		comp := e.comp
 		s.freeEvent(e)
 		s.complete(comp)
+	case evWindowFlush:
+		s.freeEvent(e)
+		s.windowFlush()
 	}
 }
 

@@ -1,0 +1,163 @@
+package simulator
+
+import (
+	"fmt"
+	"time"
+
+	"rstorm/internal/cluster"
+)
+
+// TaskSample is one task's runtime measurements over one metrics window —
+// the feed of the adaptive scheduling loop (internal/adaptive). Samples are
+// accumulated in plain per-task counters on the tuple hot path (a handful
+// of integer adds, no allocation) and materialized only at window
+// boundaries, into a buffer the Simulation reuses across flushes.
+type TaskSample struct {
+	// Topology, Component, TaskID and Node identify the task and where it
+	// currently runs (placements change across Reassign epochs).
+	Topology  string
+	Component string
+	TaskID    int
+	Node      cluster.NodeID
+	// Spout and Sink mirror the task's role; Dead marks tasks lost to a
+	// node failure (their counters stop moving).
+	Spout bool
+	Sink  bool
+	Dead  bool
+
+	// Window is the flush index (0-based); WindowStart/WindowEnd bound the
+	// sampled interval in virtual time.
+	Window      int
+	WindowStart time.Duration
+	WindowEnd   time.Duration
+
+	// Busy is the (overcommit-stretched) service time completed in the
+	// window; Busy over the window length is the executor's utilization.
+	Busy time.Duration
+	// Slowdown is the host node's CPU overcommit stretch factor at flush
+	// time (>= 1), letting observers de-stretch Busy into real compute.
+	Slowdown float64
+	// NodeCPUCapacity is the host node's CPU capacity in points.
+	NodeCPUCapacity float64
+
+	// Processed counts bolt executions; Emitted counts spout root tuples.
+	Processed int64
+	Emitted   int64
+
+	// QueueLen and QueueCap snapshot the input queue at flush time;
+	// Overflows counts enqueue attempts during the window that found the
+	// queue full and parked the producer (backpressure events).
+	QueueLen  int
+	QueueCap  int
+	Overflows int64
+
+	// BytesOut is the payload handed to this node's NIC by this task
+	// during the window — its share of egress pressure.
+	BytesOut int64
+
+	// LatencySum / LatencyN accumulate spout-to-arrival latency for
+	// tuples reaching this task when it is a sink (expired arrivals
+	// included: the controller wants the truth, not the SLA view).
+	LatencySum time.Duration
+	LatencyN   int64
+}
+
+// Utilization returns the executor's busy fraction over the window.
+func (ts TaskSample) Utilization() float64 {
+	if w := ts.WindowEnd - ts.WindowStart; w > 0 {
+		u := float64(ts.Busy) / float64(w)
+		if u > 1 {
+			u = 1
+		}
+		return u
+	}
+	return 0
+}
+
+// QueueFill returns the input queue's fill fraction at flush time.
+func (ts TaskSample) QueueFill() float64 {
+	if ts.QueueCap <= 0 {
+		return 0
+	}
+	return float64(ts.QueueLen) / float64(ts.QueueCap)
+}
+
+// Observer receives every task's sample at each metrics-window boundary.
+// The samples slice (and its backing array) is owned by the Simulation and
+// reused across flushes: observers must copy anything they keep. OnWindow
+// runs inside the event loop, in deterministic task order (topology
+// registration order, then dense task ID), and must not call back into the
+// Simulation.
+type Observer interface {
+	OnWindow(samples []TaskSample)
+}
+
+// SetObserver attaches the metrics tap. It must be called before the
+// simulation starts; passing nil detaches it.
+func (s *Simulation) SetObserver(o Observer) error {
+	if s.started {
+		return fmt.Errorf("simulation already started")
+	}
+	s.observer = o
+	return nil
+}
+
+// windowFlush materializes every task's window counters into the reusable
+// sample buffer, hands them to the observer, resets the counters, and
+// schedules the next flush.
+func (s *Simulation) windowFlush() {
+	now := s.engine.Now()
+	if s.observer != nil {
+		buf := s.sampleBuf[:0]
+		start := now - s.cfg.MetricsWindow
+		if start < 0 {
+			start = 0
+		}
+		for _, run := range s.runs {
+			name := run.topo.Name()
+			for _, st := range run.ordered {
+				buf = append(buf, TaskSample{
+					Topology:        name,
+					Component:       st.comp.Name,
+					TaskID:          st.task.ID,
+					Node:            st.node.id,
+					Spout:           st.isSpout == 1,
+					Sink:            st.isSink,
+					Dead:            st.dead,
+					Window:          s.windowIdx,
+					WindowStart:     start,
+					WindowEnd:       now,
+					Busy:            st.winBusy,
+					Slowdown:        st.node.slowdown,
+					NodeCPUCapacity: st.node.spec.Capacity.CPU,
+					Processed:       st.winProcessed,
+					Emitted:         st.winEmitted,
+					QueueLen:        st.queue.len(),
+					QueueCap:        s.cfg.QueueCapacity,
+					Overflows:       st.winOverflows,
+					BytesOut:        st.winBytesOut,
+					LatencySum:      st.winLatSum,
+					LatencyN:        st.winLatN,
+				})
+				st.resetWindow()
+			}
+		}
+		s.sampleBuf = buf
+		s.observer.OnWindow(buf)
+	}
+	s.windowIdx++
+	if next := now + s.cfg.MetricsWindow; next <= s.cfg.Duration {
+		s.scheduleTask(s.cfg.MetricsWindow, evWindowFlush, nil)
+	}
+}
+
+// resetWindow clears the per-window counters after a flush.
+func (t *simTask) resetWindow() {
+	t.winBusy = 0
+	t.winProcessed = 0
+	t.winEmitted = 0
+	t.winOverflows = 0
+	t.winBytesOut = 0
+	t.winLatSum = 0
+	t.winLatN = 0
+}

@@ -1,0 +1,144 @@
+package simulator
+
+import (
+	"fmt"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/core"
+)
+
+// Reassign migrates a running topology onto a new assignment between
+// epochs (after a RunTo, before the next). It is the simulator half of an
+// incremental rebalance: only tasks whose placement changed are touched.
+//
+// Migration follows Storm's rebalance semantics, scaled down to the tasks
+// actually moving: a migrating task's queued input tuples fail (their trees
+// release max-pending credits, so spouts replay rather than wedge; the loss
+// is counted in Result.TuplesMigrated), parked producers are released, and
+// the task resumes empty on its new node. Affected nodes' CPU overcommit
+// stretch and their tasks' service times are refrozen, and the run's
+// delivery wires are rebuilt for the new placements. Tuples already in
+// flight toward a moved task are delivered normally (its queue survives the
+// move; only the path metadata was stale for the transition).
+//
+// It returns the number of tasks migrated (zero when the new assignment is
+// identical).
+func (s *Simulation) Reassign(topoName string, a *core.Assignment) (int, error) {
+	if !s.started {
+		return 0, fmt.Errorf("simulation not started")
+	}
+	if s.finished {
+		return 0, fmt.Errorf("simulation already finished")
+	}
+	var run *topoRun
+	for _, r := range s.runs {
+		if r.topo.Name() == topoName {
+			run = r
+			break
+		}
+	}
+	if run == nil {
+		return 0, fmt.Errorf("topology %q is not part of this simulation", topoName)
+	}
+	if a.Topology != topoName {
+		return 0, fmt.Errorf("assignment is for %q, topology is %q", a.Topology, topoName)
+	}
+	if !a.Complete(run.topo) {
+		return 0, fmt.Errorf("assignment for %q is incomplete", topoName)
+	}
+
+	// Validate every changed placement before mutating anything. A dead
+	// task's entry is normalized back to its actual placement rather than
+	// rejected: there is no executor left to migrate, and a planner
+	// working from measured availability will legitimately want the
+	// failed node's tasks elsewhere. The assignment is therefore mutated
+	// to record what was really applied, and the returned count is the
+	// number of tasks that actually migrated.
+	var moving, deadStay []*simTask
+	for _, st := range run.ordered {
+		np := a.Placements[st.task.ID]
+		if np == st.placement {
+			continue
+		}
+		if st.dead {
+			deadStay = append(deadStay, st)
+			continue
+		}
+		node, ok := s.nodes[np.Node]
+		if !ok {
+			return 0, fmt.Errorf("task %d reassigned to unknown node %q", st.task.ID, np.Node)
+		}
+		if node.dead {
+			return 0, fmt.Errorf("task %d reassigned to dead node %q", st.task.ID, np.Node)
+		}
+		moving = append(moving, st)
+	}
+	// Validation passed: now (and only now) normalize dead entries and
+	// adopt the assignment.
+	for _, st := range deadStay {
+		a.Placements[st.task.ID] = st.placement
+	}
+	run.assignment = a
+	if len(moving) == 0 {
+		return 0, nil
+	}
+
+	affected := make(map[*simNode]bool, 2*len(moving))
+	for _, st := range moving {
+		old := st.node
+		next := s.nodes[a.Placements[st.task.ID].Node]
+		// Drain the input queue: the worker restarts empty on the new node.
+		tuples, unblocked := st.queue.drain()
+		for _, tup := range tuples {
+			s.migrateTuple(tup)
+		}
+		for _, comp := range unblocked {
+			s.scheduleComplete(0, comp)
+		}
+		// Credit the busy time accrued here to the node it ran on, so
+		// end-of-run utilization is attributed per host.
+		delta := st.tracker.Busy() - st.creditedBusy
+		old.departedWeighted += float64(delta) * st.comp.EffectiveCPUPoints()
+		st.creditedBusy = st.tracker.Busy()
+		removeTask(old, st)
+		next.tasks = append(next.tasks, st)
+		next.everHosted = true
+		st.node = next
+		st.placement = a.Placements[st.task.ID]
+		affected[old] = true
+		affected[next] = true
+	}
+	// Refreeze contention on every node whose task set changed, then
+	// re-resolve the run's delivery edges for the new placements.
+	for _, id := range s.order {
+		if n := s.nodes[id]; affected[n] {
+			s.freezeNode(n)
+		}
+	}
+	s.buildRouters(run)
+	return len(moving), nil
+}
+
+// DeadNodes returns the nodes killed by failure injection so far, in
+// cluster declaration order. Adaptive replanners zero these out of their
+// availability picture.
+func (s *Simulation) DeadNodes() []cluster.NodeID {
+	var out []cluster.NodeID
+	for _, id := range s.order {
+		if s.nodes[id].dead {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// removeTask deletes st from n's task list, preserving order so contention
+// refreezes stay deterministic.
+func removeTask(n *simNode, st *simTask) {
+	for i, t := range n.tasks {
+		if t == st {
+			n.tasks = append(n.tasks[:i], n.tasks[i+1:]...)
+			return
+		}
+	}
+}

@@ -56,6 +56,9 @@ type Result struct {
 	MeanUtilizationUsed float64
 	// TuplesDropped counts tuples abandoned due to node failures.
 	TuplesDropped int64
+	// TuplesMigrated counts tuples failed out of task queues by Reassign
+	// migrations (the rebalance analogue of a worker restart).
+	TuplesMigrated int64
 }
 
 // Topology returns the named topology's result, or nil.
@@ -101,6 +104,7 @@ func (s *Simulation) buildResult() *Result {
 		NodeUtilization: make(map[cluster.NodeID]float64, len(s.order)),
 		NICUtilization:  make(map[cluster.NodeID]float64, len(s.order)),
 		TuplesDropped:   s.dropped,
+		TuplesMigrated:  s.migrated,
 	}
 
 	for _, run := range s.runs {
@@ -139,17 +143,22 @@ func (s *Simulation) buildResult() *Result {
 		n := s.nodes[id]
 		util := 0.0
 		if n.spec.Capacity.CPU > 0 {
+			// Current residents contribute the busy time they accrued
+			// here; work done before an inbound migration was credited to
+			// the previous host (departedWeighted) when the task moved.
 			for _, t := range n.tasks {
-				busyFrac := t.tracker.Utilization(s.cfg.Duration)
-				util += busyFrac * t.comp.CPULoad / n.spec.Capacity.CPU
+				busy := t.tracker.Busy() - t.creditedBusy
+				util += float64(busy) / float64(s.cfg.Duration) *
+					t.comp.EffectiveCPUPoints() / n.spec.Capacity.CPU
 			}
+			util += n.departedWeighted / float64(s.cfg.Duration) / n.spec.Capacity.CPU
 			if util > 1 {
 				util = 1
 			}
 		}
 		res.NodeUtilization[id] = util
 		res.NICUtilization[id] = n.nic.busy.Utilization(s.cfg.Duration)
-		if len(n.tasks) > 0 {
+		if n.everHosted {
 			res.NodesUsed++
 			utilSum += util
 		}

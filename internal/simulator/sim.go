@@ -19,9 +19,17 @@ type simNode struct {
 	spec      cluster.NodeSpec
 	nic       *link
 	tasks     []*simTask
-	cpuDemand float64 // declared CPU points of all hosted tasks
+	cpuDemand float64 // true CPU points of all hosted tasks
 	slowdown  float64 // max(1, cpuDemand/capacity): soft overcommit stretch
 	dead      bool
+	// everHosted marks nodes that held at least one task at any point of
+	// the run (a node fully drained by migration still counts as used).
+	everHosted bool
+	// departedWeighted accumulates busy-duration × CPU points of work that
+	// migrated tasks performed while hosted here, so utilization
+	// accounting attributes each task's busy time to the node it actually
+	// ran on.
+	departedWeighted float64
 }
 
 // simTask is one executor at runtime.
@@ -55,10 +63,25 @@ type simTask struct {
 	outBuf []outbound
 	outIdx int
 
+	// creditedBusy is the busy time already attributed to previous host
+	// nodes at migration time (see Reassign); tracker.Busy() minus this is
+	// what the current host has seen.
+	creditedBusy time.Duration
+
 	// Spout state.
 	isSpout  int // 1 if spout (int for alignment clarity; 0 otherwise)
 	inFlight int
 	parked   bool // waiting for a max-pending credit
+
+	// Per-window counters for the metrics tap (observer.go). Plain adds on
+	// the hot path; materialized and reset at window flushes.
+	winBusy      time.Duration
+	winProcessed int64
+	winEmitted   int64
+	winOverflows int64
+	winBytesOut  int64
+	winLatSum    time.Duration
+	winLatN      int64
 }
 
 // wire is a precomputed delivery edge to one consumer task: the network
@@ -86,6 +109,7 @@ type topoRun struct {
 	topo       *topology.Topology
 	assignment *core.Assignment
 	tasks      map[int]*simTask
+	ordered    []*simTask                   // dense task-ID order, for iteration
 	maxPending int                          // per-spout-task tuple-tree cap
 	sinkWin    map[string]*metrics.Windowed // per sink component
 	procWin    map[string]*metrics.Windowed // per component, processed
@@ -105,7 +129,9 @@ type failure struct {
 }
 
 // Simulation wires topologies, assignments, and a cluster into a
-// discrete-event run.
+// discrete-event run. A simulation either runs in one shot (Run) or in
+// epochs: Start, then RunTo as many times as needed — with Reassign calls
+// between epochs migrating tasks — then Finish.
 type Simulation struct {
 	cfg      Config
 	cluster  *cluster.Cluster
@@ -117,7 +143,14 @@ type Simulation struct {
 	runs     []*topoRun
 	failures []failure
 	dropped  int64
-	ran      bool
+	migrated int64
+	started  bool
+	finished bool
+
+	// Metrics tap (observer.go).
+	observer  Observer
+	sampleBuf []TaskSample
+	windowIdx int
 
 	// Free lists (see events.go). Single-threaded LIFO stacks.
 	eventPool []*simEvent
@@ -155,10 +188,13 @@ func New(c *cluster.Cluster, cfg Config) (*Simulation, error) {
 	return s, nil
 }
 
+// Config returns the simulation's effective (default-filled) configuration.
+func (s *Simulation) Config() Config { return s.cfg }
+
 // AddTopology registers a scheduled topology for execution.
 func (s *Simulation) AddTopology(topo *topology.Topology, a *core.Assignment) error {
-	if s.ran {
-		return fmt.Errorf("simulation already ran")
+	if s.started {
+		return fmt.Errorf("simulation already started")
 	}
 	if a.Topology != topo.Name() {
 		return fmt.Errorf("assignment is for %q, topology is %q", a.Topology, topo.Name())
@@ -206,16 +242,28 @@ func (s *Simulation) AddTopology(topo *topology.Topology, a *core.Assignment) er
 			st.isSpout = 1
 		}
 		node.tasks = append(node.tasks, st)
-		node.cpuDemand += comp.CPULoad
+		node.cpuDemand += comp.EffectiveCPUPoints()
+		node.everHosted = true
 		run.tasks[task.ID] = st
+		run.ordered = append(run.ordered, st)
 	}
-	// Routers need all tasks of the run built first. Path level, latency,
-	// and rack uplink are static per (emitter, consumer) pair, so they are
-	// resolved here once rather than per delivered tuple.
+	s.buildRouters(run)
+	s.runs = append(s.runs, run)
+	return nil
+}
+
+// buildRouters (re)resolves the run's delivery edges. Path level, latency,
+// and rack uplink are static per (emitter, consumer) pair for a given
+// placement, so they are resolved once at topology-add time — and again
+// after a Reassign moves tasks — rather than per delivered tuple. Rebuilding
+// resets round-robin and out-ratio carry state, which is fine: a rebalance
+// is a restart of the affected workers.
+func (s *Simulation) buildRouters(run *topoRun) {
 	net := s.cluster.Network()
-	for _, task := range topo.Tasks() {
-		st := run.tasks[task.ID]
-		for _, stream := range topo.Outgoing(task.Component) {
+	topo := run.topo
+	for _, st := range run.ordered {
+		st.outs = st.outs[:0]
+		for _, stream := range topo.Outgoing(st.task.Component) {
 			r := &router{stream: stream}
 			for _, ct := range topo.TasksOf(stream.To) {
 				target := run.tasks[ct.ID]
@@ -237,16 +285,14 @@ func (s *Simulation) AddTopology(topo *topology.Topology, a *core.Assignment) er
 			st.outs = append(st.outs, r)
 		}
 	}
-	s.runs = append(s.runs, run)
-	return nil
 }
 
 // FailNodeAt schedules a node failure during the run: its tasks die,
 // queued tuples are dropped (their trees fail so spouts are not wedged),
 // and blocked senders are released.
 func (s *Simulation) FailNodeAt(node cluster.NodeID, at time.Duration) error {
-	if s.ran {
-		return fmt.Errorf("simulation already ran")
+	if s.started {
+		return fmt.Errorf("simulation already started")
 	}
 	if _, ok := s.nodes[node]; !ok {
 		return fmt.Errorf("unknown node %q", node)
@@ -258,50 +304,101 @@ func (s *Simulation) FailNodeAt(node cluster.NodeID, at time.Duration) error {
 	return nil
 }
 
-// Run executes the simulation and returns its Result. A Simulation runs
-// once.
+// Run executes the simulation in one shot and returns its Result. A
+// Simulation runs once. Epoch-driven callers (the adaptive control loop)
+// use Start / RunTo / Reassign / Finish instead.
 func (s *Simulation) Run() (*Result, error) {
-	if s.ran {
-		return nil, fmt.Errorf("simulation already ran")
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	return s.Finish()
+}
+
+// Start freezes the contention model, schedules failure injections and
+// spout bootstraps, and makes the simulation runnable. It does not advance
+// virtual time.
+func (s *Simulation) Start() error {
+	if s.started {
+		return fmt.Errorf("simulation already started")
 	}
 	if len(s.runs) == 0 {
-		return nil, fmt.Errorf("no topologies added")
+		return fmt.Errorf("no topologies added")
 	}
-	s.ran = true
+	s.started = true
 
-	// Freeze per-node CPU overcommit factors (static processor sharing).
+	// Freeze per-node CPU overcommit factors (static processor sharing)
+	// and per-task service times. Both stay fixed until a Reassign epoch
+	// refreshes the affected nodes.
 	for _, id := range s.order {
-		n := s.nodes[id]
-		switch {
-		case n.spec.Capacity.CPU > 0:
-			if f := n.cpuDemand / n.spec.Capacity.CPU; f > 1 {
-				n.slowdown = f
-			}
-		case n.cpuDemand > 0:
-			n.slowdown = 1000 // no declared CPU at all: crawl
-		}
-	}
-	// Freeze per-task service times now that slowdowns are known.
-	for _, run := range s.runs {
-		for _, task := range run.topo.Tasks() {
-			st := run.tasks[task.ID]
-			st.service = s.serviceTime(st)
-		}
+		s.freezeNode(s.nodes[id])
 	}
 	for _, f := range s.failures {
 		f := f
 		s.engine.Schedule(f.at, func() { s.failNode(f.node) })
 	}
 	for _, run := range s.runs {
-		for _, task := range run.topo.Tasks() {
-			st := run.tasks[task.ID]
+		for _, st := range run.ordered {
 			if st.isSpout == 1 {
 				s.scheduleTask(0, evSpoutCycle, st)
 			}
 		}
 	}
+	if s.observer != nil && s.cfg.MetricsWindow <= s.cfg.Duration {
+		s.scheduleTask(s.cfg.MetricsWindow, evWindowFlush, nil)
+	}
+	return nil
+}
+
+// RunTo advances virtual time to t (clamped to the configured duration).
+// It is the epoch boundary of the adaptive control loop: between RunTo
+// calls the simulation is paused and Reassign may migrate tasks.
+func (s *Simulation) RunTo(t time.Duration) error {
+	if !s.started {
+		return fmt.Errorf("simulation not started")
+	}
+	if s.finished {
+		return fmt.Errorf("simulation already finished")
+	}
+	if t > s.cfg.Duration {
+		t = s.cfg.Duration
+	}
+	s.engine.RunUntil(t)
+	return nil
+}
+
+// Finish runs the simulation to its configured duration and builds the
+// Result. A Simulation finishes once.
+func (s *Simulation) Finish() (*Result, error) {
+	if !s.started {
+		return nil, fmt.Errorf("simulation not started")
+	}
+	if s.finished {
+		return nil, fmt.Errorf("simulation already finished")
+	}
 	s.engine.RunUntil(s.cfg.Duration)
+	s.finished = true
 	return s.buildResult(), nil
+}
+
+// freezeNode recomputes a node's CPU overcommit stretch from the true
+// demand of its hosted tasks, then refreezes its tasks' service times.
+func (s *Simulation) freezeNode(n *simNode) {
+	n.cpuDemand = 0
+	for _, t := range n.tasks {
+		n.cpuDemand += t.comp.EffectiveCPUPoints()
+	}
+	n.slowdown = 1
+	switch {
+	case n.spec.Capacity.CPU > 0:
+		if f := n.cpuDemand / n.spec.Capacity.CPU; f > 1 {
+			n.slowdown = f
+		}
+	case n.cpuDemand > 0:
+		n.slowdown = 1000 // no declared CPU at all: crawl
+	}
+	for _, t := range n.tasks {
+		t.service = s.serviceTime(t)
+	}
 }
 
 // serviceTime returns the stretched per-tuple cost for a task.
@@ -333,6 +430,8 @@ func (s *Simulation) spoutFire(t *simTask) {
 		return
 	}
 	t.tracker.AddBusy(t.service)
+	t.winBusy += t.service
+	t.winEmitted++
 	now := s.engine.Now()
 	key := s.rng.Uint64() % uint64(t.comp.Profile.KeyCardinality)
 	tr := s.newTree(t)
@@ -377,10 +476,17 @@ func (s *Simulation) boltTry(t *simTask) {
 func (s *Simulation) boltFire(t *simTask, tup *tuple) {
 	t.tracker.AddBusy(t.service)
 	if t.dead {
+		// The task's node died mid-service: the tuple is lost. Count the
+		// drop and fail its tree so the spout's max-pending credit comes
+		// back instead of leaking (a small window could otherwise wedge
+		// the spout for the rest of the run).
+		s.dropTuple(tup)
 		return
 	}
 	now := s.engine.Now()
 	t.run.processed++
+	t.winBusy += t.service
+	t.winProcessed++
 	if t.procWin == nil {
 		t.procWin = t.run.procWinFor(t.comp.Name, s.cfg.MetricsWindow)
 	}
@@ -496,6 +602,7 @@ func (s *Simulation) deliver(from *simTask, ob outbound, comp completion) {
 		s.scheduleArrive(ob.latency, ob.dest, ob.tup, comp)
 		return
 	}
+	from.winBytesOut += int64(ob.tup.bytes)
 	from.node.nic.send(s, transfer{
 		tup:      ob.tup,
 		dest:     ob.dest,
@@ -518,6 +625,7 @@ func (s *Simulation) enqueueAt(dest *simTask, tup *tuple, comp completion) {
 		s.scheduleTask(0, evBoltTry, dest)
 		return
 	}
+	dest.winOverflows++
 	dest.queue.addWaiter(tup, comp)
 }
 
@@ -527,6 +635,8 @@ func (s *Simulation) enqueueAt(dest *simTask, tup *tuple, comp completion) {
 // toward throughput.
 func (s *Simulation) recordSink(t *simTask, now, created time.Duration) {
 	age := now - created
+	t.winLatSum += age
+	t.winLatN++
 	if s.cfg.TupleTimeout > 0 && age > s.cfg.TupleTimeout {
 		t.run.expired++
 		return
@@ -540,10 +650,23 @@ func (s *Simulation) recordSink(t *simTask, now, created time.Duration) {
 	t.run.latencyN++
 }
 
-// dropTuple abandons a tuple instance (dead destination); the tree fails so
-// the spout recovers its credit rather than wedging.
+// dropTuple abandons a tuple instance lost to a node failure.
 func (s *Simulation) dropTuple(tup *tuple) {
 	s.dropped++
+	s.failTuple(tup)
+}
+
+// migrateTuple abandons a tuple drained from a migrating task's queue (the
+// rebalance analogue of Storm's worker restart: in-flight tuples fail and
+// would be replayed by the spout).
+func (s *Simulation) migrateTuple(tup *tuple) {
+	s.migrated++
+	s.failTuple(tup)
+}
+
+// failTuple releases a tuple instance and fails its tree so the spout
+// recovers its max-pending credit rather than wedging.
+func (s *Simulation) failTuple(tup *tuple) {
 	tr := tup.tree
 	s.freeTuple(tup)
 	if tr == nil {

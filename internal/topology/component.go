@@ -51,6 +51,13 @@ type ExecProfile struct {
 	// KeyCardinality bounds the synthetic key space used for fields
 	// groupings.
 	KeyCardinality int
+	// CPUPoints is the task's *true* sustained CPU demand in points. The
+	// scheduler never sees it — it schedules from the declared CPULoad —
+	// but the simulator's overcommit model uses it, so workloads whose
+	// declarations do not match reality (the adaptive-scheduling
+	// scenarios, DESIGN.md) behave according to the truth. Zero means
+	// "the declaration is honest": the declared CPULoad is used.
+	CPUPoints float64
 }
 
 // withDefaults fills unset profile fields with safe defaults.
@@ -68,6 +75,9 @@ func (p ExecProfile) withDefaults() ExecProfile {
 	}
 	if p.KeyCardinality <= 0 {
 		p.KeyCardinality = 1024
+	}
+	if p.CPUPoints < 0 {
+		p.CPUPoints = 0
 	}
 	return p
 }
@@ -94,6 +104,16 @@ type Component struct {
 	BandwidthLoad float64
 	// Profile is the simulated runtime behaviour of each task.
 	Profile ExecProfile
+}
+
+// EffectiveCPUPoints returns the true per-task CPU consumption driving the
+// simulator's contention model: the profile's CPUPoints when set, else the
+// declared CPULoad (an honest declaration).
+func (c *Component) EffectiveCPUPoints() float64 {
+	if c.Profile.CPUPoints > 0 {
+		return c.Profile.CPUPoints
+	}
+	return c.CPULoad
 }
 
 // Demand returns the per-task resource demand vector A_τ.

@@ -48,6 +48,7 @@ type ProfileSpec struct {
 	TupleBytes     int     `json:"tupleBytes,omitempty"`
 	OutRatio       float64 `json:"outRatio,omitempty"`
 	KeyCardinality int     `json:"keyCardinality,omitempty"`
+	CPUPoints      float64 `json:"cpuPoints,omitempty"`
 }
 
 // InputSpec describes one subscription of a bolt.
@@ -81,6 +82,7 @@ func (s *Spec) Build() (*Topology, error) {
 				TupleBytes:     cs.Profile.TupleBytes,
 				OutRatio:       cs.Profile.OutRatio,
 				KeyCardinality: cs.Profile.KeyCardinality,
+				CPUPoints:      cs.Profile.CPUPoints,
 			}
 		}
 		switch cs.Kind {
@@ -142,6 +144,7 @@ func SpecOf(t *Topology) *Spec {
 				TupleBytes:     c.Profile.TupleBytes,
 				OutRatio:       c.Profile.OutRatio,
 				KeyCardinality: c.Profile.KeyCardinality,
+				CPUPoints:      c.Profile.CPUPoints,
 			},
 		}
 		switch c.Kind {

@@ -1,0 +1,48 @@
+package workloads
+
+import (
+	"time"
+
+	"rstorm/internal/topology"
+)
+
+// ElasticChain builds the elasticity scenario (DESIGN.md, adaptive loop):
+// a three-stage chain whose middle "work" stage truly consumes 80 CPU
+// points and ~1536 MB per task.
+//
+// With honest=true the declarations match that truth, so R-Storm spreads
+// the work tasks one per node (the memory hard constraint permits only one
+// 1536 MB task per 2048 MB node) and nothing is overcommitted — the oracle
+// schedule the adaptive loop is judged against.
+//
+// With honest=false the user declares the work stage light (10 points,
+// 256 MB), reproducing the mis-declaration the R-Storm paper itself warns
+// about: a declaration-trusting scheduler packs most of the topology onto
+// one node, whose true load then stretches every service time. Only the
+// declarations differ — the execution profiles (the truth) are identical
+// in both variants.
+func ElasticChain(honest bool) (*topology.Topology, error) {
+	const (
+		trueWorkPoints = 80
+		trueWorkMemMB  = 1536
+		lightPoints    = 10
+		lightMemMB     = 256
+	)
+	workCPU, workMem := float64(lightPoints), float64(lightMemMB)
+	if honest {
+		workCPU, workMem = trueWorkPoints, trueWorkMemMB
+	}
+	light := topology.ExecProfile{CPUPerTuple: 100 * time.Microsecond, TupleBytes: 128}
+	heavy := topology.ExecProfile{
+		CPUPerTuple: 2 * time.Millisecond,
+		TupleBytes:  128,
+		CPUPoints:   trueWorkPoints,
+	}
+	b := topology.NewBuilder("elastic")
+	b.SetSpout("spout", 2).SetCPULoad(lightPoints).SetMemoryLoad(lightMemMB).SetProfile(light)
+	b.SetBolt("work", 6).ShuffleGrouping("spout").
+		SetCPULoad(workCPU).SetMemoryLoad(workMem).SetProfile(heavy)
+	b.SetBolt("sink", 2).ShuffleGrouping("work").
+		SetCPULoad(lightPoints).SetMemoryLoad(lightMemMB).SetProfile(light)
+	return b.Build()
+}

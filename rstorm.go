@@ -19,6 +19,10 @@
 //   - NewNimbus provides the master-daemon view: supervisor membership,
 //     topology submission, periodic scheduling rounds, and reassignment
 //     on node failure.
+//   - NewAdaptiveLoop closes the scheduling loop (beyond the paper):
+//     measured per-component demands replace the declarations and
+//     placement-induced hotspots trigger incremental, migration-aware
+//     rebalances mid-run.
 //
 // Quick start:
 //
@@ -37,6 +41,7 @@
 package rstorm
 
 import (
+	"rstorm/internal/adaptive"
 	"rstorm/internal/cluster"
 	"rstorm/internal/core"
 	"rstorm/internal/nimbus"
@@ -137,6 +142,44 @@ type (
 	// Supervisor is a worker node's daemon.
 	Supervisor = nimbus.Supervisor
 )
+
+// Adaptive feedback scheduling (see internal/adaptive): a runtime metrics
+// tap feeds a demand profiler whose measured per-component vectors replace
+// the user's declarations, and a feedback controller triggers incremental
+// rebalances when placement-induced contention appears.
+type (
+	// TaskSample is one task's per-window runtime measurements.
+	TaskSample = simulator.TaskSample
+	// SimObserver receives every task's sample at each window boundary.
+	SimObserver = simulator.Observer
+	// DemandProfiler folds task samples into per-component estimates.
+	DemandProfiler = adaptive.Profiler
+	// AdaptiveController detects hotspots and plans incremental rebalances.
+	AdaptiveController = adaptive.Controller
+	// AdaptiveLoop drives a simulation in pause/reassign/resume epochs.
+	AdaptiveLoop = adaptive.Loop
+	// AdaptiveLoopConfig tunes the control loop.
+	AdaptiveLoopConfig = adaptive.LoopConfig
+	// AdaptiveLoopResult bundles a finished adaptive run.
+	AdaptiveLoopResult = adaptive.LoopResult
+	// TaskMove records one task migration of an incremental reschedule.
+	TaskMove = core.Move
+	// IncrementalOptions tunes the migration-aware reschedule pass.
+	IncrementalOptions = core.IncrementalOptions
+)
+
+// NewDemandProfiler returns a profiler with default smoothing; attach it
+// with Simulation.SetObserver to measure without rebalancing.
+func NewDemandProfiler() *DemandProfiler {
+	return adaptive.NewProfiler(adaptive.ProfilerConfig{})
+}
+
+// NewAdaptiveLoop wires the adaptive control loop over a prepared (not yet
+// started) simulation. Register each simulated topology with Manage, then
+// call Run instead of Simulation.Run.
+func NewAdaptiveLoop(sim *Simulation, c *Cluster, cfg AdaptiveLoopConfig) *AdaptiveLoop {
+	return adaptive.NewLoop(sim, c, core.NewResourceAwareScheduler(), cfg)
+}
 
 // Sentinel errors, matchable with errors.Is.
 var (

@@ -83,6 +83,11 @@ func BenchmarkAblationTaskOrdering(b *testing.B)  { benchFigure(b, "ablationA") 
 func BenchmarkAblationGreedyVsExact(b *testing.B) { benchFigure(b, "ablationB") }
 func BenchmarkAblationWeights(b *testing.B)       { benchFigure(b, "ablationC") }
 
+// Runtime memory model (DESIGN.md §4): the memstress scenario fixes its
+// own duration/window, so benchOpts only contributes the seed.
+
+func BenchmarkMemStressRuntimeMemory(b *testing.B) { benchFigure(b, "memstress") }
+
 // Scheduler latency: §3 demands that "scheduling decisions need to be made
 // in a snappy manner". These benchmarks measure schedule-computation time
 // as the task count grows.
@@ -145,19 +150,33 @@ func BenchmarkSchedulerLatencyOffline400Tasks(b *testing.B) {
 // the Fig. 8a workload, a sanity check that the DES can sustain the
 // evaluation's event rates.
 
-func BenchmarkSimulatorThroughput(b *testing.B) {
+func benchSimulatorThroughput(b *testing.B, memoryModel bool) {
+	b.Helper()
 	b.ReportAllocs()
 	c, err := cluster.Emulab12()
 	if err != nil {
 		b.Fatal(err)
 	}
+	// With the memory model on, the bolts also carry a growing working
+	// set, exercising the resident-memory accounting. The footprints stay
+	// well under capacity (8 tasks x 160 MB on a 2048 MB node): this
+	// benchmark measures the accounting, not the kills — a single OOM
+	// would change the workload and make the comparison meaningless.
+	profile := func(memMB float64) rstorm.ExecProfile {
+		p := rstorm.ExecProfile{CPUPerTuple: 100 * time.Microsecond, TupleBytes: 256}
+		if memoryModel {
+			p.MemMB = memMB
+			p.MemGrowTuples = 10000
+		}
+		return p
+	}
 	tb := rstorm.NewTopologyBuilder("enginebench")
 	tb.SetSpout("s", 4).SetCPULoad(10).SetMemoryLoad(256).
-		SetProfile(rstorm.ExecProfile{CPUPerTuple: 100 * time.Microsecond, TupleBytes: 256})
+		SetProfile(profile(0))
 	tb.SetBolt("m", 4).ShuffleGrouping("s").SetCPULoad(10).SetMemoryLoad(256).
-		SetProfile(rstorm.ExecProfile{CPUPerTuple: 100 * time.Microsecond, TupleBytes: 256})
+		SetProfile(profile(160))
 	tb.SetBolt("z", 4).ShuffleGrouping("m").SetCPULoad(10).SetMemoryLoad(256).
-		SetProfile(rstorm.ExecProfile{CPUPerTuple: 100 * time.Microsecond, TupleBytes: 256})
+		SetProfile(profile(160))
 	topo, err := tb.Build()
 	if err != nil {
 		b.Fatal(err)
@@ -167,7 +186,8 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		result, err := rstorm.ScheduleAndSimulate(c,
-			rstorm.SimConfig{Duration: 5 * time.Second, MetricsWindow: time.Second},
+			rstorm.SimConfig{Duration: 5 * time.Second, MetricsWindow: time.Second,
+				MemoryModel: memoryModel},
 			rstorm.NewResourceAwareScheduler(), topo)
 		if err != nil {
 			b.Fatal(err)
@@ -179,6 +199,14 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.ReportMetric(float64(processed)/elapsed, "tuples/s")
 	}
 }
+
+func BenchmarkSimulatorThroughput(b *testing.B) { benchSimulatorThroughput(b, false) }
+
+// BenchmarkSimulatorThroughputMemoryModel proves the runtime memory
+// model's hot-path accounting (queue-byte adds, handled-tuple counter,
+// per-window residency checks) stays allocation-free: allocs/op must match
+// the memory-blind benchmark above, and tuples/s must stay within noise.
+func BenchmarkSimulatorThroughputMemoryModel(b *testing.B) { benchSimulatorThroughput(b, true) }
 
 // Assignment analysis cost on a large placement.
 

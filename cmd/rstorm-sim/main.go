@@ -7,12 +7,17 @@
 //	rstorm-sim -topology topo.json [-cluster cluster.yaml] \
 //	           [-scheduler r-storm|default-even|offline-linear] \
 //	           [-duration 60s] [-fail node-0-3@20s] \
-//	           [-adaptive] [-control-interval 1s]
+//	           [-adaptive] [-control-interval 1s] [-memory]
 //
 // Without -topology it runs the built-in network-bound Linear benchmark.
 // With -adaptive the run is driven by the feedback control loop
 // (internal/adaptive): measured per-component demands replace the declared
-// ones and hotspots trigger incremental rebalances mid-run.
+// ones and hotspots trigger incremental rebalances mid-run. With -memory
+// the runtime memory model is enabled: resident memory (queued payload
+// plus each task's possibly-growing working set) is accounted online, a
+// node exceeding its capacity OOM-kills its worst offender, and the
+// measured table gains declared-vs-measured memory columns; combined with
+// -adaptive, measured memory replaces the declarations during replanning.
 package main
 
 import (
@@ -53,6 +58,7 @@ func run(w io.Writer, args []string) error {
 		showAssign  = fs.Bool("assignment", false, "print the task placement")
 		adaptiveOn  = fs.Bool("adaptive", false, "close the loop: profile measured demands and rebalance incrementally")
 		ctrlIvl     = fs.Duration("control-interval", 0, "adaptive control epoch (default: one metrics window)")
+		memoryOn    = fs.Bool("memory", false, "enable the runtime memory model: resident accounting + OOM enforcement (with -adaptive, measured memory replaces declarations)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +93,7 @@ func run(w io.Writer, args []string) error {
 		Duration:      *duration,
 		MetricsWindow: *window,
 		Seed:          *seed,
+		MemoryModel:   *memoryOn,
 	})
 	if err != nil {
 		return err
@@ -112,9 +119,14 @@ func run(w io.Writer, args []string) error {
 	if *adaptiveOn {
 		// Replanning always uses the R-Storm distance machinery, whatever
 		// scheduler produced the initial placement — so -adaptive also
-		// demonstrates the loop repairing a default-even schedule.
-		loop := adaptive.NewLoop(sim, c, core.NewResourceAwareScheduler(),
-			adaptive.LoopConfig{Interval: *ctrlIvl})
+		// demonstrates the loop repairing a default-even schedule. With
+		// -memory the loop additionally measures resident memory and keeps
+		// rescheduled tasks under a memory-fill headroom.
+		loopCfg := adaptive.LoopConfig{Interval: *ctrlIvl}
+		if *memoryOn {
+			loopCfg.Controller.MemHeadroom = 0.8
+		}
+		loop := adaptive.NewLoop(sim, c, core.NewResourceAwareScheduler(), loopCfg)
 		if err := loop.Manage(topo, a); err != nil {
 			return err
 		}
@@ -136,11 +148,11 @@ func run(w io.Writer, args []string) error {
 			return err
 		}
 	}
-	printResult(w, topo, a, result, c)
+	printResult(w, topo, a, result, c, *memoryOn)
 	if *adaptiveOn {
 		printRebalances(w, rebalances, result)
 	}
-	printMeasured(w, topo, prof)
+	printMeasured(w, topo, prof, *memoryOn)
 	return nil
 }
 
@@ -197,7 +209,7 @@ func parseFailure(spec string) (cluster.NodeID, time.Duration, error) {
 	return cluster.NodeID(parts[0]), at, nil
 }
 
-func printResult(w io.Writer, topo *topology.Topology, a *core.Assignment, result *simulator.Result, c *cluster.Cluster) {
+func printResult(w io.Writer, topo *topology.Topology, a *core.Assignment, result *simulator.Result, c *cluster.Cluster, memoryOn bool) {
 	tr := result.Topology(topo.Name())
 	fmt.Fprintf(w, "topology    %s (%d tasks, %d components)\n",
 		topo.Name(), topo.TotalTasks(), len(topo.Components()))
@@ -210,6 +222,10 @@ func printResult(w io.Writer, topo *topology.Topology, a *core.Assignment, resul
 		tr.TuplesEmitted, tr.TuplesProcessed, tr.TuplesDelivered, result.TuplesDropped)
 	fmt.Fprintf(w, "latency     %v mean spout-to-sink\n", tr.MeanLatency)
 	fmt.Fprintf(w, "cpu util    %.1f%% mean over used nodes\n", result.MeanUtilizationUsed*100)
+	if memoryOn {
+		fmt.Fprintf(w, "memory      oom-killed=%d tasks (runtime memory model)\n",
+			result.TasksOOMKilled)
+	}
 
 	fmt.Fprintln(w)
 	fmt.Fprint(w, viz.LineChart(
@@ -246,22 +262,32 @@ func printRebalances(w io.Writer, events []adaptive.RebalanceEvent, result *simu
 }
 
 // printMeasured renders the metrics tap's per-component summary: declared
-// vs measured CPU demand, utilization, queue pressure and NIC egress.
-func printMeasured(w io.Writer, topo *topology.Topology, prof *adaptive.Profiler) {
+// vs measured CPU demand, utilization, queue pressure and NIC egress —
+// plus declared vs measured resident memory when the runtime memory model
+// is on (without it memory is unmeasured and the columns would be noise).
+func printMeasured(w io.Writer, topo *topology.Topology, prof *adaptive.Profiler, memoryOn bool) {
 	stats := prof.Stats(topo.Name())
 	if len(stats) == 0 {
 		return
 	}
 	fmt.Fprintf(w, "\nmeasured per-component demand (EWMA over %d windows):\n", prof.Windows())
-	fmt.Fprintf(w, "  %-16s %6s %9s %9s %7s %7s %11s %10s\n",
+	fmt.Fprintf(w, "  %-16s %6s %9s %9s %7s %7s %11s %10s",
 		"component", "tasks", "decl-cpu", "meas-cpu", "util", "queue", "egress-mbps", "overflows")
+	if memoryOn {
+		fmt.Fprintf(w, " %9s %9s", "decl-mem", "meas-mem")
+	}
+	fmt.Fprintln(w)
 	for _, st := range stats {
 		comp := topo.Component(st.Component)
 		if comp == nil {
 			continue
 		}
-		fmt.Fprintf(w, "  %-16s %6d %9.1f %9.1f %6.1f%% %6.1f%% %11.2f %10d\n",
+		fmt.Fprintf(w, "  %-16s %6d %9.1f %9.1f %6.1f%% %6.1f%% %11.2f %10d",
 			st.Component, st.Tasks, comp.CPULoad, st.CPUPoints,
 			st.Utilization*100, st.QueueFill*100, st.EgressMbps, st.Overflows)
+		if memoryOn {
+			fmt.Fprintf(w, " %9.1f %9.1f", comp.MemoryLoad, st.MemResidentMB)
+		}
+		fmt.Fprintln(w)
 	}
 }

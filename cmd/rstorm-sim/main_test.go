@@ -130,6 +130,67 @@ func TestRunPrintsMeasuredTable(t *testing.T) {
 	}
 }
 
+// TestRunMemoryModel drives the runtime memory model from the CLI: a
+// topology whose true working set (memMb) dwarfs its declared memory must
+// OOM-thrash on the packed static placement, and the measured table must
+// grow declared-vs-measured memory columns. With -adaptive on the same
+// spec the loop must instead migrate off the filling node, take no OOM
+// kills, and report a memory-triggered rebalance.
+func TestRunMemoryModel(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "memliar.json")
+	spec := `{
+	  "name": "memliar",
+	  "components": [
+	    {"name": "s", "kind": "spout", "parallelism": 2, "cpuLoad": 10, "memoryLoadMb": 128,
+	     "profile": {"cpuPerTupleUs": 500, "tupleBytes": 512}},
+	    {"name": "cache", "kind": "bolt", "parallelism": 6, "cpuLoad": 8, "memoryLoadMb": 128,
+	     "profile": {"cpuPerTupleUs": 100, "tupleBytes": 512, "memMb": 1408, "memGrowTuples": 20000},
+	     "inputs": [{"from": "s"}]},
+	    {"name": "z", "kind": "bolt", "parallelism": 2, "cpuLoad": 10, "memoryLoadMb": 128,
+	     "profile": {"cpuPerTupleUs": 100, "tupleBytes": 512},
+	     "inputs": [{"from": "cache"}]}
+	  ]
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var static bytes.Buffer
+	err := run(&static, []string{
+		"-topology", path, "-memory",
+		"-duration", "20s", "-window", "500ms",
+	})
+	if err != nil {
+		t.Fatalf("run -memory: %v", err)
+	}
+	s := static.String()
+	if !strings.Contains(s, "oom-killed=5 tasks") {
+		t.Errorf("static run should OOM-thrash the packed cache stage:\n%s", s)
+	}
+	for _, col := range []string{"decl-mem", "meas-mem"} {
+		if !strings.Contains(s, col) {
+			t.Errorf("measured table missing memory column %q", col)
+		}
+	}
+
+	var adapt bytes.Buffer
+	err = run(&adapt, []string{
+		"-topology", path, "-memory", "-adaptive",
+		"-duration", "20s", "-window", "500ms",
+	})
+	if err != nil {
+		t.Fatalf("run -memory -adaptive: %v", err)
+	}
+	s = adapt.String()
+	if !strings.Contains(s, "oom-killed=0 tasks") {
+		t.Errorf("adaptive run should migrate before any OOM kill:\n%s", s)
+	}
+	if !strings.Contains(s, "trigger=memory") {
+		t.Errorf("adaptive loop never fired the memory trigger:\n%s", s)
+	}
+}
+
 // TestRunAdaptiveMode drives the feedback loop from the CLI on a topology
 // spec whose declarations undersell a truly heavy stage, and expects the
 // loop to report its rebalances.

@@ -15,6 +15,7 @@ import (
 const (
 	TriggerHotspot   = "hotspot"   // a component saturated or overflowing
 	TriggerImbalance = "imbalance" // everything idle: consolidation pass
+	TriggerMemory    = "memory"    // a node's resident memory nears capacity
 )
 
 // ControllerConfig tunes hotspot detection and the rebalance policy.
@@ -44,6 +45,18 @@ type ControllerConfig struct {
 	// Margin is the stickiness passed to the incremental reschedule.
 	// Default 0.15.
 	Margin float64
+	// MemHigh marks a topology memory-hot when any node hosting its live
+	// tasks has resident memory at or above this fraction of capacity —
+	// the early-warning threshold that gets tasks off a filling node
+	// before the simulator's OOM killer fires at 1.0. Requires the
+	// runtime memory model (samples read zero fill without it, so the
+	// trigger is inert on memory-blind runs). Default 0.85.
+	MemHigh float64
+	// MemHeadroom is passed to the incremental reschedule
+	// (IncrementalOptions.MemHeadroom): candidates that keep memory fill
+	// under this fraction outrank tight fits. Zero disables the tier —
+	// the default, so declared-memory replans are unchanged.
+	MemHeadroom float64
 }
 
 func (c ControllerConfig) withDefaults() ControllerConfig {
@@ -68,6 +81,9 @@ func (c ControllerConfig) withDefaults() ControllerConfig {
 	if c.Margin <= 0 {
 		c.Margin = 0.15
 	}
+	if c.MemHigh <= 0 {
+		c.MemHigh = 0.85
+	}
 	return c
 }
 
@@ -75,6 +91,7 @@ func (c ControllerConfig) withDefaults() ControllerConfig {
 type topoState struct {
 	hotStreak  int
 	coldStreak int
+	memStreak  int
 	cooldown   int  // remaining quiet windows
 	quiet      bool // this window falls inside the cooldown
 	rebalances int
@@ -85,6 +102,7 @@ type topoState struct {
 	winSeen    bool
 	winHot     bool
 	winAllCold bool
+	winMemHot  bool
 }
 
 // Controller is the feedback half of the adaptive loop: it watches the
@@ -102,6 +120,12 @@ type Controller struct {
 	sched    *core.ResourceAwareScheduler
 	topos    map[string]*topoState
 	order    []string
+
+	// nodeMem / nodeMemCap are per-window scratch for node-level resident
+	// memory aggregation (the memory-hotspot trigger), reused across
+	// flushes. Empty on memory-blind runs: samples carry zero capacity.
+	nodeMem    map[cluster.NodeID]float64
+	nodeMemCap map[cluster.NodeID]float64
 }
 
 // NewController wires a controller over a profiler and scheduler. A nil
@@ -114,10 +138,12 @@ func NewController(p *Profiler, sched *core.ResourceAwareScheduler, cfg Controll
 		sched = core.NewResourceAwareScheduler()
 	}
 	return &Controller{
-		cfg:      cfg.withDefaults(),
-		profiler: p,
-		sched:    sched,
-		topos:    make(map[string]*topoState),
+		cfg:        cfg.withDefaults(),
+		profiler:   p,
+		sched:      sched,
+		topos:      make(map[string]*topoState),
+		nodeMem:    make(map[cluster.NodeID]float64),
+		nodeMemCap: make(map[cluster.NodeID]float64),
 	}
 }
 
@@ -130,6 +156,13 @@ func (c *Controller) Profiler() *Profiler { return c.profiler }
 // profiler's estimates in place rather than through the copying accessors.
 func (c *Controller) OnWindow(samples []simulator.TaskSample) {
 	c.profiler.OnWindow(samples)
+	// Partial flushes (mid-window Reassign, trailing Finish) update the
+	// estimates but not the decision clocks: a slice of a window is not a
+	// window of evidence, and counting it would let hysteresis fire early
+	// and cooldowns expire in less real time than configured.
+	if !c.profiler.LastFlushFull() {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, ts := range c.topos {
@@ -146,6 +179,7 @@ func (c *Controller) OnWindow(samples []simulator.TaskSample) {
 			ts.winSeen = true
 			ts.winHot = false
 			ts.winAllCold = true
+			ts.winMemHot = false
 		}
 		// Saturation alone is not a hotspot: a fully busy executor on an
 		// uncontended node is the pipeline's natural bottleneck and
@@ -159,6 +193,39 @@ func (c *Controller) OnWindow(samples []simulator.TaskSample) {
 			ts.winAllCold = false
 		}
 	})
+	// Memory pass (runtime memory model only): aggregate each node's
+	// resident memory across every topology's live tasks, then flag every
+	// topology with live tasks on a node filling past MemHigh. Unlike the
+	// CPU hotspot, no contention gate applies: memory is the hard axis,
+	// and a filling node is placement-fixable (and OOM-bound) regardless
+	// of whether anything is slowed down yet.
+	for k := range c.nodeMem {
+		delete(c.nodeMem, k)
+	}
+	for k := range c.nodeMemCap {
+		delete(c.nodeMemCap, k)
+	}
+	for i := range samples {
+		s := &samples[i]
+		if s.Dead || s.NodeMemCapacityMB <= 0 {
+			continue
+		}
+		c.nodeMem[s.Node] += s.ResidentMemMB
+		c.nodeMemCap[s.Node] = s.NodeMemCapacityMB
+	}
+	if len(c.nodeMem) > 0 {
+		for i := range samples {
+			s := &samples[i]
+			if s.Dead || s.NodeMemCapacityMB <= 0 {
+				continue
+			}
+			if c.nodeMem[s.Node] >= c.cfg.MemHigh*c.nodeMemCap[s.Node] {
+				if ts := c.topos[s.Topology]; ts != nil {
+					ts.winMemHot = true
+				}
+			}
+		}
+	}
 	for _, name := range c.order {
 		ts := c.topos[name]
 		if !ts.winSeen {
@@ -173,7 +240,12 @@ func (c *Controller) OnWindow(samples []simulator.TaskSample) {
 		} else {
 			ts.hotStreak = 0
 		}
-		if ts.winAllCold && !ts.winHot {
+		if ts.winMemHot {
+			ts.memStreak++
+		} else {
+			ts.memStreak = 0
+		}
+		if ts.winAllCold && !ts.winHot && !ts.winMemHot {
 			ts.coldStreak++
 		} else {
 			ts.coldStreak = 0
@@ -189,6 +261,11 @@ func (c *Controller) ShouldRebalance(name string) (string, bool) {
 	ts := c.topos[name]
 	if ts == nil || ts.quiet || c.profiler.Windows() < c.cfg.MinWindows {
 		return "", false
+	}
+	// Memory outranks the CPU hotspot: the hard axis ends in OOM kills,
+	// not slowdown, so a filling node is always the most urgent repair.
+	if ts.memStreak >= c.cfg.Hysteresis {
+		return TriggerMemory, true
 	}
 	if ts.hotStreak >= c.cfg.Hysteresis {
 		return TriggerHotspot, true
@@ -216,14 +293,15 @@ func (c *Controller) Plan(
 		return nil, nil, fmt.Errorf("topology %q has no current assignment", topo.Name())
 	}
 	return c.sched.IncrementalReschedule(topo, clu, current, core.IncrementalOptions{
-		Demands:   c.profiler.MeasuredDemands(topo),
-		Available: available,
-		MaxMoves:  c.cfg.MaxMoves,
-		Margin:    c.cfg.Margin,
-		// Tasks killed by node failures are pinned: nothing is left to
-		// migrate, and planning them would burn the MaxMoves budget on
-		// moves the simulator must revert.
-		Frozen: c.profiler.DeadTasks(topo.Name()),
+		Demands:     c.profiler.MeasuredDemands(topo),
+		Available:   available,
+		MaxMoves:    c.cfg.MaxMoves,
+		Margin:      c.cfg.Margin,
+		MemHeadroom: c.cfg.MemHeadroom,
+		// Tasks killed by node failures or the OOM killer are dead:
+		// pinned in place (nothing is left to migrate) and no longer
+		// consuming their node's resources.
+		Dead: c.profiler.DeadTasks(topo.Name()),
 	})
 }
 
@@ -242,6 +320,7 @@ func (c *Controller) NotifyRebalanced(name string, moves int, trigger string) {
 	ts.quiet = true
 	ts.hotStreak = 0
 	ts.coldStreak = 0
+	ts.memStreak = 0
 	if moves > 0 {
 		ts.rebalances++
 		ts.totalMoves += moves
@@ -254,6 +333,7 @@ type TopologyStatus struct {
 	Name       string           `json:"name"`
 	HotStreak  int              `json:"hotStreak"`
 	ColdStreak int              `json:"coldStreak"`
+	MemStreak  int              `json:"memStreak"`
 	Cooldown   int              `json:"cooldown"`
 	Rebalances int              `json:"rebalances"`
 	TotalMoves int              `json:"totalMoves"`
@@ -268,6 +348,7 @@ type ControllerStatus struct {
 	HighUtil   float64          `json:"highUtil"`
 	LowUtil    float64          `json:"lowUtil"`
 	QueueHigh  float64          `json:"queueHigh"`
+	MemHigh    float64          `json:"memHigh"`
 	Hysteresis int              `json:"hysteresis"`
 	Cooldown   int              `json:"cooldown"`
 	Topologies []TopologyStatus `json:"topologies"`
@@ -283,6 +364,7 @@ func (c *Controller) Status() ControllerStatus {
 		HighUtil:   c.cfg.HighUtil,
 		LowUtil:    c.cfg.LowUtil,
 		QueueHigh:  c.cfg.QueueHigh,
+		MemHigh:    c.cfg.MemHigh,
 		Hysteresis: c.cfg.Hysteresis,
 		Cooldown:   c.cfg.Cooldown,
 	}
@@ -292,6 +374,7 @@ func (c *Controller) Status() ControllerStatus {
 			Name:       name,
 			HotStreak:  ts.hotStreak,
 			ColdStreak: ts.coldStreak,
+			MemStreak:  ts.memStreak,
 			Cooldown:   ts.cooldown,
 			Rebalances: ts.rebalances,
 			TotalMoves: ts.totalMoves,

@@ -2,6 +2,7 @@ package adaptive
 
 import (
 	"testing"
+	"time"
 
 	"rstorm/internal/simulator"
 )
@@ -109,5 +110,88 @@ func TestStatusSnapshot(t *testing.T) {
 	}
 	if ts.LastAction == "" {
 		t.Error("LastAction empty")
+	}
+}
+
+// TestMemoryTriggerFiresOnFillingNode: a node whose summed residents pass
+// MemHigh must build a memory streak for every topology hosted there and
+// fire the memory trigger after the hysteresis, with no contention gate.
+func TestMemoryTriggerFiresOnFillingNode(t *testing.T) {
+	ctrl := NewController(nil, nil, ControllerConfig{
+		Hysteresis: 2, MinWindows: 1, MemHigh: 0.8,
+	})
+	hot := func(residentMB float64) []simulator.TaskSample {
+		s1 := sample("t", "cache", 0, "n0", 0.2, 1)
+		s1.ResidentMemMB, s1.NodeMemCapacityMB = residentMB, 2048
+		s2 := sample("t", "cache", 1, "n0", 0.2, 1)
+		s2.ResidentMemMB, s2.NodeMemCapacityMB = residentMB, 2048
+		return []simulator.TaskSample{s1, s2}
+	}
+	// 2 x 700 = 1400 < 0.8 * 2048: below the line, no streak.
+	ctrl.OnWindow(hot(700))
+	if trigger, ok := ctrl.ShouldRebalance("t"); ok {
+		t.Fatalf("below MemHigh triggered %q", trigger)
+	}
+	// 2 x 900 = 1800 >= 1638: two windows of pressure satisfy hysteresis.
+	ctrl.OnWindow(hot(900))
+	if _, ok := ctrl.ShouldRebalance("t"); ok {
+		t.Fatal("one hot window must not satisfy hysteresis 2")
+	}
+	ctrl.OnWindow(hot(900))
+	trigger, ok := ctrl.ShouldRebalance("t")
+	if !ok || trigger != TriggerMemory {
+		t.Fatalf("trigger = %q, %v; want memory trigger", trigger, ok)
+	}
+	// The rebalance resets the streak and starts the cooldown.
+	ctrl.NotifyRebalanced("t", 1, trigger)
+	if _, ok := ctrl.ShouldRebalance("t"); ok {
+		t.Error("cooldown ignored after memory rebalance")
+	}
+	if st := ctrl.Status(); st.Topologies[0].MemStreak != 0 {
+		t.Errorf("memStreak = %d after rebalance, want 0", st.Topologies[0].MemStreak)
+	}
+}
+
+// TestMemoryTriggerInertWithoutModel: memory-blind samples (zero capacity)
+// must never produce a memory streak, whatever the fill thresholds.
+func TestMemoryTriggerInertWithoutModel(t *testing.T) {
+	ctrl := NewController(nil, nil, ControllerConfig{Hysteresis: 1, MinWindows: 1, MemHigh: 0.01})
+	for i := 0; i < 3; i++ {
+		ctrl.OnWindow([]simulator.TaskSample{sample("t", "cache", 0, "n0", 0.3, 1)})
+	}
+	if trigger, ok := ctrl.ShouldRebalance("t"); ok && trigger == TriggerMemory {
+		t.Error("memory trigger fired without the runtime memory model")
+	}
+}
+
+// TestPartialWindowsDoNotAdvanceDecisionClocks: a mid-window partial
+// flush folds into the profiler but must not count toward hysteresis or
+// consume cooldown — a 250ms slice is not a window of evidence.
+func TestPartialWindowsDoNotAdvanceDecisionClocks(t *testing.T) {
+	ctrl := NewController(nil, nil, ControllerConfig{
+		Hysteresis: 2, MinWindows: 1, MemHigh: 0.5,
+	})
+	full := func() []simulator.TaskSample {
+		s := sample("t", "cache", 0, "n0", 0.2, 1)
+		s.ResidentMemMB, s.NodeMemCapacityMB = 1500, 2048
+		return []simulator.TaskSample{s}
+	}
+	partial := func() []simulator.TaskSample {
+		ss := full()
+		ss[0].WindowStart = time.Second
+		ss[0].WindowEnd = 1250 * time.Millisecond
+		return ss
+	}
+	ctrl.OnWindow(full()) // memStreak 1
+	// Two hot partial slices must not complete the hysteresis...
+	ctrl.OnWindow(partial())
+	ctrl.OnWindow(partial())
+	if trigger, ok := ctrl.ShouldRebalance("t"); ok {
+		t.Fatalf("partial windows satisfied hysteresis: %q", trigger)
+	}
+	// ...but the next full window does.
+	ctrl.OnWindow(full())
+	if trigger, ok := ctrl.ShouldRebalance("t"); !ok || trigger != TriggerMemory {
+		t.Fatalf("trigger = %q, %v after two full hot windows", trigger, ok)
 	}
 }

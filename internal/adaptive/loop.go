@@ -188,7 +188,15 @@ func (l *Loop) availabilityFor(excl string) map[cluster.NodeID]resource.Vector {
 		topo := l.topos[name]
 		cur := l.current[name]
 		demands := l.ctrl.Profiler().MeasuredDemands(topo)
+		dead := l.ctrl.Profiler().DeadTasks(name)
 		for _, task := range topo.Tasks() {
+			// A dead task consumes nothing on its node: OOM kills free the
+			// working set and the node's contention is refrozen without it,
+			// so subtracting its component's (live-task) demand would
+			// understate the node to every other topology's replan.
+			if dead[task.ID] {
+				continue
+			}
 			d, ok := demands[task.Component]
 			if !ok {
 				d = topo.TaskDemand(task)

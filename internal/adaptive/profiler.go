@@ -3,8 +3,9 @@
 // adds the feedback path the follow-on literature (DRS, Fu et al.;
 // A2C-based Storm scheduling, Dong et al.) shows is where further wins
 // live: a runtime metrics tap on the simulator feeds a demand profiler
-// that replaces declared CPU/bandwidth demands with measured ones, a
-// feedback controller detects hotspots and imbalance with hysteresis, and
+// that replaces declared CPU/bandwidth (and, under the runtime memory
+// model, memory) demands with measured ones, a feedback controller
+// detects hotspots, memory pressure, and imbalance with hysteresis, and
 // an incremental reschedule (internal/core) migrates only the offending
 // tasks. DESIGN.md documents the estimator and the control policy.
 package adaptive
@@ -25,11 +26,27 @@ type ProfilerConfig struct {
 	// Alpha is the EWMA smoothing factor applied to each new window
 	// (1 = latest window only). Default 0.5.
 	Alpha float64
+	// MemLookaheadWindows projects the measured memory demand forward by
+	// this many (full metrics) windows of EWMA growth: a task whose state
+	// is still growing at plan time must be placed for where it is
+	// heading, not where it was sampled, or the hard axis is re-violated
+	// one growth window after the migration. Default 4.
+	//
+	// Memory measurement itself needs no switch: samples carry resident
+	// memory exactly when the simulator's runtime memory model is on, and
+	// the profiler replaces declared memory with measurements as soon as
+	// it has seen any — a memory trigger must never replan against the
+	// very declarations it just caught lying. Without the model, samples
+	// are memory-blind and declarations stay authoritative.
+	MemLookaheadWindows int
 }
 
 func (c ProfilerConfig) withDefaults() ProfilerConfig {
 	if c.Alpha <= 0 || c.Alpha > 1 {
 		c.Alpha = 0.5
+	}
+	if c.MemLookaheadWindows <= 0 {
+		c.MemLookaheadWindows = 4
 	}
 	return c
 }
@@ -61,6 +78,14 @@ type ComponentStats struct {
 	MaxSlowdown float64 `json:"maxSlowdown"`
 	// EgressMbps is the EWMA per-task NIC egress rate.
 	EgressMbps float64 `json:"egressMbps"`
+	// MemResidentMB is the EWMA *max* per-task resident memory in MB as
+	// measured by the simulator's runtime memory model — max rather than
+	// mean because memory is the hard axis, and a placement must fit the
+	// component's worst task. Zero when the memory model is off.
+	MemResidentMB float64 `json:"memResidentMb"`
+	// MemGrowthMB is the EWMA per-window increase of the max resident
+	// memory — the state-growth slope used to project demand forward.
+	MemGrowthMB float64 `json:"memGrowthMb"`
 	// QueueFill is the EWMA input-queue fill fraction at window ends.
 	QueueFill float64 `json:"queueFill"`
 	// Overflows is the cumulative count of enqueue attempts that hit a
@@ -92,36 +117,73 @@ type Profiler struct {
 	// nodeBusy is scratch for per-node busy aggregation, reused across
 	// flushes.
 	nodeBusy map[cluster.NodeID]time.Duration
+
+	// prevMaxMem is each component's unsmoothed max resident memory from
+	// the previous window, the finite difference behind MemGrowthMB.
+	prevMaxMem map[compKey]float64
+	// sawMemory records that samples have carried resident-memory
+	// measurements (the runtime memory model is on): MeasuredDemands then
+	// replaces declared memory with the measured projection.
+	sawMemory bool
+	// fullWindow is the longest flush interval seen — the configured
+	// metrics window, once one full window has flushed. Partial flushes
+	// (mid-window Reassign, trailing Finish) scale their growth deltas up
+	// to this length so MemGrowthMB stays a per-full-window slope, and
+	// are excluded from the Windows() count: a 250 ms slice is not a
+	// window of evidence. lastFlushFull is the classification of the most
+	// recent flush, shared with the controller's decision clocks.
+	fullWindow    time.Duration
+	lastFlushFull bool
 }
 
 // NewProfiler returns a Profiler with the given configuration.
 func NewProfiler(cfg ProfilerConfig) *Profiler {
 	return &Profiler{
-		cfg:      cfg.withDefaults(),
-		stats:    make(map[compKey]*ComponentStats),
-		dead:     make(map[string]map[int]bool),
-		nodeBusy: make(map[cluster.NodeID]time.Duration),
+		cfg:        cfg.withDefaults(),
+		stats:      make(map[compKey]*ComponentStats),
+		dead:       make(map[string]map[int]bool),
+		nodeBusy:   make(map[cluster.NodeID]time.Duration),
+		prevMaxMem: make(map[compKey]float64),
 	}
 }
 
-// Windows returns the number of flushes observed.
+// Windows returns the number of full metrics windows observed. Partial
+// flushes (mid-window Reassign, trailing Finish) fold into the estimates
+// but do not count as windows of evidence.
 func (p *Profiler) Windows() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.windows
 }
 
+// LastFlushFull reports whether the most recent OnWindow covered a full
+// metrics window. The controller keys its hysteresis/cooldown clocks on
+// this, so partial flushes cannot satisfy hysteresis early or burn
+// cooldown in less real time than configured.
+func (p *Profiler) LastFlushFull() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastFlushFull
+}
+
 // OnWindow implements simulator.Observer.
 func (p *Profiler) OnWindow(samples []simulator.TaskSample) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.windows++
 	window := time.Duration(0)
 	if len(samples) > 0 {
 		window = samples[0].WindowEnd - samples[0].WindowStart
 	}
+	p.lastFlushFull = false
 	if window <= 0 {
 		return
+	}
+	if window > p.fullWindow {
+		p.fullWindow = window
+	}
+	p.lastFlushFull = window >= p.fullWindow
+	if p.lastFlushFull {
+		p.windows++
 	}
 	// First pass: per-node busy totals, needed to attribute an
 	// overcommitted node's capacity across its tasks.
@@ -142,6 +204,7 @@ func (p *Profiler) OnWindow(samples []simulator.TaskSample) {
 		points   float64
 		mbps     float64
 		fill     float64
+		maxMem   float64
 		overflow int64
 		latSum   time.Duration
 		latN     int64
@@ -177,6 +240,12 @@ func (p *Profiler) OnWindow(samples []simulator.TaskSample) {
 		a.points += p.taskPoints(s, window)
 		a.mbps += float64(s.BytesOut) * 8 / 1e6 / window.Seconds()
 		a.fill += s.QueueFill()
+		if s.NodeMemCapacityMB > 0 {
+			p.sawMemory = true
+		}
+		if s.ResidentMemMB > a.maxMem {
+			a.maxMem = s.ResidentMemMB
+		}
 		a.overflow += s.Overflows
 		a.latSum += s.LatencySum
 		a.latN += s.LatencyN
@@ -206,6 +275,21 @@ func (p *Profiler) OnWindow(samples []simulator.TaskSample) {
 		st.CPUPoints = ew(st.CPUPoints, a.points/n)
 		st.EgressMbps = ew(st.EgressMbps, a.mbps/n)
 		st.QueueFill = ew(st.QueueFill, a.fill/n)
+		st.MemResidentMB = ew(st.MemResidentMB, a.maxMem)
+		if growth := a.maxMem - p.prevMaxMem[k]; st.Windows > 1 && growth > 0 {
+			// A partial flush (mid-window Reassign, trailing Finish) spans
+			// less than a full metrics window; its delta is scaled up so
+			// the EWMA stays a per-full-window slope.
+			if window < p.fullWindow {
+				growth *= float64(p.fullWindow) / float64(window)
+			}
+			st.MemGrowthMB = ew(st.MemGrowthMB, growth)
+		} else if st.Windows > 1 {
+			// Flat or shrinking resident decays the slope toward zero so a
+			// plateaued working set stops being projected upward forever.
+			st.MemGrowthMB = ew(st.MemGrowthMB, 0)
+		}
+		p.prevMaxMem[k] = a.maxMem
 		if a.latN > 0 {
 			st.MeanLatency = time.Duration(ew(float64(st.MeanLatency),
 				float64(a.latSum)/float64(a.latN)))
@@ -227,6 +311,9 @@ func (p *Profiler) OnWindow(samples []simulator.TaskSample) {
 		st.CPUPoints = 0
 		st.EgressMbps = 0
 		st.QueueFill = 0
+		st.MemResidentMB = 0
+		st.MemGrowthMB = 0
+		p.prevMaxMem[k] = 0
 	}
 }
 
@@ -311,10 +398,15 @@ func (p *Profiler) Topologies() []string {
 }
 
 // MeasuredDemands returns per-component, per-task demand vectors with the
-// declared CPU (and bandwidth) axes replaced by measured estimates. Memory
-// stays declared — the simulator has no memory model to measure, and it is
-// the hard axis the measured reschedule must still respect. Components
-// with no samples yet are omitted, falling back to declarations.
+// declared CPU (and bandwidth) axes replaced by measured estimates. The
+// memory axis stays declared on memory-blind runs — memory is the hard
+// axis the measured reschedule must still respect, and without the
+// simulator's runtime memory model there is nothing to measure it with —
+// but once samples have carried resident-memory measurements it becomes
+// the measured max resident projected forward by MemLookaheadWindows of
+// EWMA growth, which is what lets the control loop correct memory
+// mis-declarations in both directions. Components with no samples yet are
+// omitted, falling back to declarations.
 func (p *Profiler) MeasuredDemands(topo *topology.Topology) map[string]resource.Vector {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -332,9 +424,13 @@ func (p *Profiler) MeasuredDemands(topo *topology.Topology) map[string]resource.
 		if st.Windows == 0 {
 			continue
 		}
+		mem := comp.MemoryLoad
+		if p.sawMemory {
+			mem = st.MemResidentMB + float64(p.cfg.MemLookaheadWindows)*st.MemGrowthMB
+		}
 		out[k.comp] = resource.Vector{
 			CPU:       st.CPUPoints,
-			MemoryMB:  comp.MemoryLoad,
+			MemoryMB:  mem,
 			Bandwidth: st.EgressMbps,
 		}
 	}

@@ -148,3 +148,81 @@ func TestMeasuredDemandsReplaceDeclaredCPU(t *testing.T) {
 		t.Errorf("spout CPU = %v, want 10", got)
 	}
 }
+
+// memSample is sample() plus the runtime memory model's fields.
+func memSample(topo, comp string, id int, node cluster.NodeID, residentMB float64) simulator.TaskSample {
+	s := sample(topo, comp, id, node, 0.2, 1)
+	s.ResidentMemMB = residentMB
+	s.NodeMemCapacityMB = 2048
+	return s
+}
+
+// TestMeasuredDemandsProjectMemoryGrowth: once samples carry resident
+// memory (the runtime memory model is on), the memory axis must become
+// the measured max resident plus the lookahead projection of its growth
+// slope — and on memory-blind samples, declarations stay authoritative.
+func TestMeasuredDemandsProjectMemoryGrowth(t *testing.T) {
+	b := topology.NewBuilder("t")
+	b.SetSpout("s", 1).SetCPULoad(10).SetMemoryLoad(256)
+	b.SetBolt("cache", 2).ShuffleGrouping("s").SetCPULoad(10).SetMemoryLoad(128)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	p := NewProfiler(ProfilerConfig{Alpha: 1, MemLookaheadWindows: 4})
+	// Two windows: the cache stage's max resident grows 300 -> 400.
+	p.OnWindow([]simulator.TaskSample{
+		memSample("t", "s", 0, "n0", 64),
+		memSample("t", "cache", 1, "n1", 250),
+		memSample("t", "cache", 2, "n1", 300),
+	})
+	p.OnWindow([]simulator.TaskSample{
+		memSample("t", "s", 0, "n0", 64),
+		memSample("t", "cache", 1, "n1", 350),
+		memSample("t", "cache", 2, "n1", 400),
+	})
+	d := p.MeasuredDemands(topo)
+	// Alpha 1: MemResidentMB = 400, MemGrowthMB = 100, projected 4 ahead.
+	if got, want := d["cache"].MemoryMB, 400.0+4*100.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("cache memory = %v, want %v (max resident + 4 windows of growth)", got, want)
+	}
+	// The honest flat component projects no growth.
+	if got := d["s"].MemoryMB; math.Abs(got-64) > 1e-9 {
+		t.Errorf("spout memory = %v, want measured 64", got)
+	}
+
+	// Memory-blind samples (the runtime memory model is off, so no sample
+	// ever carries a node memory capacity): declarations must survive.
+	off := NewProfiler(ProfilerConfig{Alpha: 1})
+	off.OnWindow([]simulator.TaskSample{
+		sample("t", "s", 0, "n0", 0.2, 1),
+		sample("t", "cache", 1, "n1", 0.2, 1),
+	})
+	if got := off.MeasuredDemands(topo)["cache"].MemoryMB; got != 128 {
+		t.Errorf("memory-blind run: cache memory = %v, want declared 128", got)
+	}
+}
+
+// TestMemGrowthNormalizesPartialWindows: a partial flush (mid-window
+// Reassign, trailing Finish) spans less than a full metrics window; its
+// resident delta must be scaled up so MemGrowthMB stays a per-full-window
+// slope and the lookahead projection does not undersize the demand.
+func TestMemGrowthNormalizesPartialWindows(t *testing.T) {
+	at := func(start, end time.Duration, residentMB float64) []simulator.TaskSample {
+		s := memSample("t", "cache", 0, "n0", residentMB)
+		s.WindowStart, s.WindowEnd = start, end
+		return []simulator.TaskSample{s}
+	}
+	p := NewProfiler(ProfilerConfig{Alpha: 1, MemLookaheadWindows: 1})
+	// One full 1s window, then a half-window partial flush over which the
+	// resident grew 50 MB — i.e. a 100 MB/full-window slope.
+	p.OnWindow(at(0, time.Second, 100))
+	p.OnWindow(at(time.Second, 1500*time.Millisecond, 150))
+	st := p.Stats("t")
+	if len(st) != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st[0].MemGrowthMB; math.Abs(got-100) > 1e-9 {
+		t.Errorf("MemGrowthMB = %v, want 100 (50 MB over half a window)", got)
+	}
+}

@@ -38,10 +38,18 @@ type IncrementalOptions struct {
 	SlotFor func(cluster.NodeID) (int, bool)
 	// Frozen pins tasks to their current placement and excludes them from
 	// the walk entirely — they neither move nor consume the MaxMoves
-	// budget. The adaptive loop freezes tasks killed by node failures:
-	// there is no executor left to migrate, and replanning them every
-	// round would starve live hotspot migrations of the budget.
+	// budget. Frozen tasks still reserve their demand on their node (they
+	// are pinned, not gone).
 	Frozen map[int]bool
+	// Dead marks tasks that no longer consume anything — killed by node
+	// failures or the runtime memory model's OOM enforcement. They are
+	// implicitly frozen (there is no executor left to migrate, and
+	// replanning them every round would starve live migrations of the
+	// MaxMoves budget), and unlike Frozen their demand is NOT debited
+	// from their node: an OOM-killed task's working set is freed and its
+	// CPU demand departs, so debiting it would deny survivors a node
+	// that in truth has that capacity back.
+	Dead map[int]bool
 	// MaxMoves caps migrations per call; 0 means no cap. Capping trades
 	// convergence speed for per-round disruption — the control loop's
 	// hysteresis carries the remainder into later rounds.
@@ -50,6 +58,14 @@ type IncrementalOptions struct {
 	// alternative must offer before a task moves (0.15 = 15% closer).
 	// It is the anti-oscillation stickiness of the control loop.
 	Margin float64
+	// MemHeadroom, when in (0, 1], adds a preferred memory-feasibility
+	// tier: a candidate node whose memory fill after placement stays at or
+	// below this fraction of its capacity outranks any memory-tight
+	// candidate, regardless of distance. Under *measured* (possibly still
+	// growing) memory demands this is what keeps a rescheduled task from
+	// landing one window short of the next OOM. Zero disables the tier,
+	// leaving the feasibility ordering exactly as before.
+	MemHeadroom float64
 }
 
 // candidate tiers: a node that covers the task's CPU demand outright beats
@@ -57,11 +73,15 @@ type IncrementalOptions struct {
 // distance is symmetric — slightly-overfull and slightly-underfull look the
 // same — which is fine for declared demands (the scheduler never overcommits
 // what it believes) but wrong for *measured* demands, where escaping an
-// overloaded node is the whole point.
+// overloaded node is the whole point. With MemHeadroom set, an extra top
+// tier prefers nodes that keep memory fill under the headroom fraction —
+// the same asymmetry argument applied to the hard axis, where "barely fits
+// right now" is one growth window away from an OOM kill.
 const (
-	tierCPUFit  = 1 // hard constraints satisfied, CPU demand covered
-	tierOver    = 2 // hard constraints satisfied, CPU overcommitted
-	tierInvalid = 3 // hard constraint violated
+	tierMemSafe = 1 // CPU covered and memory fill stays under the headroom
+	tierCPUFit  = 2 // hard constraints satisfied, CPU demand covered
+	tierOver    = 3 // hard constraints satisfied, CPU overcommitted
+	tierInvalid = 4 // hard constraint violated
 )
 
 // IncrementalReschedule computes a migration-aware improvement of an
@@ -124,6 +144,9 @@ func (s *ResourceAwareScheduler) IncrementalReschedule(
 		if !ok {
 			return nil, nil, fmt.Errorf("task %d currently on unknown node %q", task.ID, p.Node)
 		}
+		if opts.Dead[task.ID] {
+			continue
+		}
 		avail[ni] = avail[ni].Sub(demandOf(task))
 	}
 
@@ -164,11 +187,26 @@ func (s *ResourceAwareScheduler) IncrementalReschedule(
 		return 0, true
 	}
 
-	tierOf := func(a, d resource.Vector) int {
+	// Node memory capacities for the headroom tier. The availability
+	// vector alone cannot express "fill fraction": it is capacity minus
+	// everyone's usage, so the capacity itself is needed as the divisor.
+	memCap := make([]float64, len(ids))
+	if opts.MemHeadroom > 0 {
+		for i, id := range ids {
+			if n := c.Node(id); n != nil {
+				memCap[i] = n.Spec.Capacity.MemoryMB
+			}
+		}
+	}
+	tierOf := func(i int, a, d resource.Vector) int {
 		if !resource.SatisfiesHard(a, d, s.classes) {
 			return tierInvalid
 		}
 		if a.CPU >= d.CPU {
+			if opts.MemHeadroom > 0 && memCap[i] > 0 &&
+				memCap[i]-(a.MemoryMB-d.MemoryMB) <= opts.MemHeadroom*memCap[i] {
+				return tierMemSafe
+			}
 			return tierCPUFit
 		}
 		return tierOver
@@ -189,7 +227,7 @@ func (s *ResourceAwareScheduler) IncrementalReschedule(
 	var moves []Move
 	for _, task := range order {
 		cur := current.Placements[task.ID]
-		if opts.Frozen[task.ID] {
+		if opts.Frozen[task.ID] || opts.Dead[task.ID] {
 			next.Place(task.ID, cur)
 			continue
 		}
@@ -200,7 +238,7 @@ func (s *ResourceAwareScheduler) IncrementalReschedule(
 		avail[ci] = avail[ci].Add(d)
 		best, bestTier, bestDist := -1, tierInvalid+1, 0.0
 		for i := range ids {
-			tier := tierOf(avail[i], d)
+			tier := tierOf(i, avail[i], d)
 			if tier == tierInvalid {
 				continue
 			}
@@ -214,7 +252,7 @@ func (s *ResourceAwareScheduler) IncrementalReschedule(
 		}
 		chosen := ci
 		if best >= 0 && best != ci {
-			curTier := tierOf(avail[ci], d)
+			curTier := tierOf(ci, avail[ci], d)
 			curDist := resource.Distance(d, avail[ci], netdist[ci], s.weights)
 			improves := bestTier < curTier ||
 				(bestTier == curTier && bestDist < curDist*(1-opts.Margin))

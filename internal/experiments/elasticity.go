@@ -82,7 +82,7 @@ func runElasticity(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	adaptiveOut, err := simulateAdaptive(c, lyingAdaptive, cfg)
+	adaptiveOut, err := simulateAdaptive(c, lyingAdaptive, cfg, adaptive.LoopConfig{})
 	if err != nil {
 		return nil, fmt.Errorf("elasticity adaptive: %w", err)
 	}
@@ -148,11 +148,12 @@ func runElasticity(o Options) (*Report, error) {
 }
 
 // simulateAdaptive schedules topo from its (mis-)declarations, then runs it
-// under the adaptive control loop.
+// under the adaptive control loop configured by loopCfg.
 func simulateAdaptive(
 	c *cluster.Cluster,
 	topo *topology.Topology,
 	cfg simulator.Config,
+	loopCfg adaptive.LoopConfig,
 ) (*adaptive.LoopResult, error) {
 	sched := core.NewResourceAwareScheduler()
 	state := core.NewGlobalState(c)
@@ -170,7 +171,7 @@ func simulateAdaptive(
 	if err := sim.AddTopology(topo, a); err != nil {
 		return nil, err
 	}
-	loop := adaptive.NewLoop(sim, c, sched, adaptive.LoopConfig{})
+	loop := adaptive.NewLoop(sim, c, sched, loopCfg)
 	if err := loop.Manage(topo, a); err != nil {
 		return nil, err
 	}

@@ -25,6 +25,7 @@ func All() []Experiment {
 		AblationGreedyVsExact(),
 		AblationWeights(),
 		Elasticity(),
+		MemoryStress(),
 	}
 }
 

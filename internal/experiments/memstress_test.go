@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func memStressOpts() Options {
+	return Options{
+		Duration:      12 * time.Second, // ignored: the scenario fixes its own timeline
+		MetricsWindow: 2 * time.Second,  // likewise
+		Seed:          1,
+	}
+}
+
+// TestMemoryStressClosesTheLoop is the acceptance regression for the
+// runtime memory model: with a mis-declared, runtime-growing memory
+// footprint under OOM enforcement, the static schedule must OOM-thrash
+// (kills, collapsed throughput) while the adaptive loop must migrate off
+// the filling node, take zero OOM kills, and recover at least 90% of the
+// honestly-declared oracle's steady-state throughput.
+func TestMemoryStressClosesTheLoop(t *testing.T) {
+	e, ok := ByID("memstress")
+	if !ok {
+		t.Fatal("memstress experiment not registered")
+	}
+	report, err := e.Run(memStressOpts())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(report.Rows) < 6 {
+		t.Fatalf("rows = %+v", report.Rows)
+	}
+	recovery := report.Rows[1] // oracle (baseline) vs adaptive
+	if recovery.Baseline <= 0 {
+		t.Fatalf("oracle throughput = %v", recovery.Baseline)
+	}
+	if ratio := recovery.RStorm / recovery.Baseline; ratio < 0.9 {
+		t.Errorf("adaptive recovered only %.1f%% of the oracle (%v vs %v)",
+			ratio*100, recovery.RStorm, recovery.Baseline)
+	}
+	gap := report.Rows[2] // oracle (baseline) vs static
+	if ratio := gap.RStorm / gap.Baseline; ratio >= 0.9 {
+		t.Errorf("static unexpectedly recovered %.1f%% of the oracle; "+
+			"the OOM thrash should hurt it", ratio*100)
+	}
+	kills := report.Rows[3] // static kills (baseline) vs adaptive kills
+	if kills.Baseline <= 0 {
+		t.Errorf("static took %v OOM kills, want > 0 (no thrash happened)", kills.Baseline)
+	}
+	if kills.RStorm != 0 {
+		t.Errorf("adaptive took %v OOM kills, want 0 (it should migrate first)", kills.RStorm)
+	}
+	moves := report.Rows[4]
+	if moves.RStorm <= 0 {
+		t.Error("adaptive migrated nothing; recovery without migration is not this scenario")
+	}
+	for _, key := range []string{"oracle (honest decl)", "static (mis-decl)", "adaptive (mis-decl)"} {
+		if len(report.Series[key]) == 0 {
+			t.Errorf("series %q missing", key)
+		}
+	}
+}
+
+// TestMemoryStressDeterministic: the whole three-run experiment — OOM
+// kills and adaptive control decisions included — must be reproducible for
+// a fixed seed.
+func TestMemoryStressDeterministic(t *testing.T) {
+	e, _ := ByID("memstress")
+	first, err := e.Run(memStressOpts())
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	second, err := e.Run(memStressOpts())
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("memstress runs diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}

@@ -146,11 +146,13 @@ func TestAdaptiveRoute(t *testing.T) {
 		t.Errorf("unattached /adaptive status = %d, want 404", resp.StatusCode)
 	}
 
-	// Attached: serves the controller snapshot.
+	// Attached: serves the controller snapshot, including the runtime
+	// memory model's measurements and thresholds.
 	ctrl := adaptive.NewController(nil, nil, adaptive.ControllerConfig{})
 	ctrl.OnWindow([]simulator.TaskSample{{
 		Topology: "served", Component: "s", Node: cluster.NodeID("n0"),
 		WindowEnd: 1e9, Slowdown: 1, NodeCPUCapacity: 100,
+		ResidentMemMB: 1900, NodeMemCapacityMB: 2048,
 	}})
 	srv2 := httptest.NewServer(NewStatisticServer(n, WithAdaptiveStatus(ctrl.Status)))
 	t.Cleanup(srv2.Close)
@@ -161,6 +163,17 @@ func TestAdaptiveRoute(t *testing.T) {
 	}
 	if status.Topologies[0].Name != "served" {
 		t.Errorf("topology = %+v", status.Topologies[0])
+	}
+	if status.MemHigh <= 0 {
+		t.Errorf("memHigh = %v, want the controller default surfaced", status.MemHigh)
+	}
+	comps := status.Topologies[0].Components
+	if len(comps) != 1 || comps[0].MemResidentMB != 1900 {
+		t.Errorf("measured memory not served: %+v", comps)
+	}
+	// 1900/2048 is past the default MemHigh: the streak must be visible.
+	if status.Topologies[0].MemStreak != 1 {
+		t.Errorf("memStreak = %d, want 1", status.Topologies[0].MemStreak)
 	}
 
 	post, err := http.Post(srv2.URL+"/adaptive", "text/plain", strings.NewReader("x"))

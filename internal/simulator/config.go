@@ -60,9 +60,24 @@ type Config struct {
 	// Seed drives the deterministic RNG. Default 1.
 	Seed int64
 	// WarmupWindows are dropped from mean-throughput summaries, matching
-	// the paper's convergence wait (§6.2). Default 1.
+	// the paper's convergence wait (§6.2). Default 1. Zero also means the
+	// default (the zero value must not silently change summaries); pass
+	// NoWarmup (-1) to include every window in the mean.
 	WarmupWindows int
+	// MemoryModel enables the runtime memory model (DESIGN.md §4): each
+	// task's resident memory — queue-resident tuple bytes plus its
+	// (possibly growing) working set per ExecProfile — is accounted
+	// online, and a node whose residents exceed Capacity.MemoryMB
+	// OOM-kills its worst offender at each metrics-window boundary.
+	// Off by default: with the model unset, runs are byte-identical to
+	// the memory-blind simulator.
+	MemoryModel bool
 }
+
+// NoWarmup is the WarmupWindows sentinel for "drop nothing": the mean
+// includes the first window. (0 keeps the default of 1 warm-up window, so
+// zero-valued Configs behave as before.)
+const NoWarmup = -1
 
 // withDefaults fills unset fields.
 func (c Config) withDefaults() Config {
@@ -89,6 +104,8 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WarmupWindows == 0 {
 		c.WarmupWindows = 1
+	} else if c.WarmupWindows < 0 {
+		c.WarmupWindows = 0 // NoWarmup sentinel: 0 warm-up windows
 	}
 	return c
 }
@@ -116,9 +133,8 @@ func (c Config) validate() error {
 	if c.MaxSpoutPending < 1 {
 		return fmt.Errorf("max spout pending %d, want >= 1", c.MaxSpoutPending)
 	}
-	if c.WarmupWindows < 0 {
-		return fmt.Errorf("warmup windows %d, want >= 0", c.WarmupWindows)
-	}
+	// WarmupWindows needs no validation: withDefaults maps 0 to the
+	// default of 1 and any negative (the NoWarmup sentinel) to 0.
 	if c.TupleTimeout < 0 {
 		return fmt.Errorf("tuple timeout %v, want >= 0", c.TupleTimeout)
 	}

@@ -16,14 +16,15 @@ import (
 
 // Event kinds dispatched by simEvent.Fire.
 const (
-	evSpoutCycle uint8 = iota // run spoutCycle on task
-	evSpoutFire               // spout service complete: emit a root tuple
-	evBoltTry                 // attempt to start the next queued tuple
-	evBoltFire                // bolt service complete: emit outputs
-	evArrive                  // tuple reaches dest's input queue after latency
-	evLinkDone                // link finished serializing its head transfer
-	evComplete                // fire an acceptance completion
-	evWindowFlush             // metrics-window boundary: feed the observer
+	evSpoutCycle  uint8 = iota // run spoutCycle on task
+	evSpoutFire                // spout service complete: emit a root tuple
+	evBoltTry                  // attempt to start the next queued tuple
+	evBoltFire                 // bolt service complete: emit outputs
+	evArrive                   // tuple reaches dest's input queue after latency
+	evLinkDone                 // link finished serializing its head transfer
+	evComplete                 // fire an acceptance completion
+	evWindowFlush              // metrics-window boundary: feed the observer
+	evOOMCheck                 // memory-model boundary: enforce the hard axis
 )
 
 // Completion kinds: what to do when a transfer/enqueue is accepted.
@@ -93,6 +94,9 @@ func (e *simEvent) Fire() {
 	case evWindowFlush:
 		s.freeEvent(e)
 		s.windowFlush()
+	case evOOMCheck:
+		s.freeEvent(e)
+		s.oomCheck()
 	}
 }
 

@@ -1,0 +1,297 @@
+package simulator
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/core"
+	"rstorm/internal/topology"
+)
+
+// memChain builds spout -> cache -> sink where the cache stage's true
+// working set (memMB, ramping over growTuples handled tuples) is
+// independent of its declared memory.
+func memChain(t *testing.T, cachePar int, declMB, memMB float64, growTuples int) *topology.Topology {
+	t.Helper()
+	light := topology.ExecProfile{CPUPerTuple: 500 * time.Microsecond, TupleBytes: 512}
+	b := topology.NewBuilder("memchain")
+	b.SetSpout("spout", 1).SetCPULoad(10).SetMemoryLoad(64).SetProfile(light)
+	b.SetBolt("cache", cachePar).ShuffleGrouping("spout").
+		SetCPULoad(8).SetMemoryLoad(declMB).
+		SetProfile(topology.ExecProfile{
+			CPUPerTuple:   100 * time.Microsecond,
+			TupleBytes:    512,
+			MemMB:         memMB,
+			MemGrowTuples: growTuples,
+		})
+	b.SetBolt("sink", 1).ShuffleGrouping("cache").
+		SetCPULoad(10).SetMemoryLoad(64).SetProfile(light)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return topo
+}
+
+// packAll places every task of topo on a single node.
+func packAll(topo *topology.Topology, node cluster.NodeID) *core.Assignment {
+	a := core.NewAssignment(topo.Name(), "manual")
+	for _, task := range topo.Tasks() {
+		a.Place(task.ID, core.Placement{Node: node, Slot: 0})
+	}
+	return a
+}
+
+// TestOOMKillsUntilNodeFits: a packed node whose cache working sets grow
+// past capacity must shed tasks one at a time — worst offender first —
+// until the residents fit, counting kills and dropped tuples, without
+// wedging the spout.
+func TestOOMKillsUntilNodeFits(t *testing.T) {
+	c := emulabCluster(t)
+	// 3 cache tasks ramping to 900 MB each: 2700 > 2048, so exactly one
+	// must die (2*900 + light overhead < 2048).
+	topo := memChain(t, 3, 64, 900, 2000)
+	sim, err := New(c, Config{
+		Duration:      12 * time.Second,
+		MetricsWindow: 500 * time.Millisecond,
+		MemoryModel:   true,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := sim.AddTopology(topo, packAll(topo, c.NodeIDs()[0])); err != nil {
+		t.Fatalf("AddTopology: %v", err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.TasksOOMKilled != 1 {
+		t.Errorf("TasksOOMKilled = %d, want 1 (2 of 3 caches fit)", res.TasksOOMKilled)
+	}
+	tr := res.Topology("memchain")
+	if tr.TuplesDelivered == 0 {
+		t.Error("no tuples delivered after the kill; topology wedged")
+	}
+	// The survivors keep flowing: the final window must still see sink
+	// arrivals (the run is 24 windows; the kill lands around window 4).
+	series := tr.SinkSeries
+	if series[len(series)-1] == 0 {
+		t.Errorf("final window throughput 0; spout wedged after OOM kill: %v", series)
+	}
+}
+
+// TestOOMKillSpoutReturnsCredits: OOM-killing a spout must not strand its
+// in-flight tuple trees — every max-pending credit comes back as the
+// downstream tuples complete or fail, leaving inFlight at zero.
+func TestOOMKillSpoutReturnsCredits(t *testing.T) {
+	c := emulabCluster(t)
+	b := topology.NewBuilder("spoutoom")
+	b.SetMaxSpoutPending(4)
+	// The spout itself carries the growing working set (a replaying
+	// source buffering unacked batches); it exceeds node capacity alone.
+	b.SetSpout("spout", 1).SetCPULoad(10).SetMemoryLoad(64).
+		SetProfile(topology.ExecProfile{
+			CPUPerTuple:   500 * time.Microsecond,
+			TupleBytes:    512,
+			MemMB:         3000,
+			MemGrowTuples: 100,
+		})
+	b.SetBolt("sink", 1).ShuffleGrouping("spout").
+		SetCPULoad(10).SetMemoryLoad(64).
+		SetProfile(topology.ExecProfile{CPUPerTuple: 20 * time.Millisecond, TupleBytes: 512})
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ids := c.NodeIDs()
+	a := core.NewAssignment("spoutoom", "manual")
+	a.Place(0, core.Placement{Node: ids[0], Slot: 0})
+	a.Place(1, core.Placement{Node: ids[1], Slot: 0})
+
+	sim, err := New(c, Config{
+		Duration:      4 * time.Second,
+		MetricsWindow: 250 * time.Millisecond,
+		MemoryModel:   true,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := sim.AddTopology(topo, a); err != nil {
+		t.Fatalf("AddTopology: %v", err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.TasksOOMKilled != 1 {
+		t.Fatalf("TasksOOMKilled = %d, want 1 (the spout)", res.TasksOOMKilled)
+	}
+	spout := sim.runs[0].tasks[0]
+	if !spout.dead {
+		t.Fatal("spout not dead; the worst offender was mis-picked")
+	}
+	// The slow sink (20ms per tuple) guarantees trees were in flight at
+	// kill time; all of them must have completed and returned credits.
+	if spout.inFlight != 0 {
+		t.Errorf("spout inFlight = %d after run end, want 0 (max-pending credits leaked)",
+			spout.inFlight)
+	}
+	if tr := res.Topology("spoutoom"); tr.TuplesEmitted == 0 {
+		t.Error("spout never emitted; the scenario is vacuous")
+	}
+}
+
+// TestOOMKillOnCPUOvercommittedNode: when the OOM'd node is also CPU
+// overcommitted, the kill must refreeze the node's contention — the
+// survivors' slowdown drops because the dead task's CPU demand departed
+// with it.
+func TestOOMKillOnCPUOvercommittedNode(t *testing.T) {
+	c := emulabCluster(t)
+	// 3 caches at 60 declared-and-true CPU points: 180 on a 100-point
+	// node plus light tasks -> slowdown well above 1. Memory: 3 * 900
+	// ramps past 2048, one kill brings it to 1800 + overhead.
+	light := topology.ExecProfile{CPUPerTuple: 500 * time.Microsecond, TupleBytes: 512}
+	b := topology.NewBuilder("memcpu")
+	b.SetSpout("spout", 1).SetCPULoad(10).SetMemoryLoad(64).SetProfile(light)
+	b.SetBolt("cache", 3).ShuffleGrouping("spout").
+		SetCPULoad(60).SetMemoryLoad(64).
+		SetProfile(topology.ExecProfile{
+			CPUPerTuple:   100 * time.Microsecond,
+			TupleBytes:    512,
+			MemMB:         900,
+			MemGrowTuples: 2000,
+		})
+	b.SetBolt("sink", 1).ShuffleGrouping("cache").
+		SetCPULoad(10).SetMemoryLoad(64).SetProfile(light)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	sim, err := New(c, Config{
+		Duration:      12 * time.Second,
+		MetricsWindow: 500 * time.Millisecond,
+		MemoryModel:   true,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	obs := &collector{}
+	if err := sim.SetObserver(obs); err != nil {
+		t.Fatalf("SetObserver: %v", err)
+	}
+	if err := sim.AddTopology(topo, packAll(topo, c.NodeIDs()[0])); err != nil {
+		t.Fatalf("AddTopology: %v", err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.TasksOOMKilled != 1 {
+		t.Fatalf("TasksOOMKilled = %d, want 1", res.TasksOOMKilled)
+	}
+	// Slowdown of a surviving cache task: 200/100 = 2.0 before the kill
+	// (two spout/sink tasks at 10 + three caches at 60), 140/100 = 1.4
+	// after.
+	survivorSlowdown := func(w int) float64 {
+		for _, s := range obs.windows[w] {
+			if s.Component == "cache" && !s.Dead {
+				return s.Slowdown
+			}
+		}
+		t.Fatalf("window %d: no live cache task", w)
+		return 0
+	}
+	first, last := survivorSlowdown(0), survivorSlowdown(len(obs.windows)-1)
+	if first <= 1.5 {
+		t.Errorf("pre-kill slowdown %v, want ~2.0 (node must start overcommitted)", first)
+	}
+	if last >= first {
+		t.Errorf("slowdown did not drop after OOM kill: first %v, last %v "+
+			"(freezeNode still counts the dead task)", first, last)
+	}
+}
+
+// TestOOMKillOrderDeterministic: the kill sequence is part of the seeded
+// DES — identical runs must kill identical tasks in identical order, and
+// the full Result must be reproducible.
+func TestOOMKillOrderDeterministic(t *testing.T) {
+	run := func() (*Result, []int) {
+		c := emulabCluster(t)
+		topo := memChain(t, 6, 64, 1408, 2000)
+		sim, err := New(c, Config{
+			Duration:      12 * time.Second,
+			MetricsWindow: 500 * time.Millisecond,
+			Seed:          7,
+			MemoryModel:   true,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		if err := sim.AddTopology(topo, packAll(topo, c.NodeIDs()[0])); err != nil {
+			t.Fatalf("AddTopology: %v", err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var dead []int
+		for _, st := range sim.runs[0].ordered {
+			if st.dead {
+				dead = append(dead, st.task.ID)
+			}
+		}
+		return res, dead
+	}
+	res1, dead1 := run()
+	res2, dead2 := run()
+	if len(dead1) == 0 {
+		t.Fatal("no OOM kills happened; the scenario is vacuous")
+	}
+	if !reflect.DeepEqual(dead1, dead2) {
+		t.Errorf("kill sets diverged: %v vs %v", dead1, dead2)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Errorf("seeded runs diverged:\nfirst:  %+v\nsecond: %+v", res1, res2)
+	}
+}
+
+// TestMemoryModelOffNeverKills: the same over-capacity working sets with
+// MemoryModel unset must run exactly as the memory-blind simulator did —
+// no kills, no drops, memory fields zero in every sample.
+func TestMemoryModelOffNeverKills(t *testing.T) {
+	c := emulabCluster(t)
+	topo := memChain(t, 6, 64, 1408, 2000)
+	sim, err := New(c, Config{
+		Duration:      6 * time.Second,
+		MetricsWindow: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	obs := &collector{}
+	if err := sim.SetObserver(obs); err != nil {
+		t.Fatalf("SetObserver: %v", err)
+	}
+	if err := sim.AddTopology(topo, packAll(topo, c.NodeIDs()[0])); err != nil {
+		t.Fatalf("AddTopology: %v", err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.TasksOOMKilled != 0 || res.TuplesDropped != 0 {
+		t.Errorf("model off: kills=%d drops=%d, want 0/0",
+			res.TasksOOMKilled, res.TuplesDropped)
+	}
+	for _, samples := range obs.windows {
+		for _, s := range samples {
+			if s.ResidentMemMB != 0 || s.NodeMemCapacityMB != 0 {
+				t.Fatalf("memory fields populated with the model off: %+v", s)
+			}
+		}
+	}
+}

@@ -55,6 +55,14 @@ type TaskSample struct {
 	// during the window — its share of egress pressure.
 	BytesOut int64
 
+	// ResidentMemMB is the task's resident memory at flush time under the
+	// runtime memory model (working set plus queued payload, memory.go);
+	// NodeMemCapacityMB is the host node's memory capacity. Both are zero
+	// when Config.MemoryModel is off: memory is then unmeasured and the
+	// declared loads stay authoritative.
+	ResidentMemMB     float64
+	NodeMemCapacityMB float64
+
 	// LatencySum / LatencyN accumulate spout-to-arrival latency for
 	// tuples reaching this task when it is a sink (expired arrivals
 	// included: the controller wants the truth, not the SLA view).
@@ -107,16 +115,36 @@ func (s *Simulation) SetObserver(o Observer) error {
 // schedules the next flush.
 func (s *Simulation) windowFlush() {
 	now := s.engine.Now()
+	s.flushWindow(now)
+	if next := now + s.cfg.MetricsWindow; next <= s.cfg.Duration {
+		s.scheduleTask(s.cfg.MetricsWindow, evWindowFlush, nil)
+	}
+}
+
+// flushPartialWindow delivers the counters accumulated since the last
+// flush, if any — the tail window Finish must not silently drop when the
+// duration is not a multiple of the metrics window, and the pre-migration
+// slice of a window when Reassign lands mid-window. A no-op at an exact
+// window boundary (nothing has accumulated) and without an observer.
+func (s *Simulation) flushPartialWindow() {
+	if s.observer == nil {
+		return
+	}
+	if now := s.engine.Now(); now > s.lastFlush {
+		s.flushWindow(now)
+	}
+}
+
+// flushWindow materializes the window [s.lastFlush, now) for the observer.
+func (s *Simulation) flushWindow(now time.Duration) {
 	if s.observer != nil {
 		buf := s.sampleBuf[:0]
-		start := now - s.cfg.MetricsWindow
-		if start < 0 {
-			start = 0
-		}
+		start := s.lastFlush
+		memModel := s.cfg.MemoryModel
 		for _, run := range s.runs {
 			name := run.topo.Name()
 			for _, st := range run.ordered {
-				buf = append(buf, TaskSample{
+				sample := TaskSample{
 					Topology:        name,
 					Component:       st.comp.Name,
 					TaskID:          st.task.ID,
@@ -138,7 +166,12 @@ func (s *Simulation) windowFlush() {
 					BytesOut:        st.winBytesOut,
 					LatencySum:      st.winLatSum,
 					LatencyN:        st.winLatN,
-				})
+				}
+				if memModel {
+					sample.ResidentMemMB = s.residentMemMB(st)
+					sample.NodeMemCapacityMB = st.node.spec.Capacity.MemoryMB
+				}
+				buf = append(buf, sample)
 				st.resetWindow()
 			}
 		}
@@ -146,9 +179,7 @@ func (s *Simulation) windowFlush() {
 		s.observer.OnWindow(buf)
 	}
 	s.windowIdx++
-	if next := now + s.cfg.MetricsWindow; next <= s.cfg.Duration {
-		s.scheduleTask(s.cfg.MetricsWindow, evWindowFlush, nil)
-	}
+	s.lastFlush = now
 }
 
 // resetWindow clears the per-window counters after a flush.

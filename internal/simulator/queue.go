@@ -15,6 +15,11 @@ type boundedQueue struct {
 	capacity int
 	items    ring[*tuple]
 	waiters  ring[waiter]
+	// bytes is the payload resident in items — the queue's share of its
+	// task's resident memory under the runtime memory model. Maintained
+	// unconditionally (one integer add per enqueue/dequeue, so the hot
+	// path stays branch-free and allocation-free either way).
+	bytes int64
 }
 
 func newBoundedQueue(capacity int) *boundedQueue {
@@ -22,6 +27,9 @@ func newBoundedQueue(capacity int) *boundedQueue {
 }
 
 func (q *boundedQueue) len() int { return q.items.len() }
+
+// residentBytes is the payload currently held in the queue.
+func (q *boundedQueue) residentBytes() int64 { return q.bytes }
 
 func (q *boundedQueue) empty() bool { return q.items.len() == 0 }
 
@@ -32,6 +40,7 @@ func (q *boundedQueue) tryEnqueue(tup *tuple) bool {
 		return false
 	}
 	q.items.push(tup)
+	q.bytes += int64(tup.bytes)
 	return true
 }
 
@@ -50,9 +59,11 @@ func (q *boundedQueue) dequeue() (tup *tuple, unblocked completion, ok bool) {
 		return nil, completion{}, false
 	}
 	tup = q.items.pop()
+	q.bytes -= int64(tup.bytes)
 	if q.waiters.len() > 0 {
 		w := q.waiters.pop()
 		q.items.push(w.tup)
+		q.bytes += int64(w.tup.bytes)
 		unblocked = w.accepted
 	}
 	return tup, unblocked, true
@@ -69,5 +80,6 @@ func (q *boundedQueue) drain() (tuples []*tuple, unblocked []completion) {
 		tuples = append(tuples, w.tup)
 		unblocked = append(unblocked, w.accepted)
 	}
+	q.bytes = 0
 	return tuples, unblocked
 }

@@ -83,6 +83,12 @@ func (s *Simulation) Reassign(topoName string, a *core.Assignment) (int, error) 
 		return 0, nil
 	}
 
+	// Flush the partial window accumulated since the last boundary before
+	// anything moves, so the observer's samples attribute the pre-migration
+	// slice to the nodes the work actually ran on. A no-op when the epoch
+	// boundary coincides with a window flush (the adaptive loop's default).
+	s.flushPartialWindow()
+
 	affected := make(map[*simNode]bool, 2*len(moving))
 	for _, st := range moving {
 		old := st.node
@@ -95,6 +101,11 @@ func (s *Simulation) Reassign(topoName string, a *core.Assignment) (int, error) 
 		for _, comp := range unblocked {
 			s.scheduleComplete(0, comp)
 		}
+		// Migration is a restart: the in-memory working set does not
+		// travel with the task, so the memory model's state-growth ramp
+		// re-warms from zero on the new node (inert with the model off —
+		// handled feeds nothing else).
+		st.handled = 0
 		// Credit the busy time accrued here to the node it ran on, so
 		// end-of-run utilization is attributed per host.
 		delta := st.tracker.Busy() - st.creditedBusy

@@ -54,11 +54,16 @@ type Result struct {
 	// MeanUtilizationUsed averages NodeUtilization over used nodes —
 	// the quantity compared in Fig. 10.
 	MeanUtilizationUsed float64
-	// TuplesDropped counts tuples abandoned due to node failures.
+	// TuplesDropped counts tuples abandoned due to node failures and OOM
+	// kills (an OOM-killed task's queue drains through the same path).
 	TuplesDropped int64
 	// TuplesMigrated counts tuples failed out of task queues by Reassign
 	// migrations (the rebalance analogue of a worker restart).
 	TuplesMigrated int64
+	// TasksOOMKilled counts executors killed by the runtime memory model
+	// (Config.MemoryModel) for exceeding their node's memory capacity.
+	// Always zero with the model off.
+	TasksOOMKilled int64
 }
 
 // Topology returns the named topology's result, or nil.
@@ -105,6 +110,7 @@ func (s *Simulation) buildResult() *Result {
 		NICUtilization:  make(map[cluster.NodeID]float64, len(s.order)),
 		TuplesDropped:   s.dropped,
 		TuplesMigrated:  s.migrated,
+		TasksOOMKilled:  s.oomKilled,
 	}
 
 	for _, run := range s.runs {

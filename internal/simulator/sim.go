@@ -68,6 +68,12 @@ type simTask struct {
 	// what the current host has seen.
 	creditedBusy time.Duration
 
+	// handled counts tuples this task has executed over its lifetime
+	// (bolt executions, spout root emissions) — the clock of the memory
+	// model's state-growth ramp (memory.go). One integer add on the hot
+	// path, maintained unconditionally.
+	handled int64
+
 	// Spout state.
 	isSpout  int // 1 if spout (int for alignment clarity; 0 otherwise)
 	inFlight int
@@ -133,24 +139,28 @@ type failure struct {
 // epochs: Start, then RunTo as many times as needed — with Reassign calls
 // between epochs migrating tasks — then Finish.
 type Simulation struct {
-	cfg      Config
-	cluster  *cluster.Cluster
-	engine   *des.Engine
-	rng      *rand.Rand
-	nodes    map[cluster.NodeID]*simNode
-	order    []cluster.NodeID
-	uplinks  map[cluster.RackID]*link
-	runs     []*topoRun
-	failures []failure
-	dropped  int64
-	migrated int64
-	started  bool
-	finished bool
+	cfg       Config
+	cluster   *cluster.Cluster
+	engine    *des.Engine
+	rng       *rand.Rand
+	nodes     map[cluster.NodeID]*simNode
+	order     []cluster.NodeID
+	uplinks   map[cluster.RackID]*link
+	runs      []*topoRun
+	failures  []failure
+	dropped   int64
+	migrated  int64
+	oomKilled int64
+	started   bool
+	finished  bool
 
-	// Metrics tap (observer.go).
+	// Metrics tap (observer.go). lastFlush is the virtual time of the most
+	// recent window flush, bounding the partial tail window Finish (and
+	// mid-window Reassigns) must still deliver.
 	observer  Observer
 	sampleBuf []TaskSample
 	windowIdx int
+	lastFlush time.Duration
 
 	// Free lists (see events.go). Single-threaded LIFO stacks.
 	eventPool []*simEvent
@@ -346,6 +356,13 @@ func (s *Simulation) Start() error {
 	if s.observer != nil && s.cfg.MetricsWindow <= s.cfg.Duration {
 		s.scheduleTask(s.cfg.MetricsWindow, evWindowFlush, nil)
 	}
+	// OOM enforcement shares the window cadence but not the observer: the
+	// memory hard axis is enforced whether or not anyone is watching. The
+	// check is scheduled after the flush, so at a shared boundary the
+	// observer samples the over-capacity window before the kill happens.
+	if s.cfg.MemoryModel && s.cfg.MetricsWindow <= s.cfg.Duration {
+		s.scheduleTask(s.cfg.MetricsWindow, evOOMCheck, nil)
+	}
 	return nil
 }
 
@@ -376,15 +393,25 @@ func (s *Simulation) Finish() (*Result, error) {
 		return nil, fmt.Errorf("simulation already finished")
 	}
 	s.engine.RunUntil(s.cfg.Duration)
+	// Deliver the trailing partial window: when Duration is not a multiple
+	// of MetricsWindow the tail counters never see a scheduled flush, and
+	// the adaptive profiler would silently miss the final samples.
+	s.flushPartialWindow()
 	s.finished = true
 	return s.buildResult(), nil
 }
 
 // freezeNode recomputes a node's CPU overcommit stretch from the true
 // demand of its hosted tasks, then refreezes its tasks' service times.
+// Dead tasks consume nothing: an OOM-killed executor's CPU demand departs
+// with it. (With the memory model off, a dead task only ever sits on a
+// dead node, which is never refrozen, so the skip changes nothing.)
 func (s *Simulation) freezeNode(n *simNode) {
 	n.cpuDemand = 0
 	for _, t := range n.tasks {
+		if t.dead {
+			continue
+		}
 		n.cpuDemand += t.comp.EffectiveCPUPoints()
 	}
 	n.slowdown = 1
@@ -432,6 +459,7 @@ func (s *Simulation) spoutFire(t *simTask) {
 	t.tracker.AddBusy(t.service)
 	t.winBusy += t.service
 	t.winEmitted++
+	t.handled++
 	now := s.engine.Now()
 	key := s.rng.Uint64() % uint64(t.comp.Profile.KeyCardinality)
 	tr := s.newTree(t)
@@ -487,6 +515,7 @@ func (s *Simulation) boltFire(t *simTask, tup *tuple) {
 	t.run.processed++
 	t.winBusy += t.service
 	t.winProcessed++
+	t.handled++
 	if t.procWin == nil {
 		t.procWin = t.run.procWinFor(t.comp.Name, s.cfg.MetricsWindow)
 	}

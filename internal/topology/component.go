@@ -58,6 +58,20 @@ type ExecProfile struct {
 	// scenarios, DESIGN.md) behave according to the truth. Zero means
 	// "the declaration is honest": the declared CPULoad is used.
 	CPUPoints float64
+	// MemMB is the task's *true* steady-state resident memory in MB — the
+	// memory analogue of CPUPoints. The scheduler sees only the declared
+	// MemoryLoad; the simulator's runtime memory model (Config.MemoryModel,
+	// DESIGN.md §4) accounts resident memory against MemMB. Zero means
+	// "the declaration is honest": the declared MemoryLoad is resident.
+	MemMB float64
+	// MemGrowTuples is the number of tuples a task must handle (process,
+	// for bolts; emit, for spouts) before its resident state reaches the
+	// steady footprint: resident ramps linearly from zero to the effective
+	// memory over that many tuples. Zero means the footprint is resident
+	// immediately. This is the state-growth term that lets mis-declared
+	// memory workloads creep up on a node's capacity at runtime rather
+	// than violating it at t=0.
+	MemGrowTuples int
 }
 
 // withDefaults fills unset profile fields with safe defaults.
@@ -78,6 +92,12 @@ func (p ExecProfile) withDefaults() ExecProfile {
 	}
 	if p.CPUPoints < 0 {
 		p.CPUPoints = 0
+	}
+	if p.MemMB < 0 {
+		p.MemMB = 0
+	}
+	if p.MemGrowTuples < 0 {
+		p.MemGrowTuples = 0
 	}
 	return p
 }
@@ -114,6 +134,16 @@ func (c *Component) EffectiveCPUPoints() float64 {
 		return c.Profile.CPUPoints
 	}
 	return c.CPULoad
+}
+
+// EffectiveMemMB returns the true per-task steady resident memory driving
+// the simulator's runtime memory model: the profile's MemMB when set, else
+// the declared MemoryLoad (an honest declaration).
+func (c *Component) EffectiveMemMB() float64 {
+	if c.Profile.MemMB > 0 {
+		return c.Profile.MemMB
+	}
+	return c.MemoryLoad
 }
 
 // Demand returns the per-task resource demand vector A_τ.

@@ -49,6 +49,8 @@ type ProfileSpec struct {
 	OutRatio       float64 `json:"outRatio,omitempty"`
 	KeyCardinality int     `json:"keyCardinality,omitempty"`
 	CPUPoints      float64 `json:"cpuPoints,omitempty"`
+	MemMB          float64 `json:"memMb,omitempty"`
+	MemGrowTuples  int     `json:"memGrowTuples,omitempty"`
 }
 
 // InputSpec describes one subscription of a bolt.
@@ -83,6 +85,8 @@ func (s *Spec) Build() (*Topology, error) {
 				OutRatio:       cs.Profile.OutRatio,
 				KeyCardinality: cs.Profile.KeyCardinality,
 				CPUPoints:      cs.Profile.CPUPoints,
+				MemMB:          cs.Profile.MemMB,
+				MemGrowTuples:  cs.Profile.MemGrowTuples,
 			}
 		}
 		switch cs.Kind {
@@ -145,6 +149,8 @@ func SpecOf(t *Topology) *Spec {
 				OutRatio:       c.Profile.OutRatio,
 				KeyCardinality: c.Profile.KeyCardinality,
 				CPUPoints:      c.Profile.CPUPoints,
+				MemMB:          c.Profile.MemMB,
+				MemGrowTuples:  c.Profile.MemGrowTuples,
 			},
 		}
 		switch c.Kind {

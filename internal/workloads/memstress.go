@@ -1,0 +1,58 @@
+package workloads
+
+import (
+	"time"
+
+	"rstorm/internal/topology"
+)
+
+// MemStressChain builds the memory mis-declaration scenario (DESIGN.md §4,
+// runtime memory model): a three-stage chain whose middle "cache" stage
+// truly grows a ~1408 MB in-memory working set per task — ramping up as it
+// processes tuples (ExecProfile.MemMB / MemGrowTuples) — while its CPU
+// demand is honest and light, so memory is the only axis that is wrong.
+//
+// With honest=true the declarations match that truth: the memory hard
+// constraint forces R-Storm to spread the cache tasks one per 2048 MB
+// node, nothing ever nears capacity, and the run is the oracle the
+// adaptive loop is judged against.
+//
+// With honest=false the cache stage declares 128 MB — the mis-declaration
+// the R-Storm paper warns about, on the axis PR 2's loop could not fix. A
+// declaration-trusting scheduler packs the whole topology onto one node;
+// at runtime the working sets grow until the node's resident memory
+// exceeds its capacity, and (under simulator.Config.MemoryModel) the OOM
+// killer starts shooting cache tasks. Only the declarations differ — the
+// execution profiles (the truth) are identical in both variants.
+//
+// The spout is the deliberate throughput bottleneck (its service time is
+// 5x the cache stage's), so the cache tasks idle at low utilization: the
+// CPU axis gives the adaptive controller nothing to react to, and any
+// recovery is attributable to the memory measurements alone.
+func MemStressChain(honest bool) (*topology.Topology, error) {
+	const (
+		trueCacheMemMB  = 1408
+		liedCacheMemMB  = 128
+		lightMemMB      = 128
+		cacheGrowTuples = 20000
+	)
+	cacheDecl := float64(liedCacheMemMB)
+	if honest {
+		cacheDecl = trueCacheMemMB
+	}
+	light := topology.ExecProfile{CPUPerTuple: 500 * time.Microsecond, TupleBytes: 512}
+	cache := topology.ExecProfile{
+		CPUPerTuple:   100 * time.Microsecond,
+		TupleBytes:    512,
+		MemMB:         trueCacheMemMB,
+		MemGrowTuples: cacheGrowTuples,
+	}
+	b := topology.NewBuilder("memstress")
+	b.SetSpout("ingest", 2).SetCPULoad(10).SetMemoryLoad(lightMemMB).SetProfile(light)
+	b.SetBolt("cache", 6).ShuffleGrouping("ingest").
+		SetCPULoad(8).SetMemoryLoad(cacheDecl).SetProfile(cache)
+	b.SetBolt("sink", 2).ShuffleGrouping("cache").
+		SetCPULoad(10).SetMemoryLoad(lightMemMB).
+		SetProfile(topology.ExecProfile{CPUPerTuple: 100 * time.Microsecond, TupleBytes: 512})
+	return b.Build()
+}

@@ -151,6 +151,10 @@ func BenchmarkSchedulerLatencyOffline400Tasks(b *testing.B) {
 // evaluation's event rates.
 
 func benchSimulatorThroughput(b *testing.B, memoryModel bool) {
+	benchSimulatorThroughputObserved(b, memoryModel, false)
+}
+
+func benchSimulatorThroughputObserved(b *testing.B, memoryModel, observed bool) {
 	b.Helper()
 	b.ReportAllocs()
 	c, err := cluster.Emulab12()
@@ -182,13 +186,37 @@ func benchSimulatorThroughput(b *testing.B, memoryModel bool) {
 		b.Fatal(err)
 	}
 
+	sched := rstorm.NewResourceAwareScheduler()
 	var processed int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		result, err := rstorm.ScheduleAndSimulate(c,
-			rstorm.SimConfig{Duration: 5 * time.Second, MetricsWindow: time.Second,
-				MemoryModel: memoryModel},
-			rstorm.NewResourceAwareScheduler(), topo)
+		cfg := rstorm.SimConfig{Duration: 5 * time.Second, MetricsWindow: time.Second,
+			MemoryModel: memoryModel}
+		var result *rstorm.SimResult
+		var err error
+		if observed {
+			// Attach the demand profiler so every window flush also
+			// materializes the per-edge traffic counters — the tap whose
+			// hot path must stay a single int add per delivery.
+			state := rstorm.NewGlobalState(c)
+			a, serr := sched.Schedule(topo, c, state)
+			if serr != nil {
+				b.Fatal(serr)
+			}
+			sim, serr := rstorm.NewSimulation(c, cfg)
+			if serr != nil {
+				b.Fatal(serr)
+			}
+			if serr := sim.AddTopology(topo, a); serr != nil {
+				b.Fatal(serr)
+			}
+			if serr := sim.SetObserver(rstorm.NewDemandProfiler()); serr != nil {
+				b.Fatal(serr)
+			}
+			result, err = sim.Run()
+		} else {
+			result, err = rstorm.ScheduleAndSimulate(c, cfg, sched, topo)
+		}
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -207,6 +235,15 @@ func BenchmarkSimulatorThroughput(b *testing.B) { benchSimulatorThroughput(b, fa
 // per-window residency checks) stays allocation-free: allocs/op must match
 // the memory-blind benchmark above, and tuples/s must stay within noise.
 func BenchmarkSimulatorThroughputMemoryModel(b *testing.B) { benchSimulatorThroughput(b, true) }
+
+// BenchmarkSimulatorThroughputTraffic proves the traffic tap stays off the
+// allocation path: per-wire counting is one int add per delivery, and the
+// profiler observer's per-window edge materialization reuses its buffers,
+// so allocs/op stays O(windows + setup) — independent of tuple volume —
+// and tuples/s within noise of the unobserved run.
+func BenchmarkSimulatorThroughputTraffic(b *testing.B) {
+	benchSimulatorThroughputObserved(b, false, true)
+}
 
 // Assignment analysis cost on a large placement.
 

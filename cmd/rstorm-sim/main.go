@@ -7,7 +7,7 @@
 //	rstorm-sim -topology topo.json [-cluster cluster.yaml] \
 //	           [-scheduler r-storm|default-even|offline-linear] \
 //	           [-duration 60s] [-fail node-0-3@20s] \
-//	           [-adaptive] [-control-interval 1s] [-memory]
+//	           [-adaptive] [-control-interval 1s] [-memory] [-traffic]
 //
 // Without -topology it runs the built-in network-bound Linear benchmark.
 // With -adaptive the run is driven by the feedback control loop
@@ -18,6 +18,10 @@
 // node exceeding its capacity OOM-kills its worst offender, and the
 // measured table gains declared-vs-measured memory columns; combined with
 // -adaptive, measured memory replaces the declarations during replanning.
+// With -traffic the report gains the measured edge-rate matrix and the
+// run's inter-node tuple fraction; combined with -adaptive, consolidation
+// (imbalance-triggered) rebalances minimize the measured network cost
+// instead of ref-node distance.
 package main
 
 import (
@@ -59,6 +63,7 @@ func run(w io.Writer, args []string) error {
 		adaptiveOn  = fs.Bool("adaptive", false, "close the loop: profile measured demands and rebalance incrementally")
 		ctrlIvl     = fs.Duration("control-interval", 0, "adaptive control epoch (default: one metrics window)")
 		memoryOn    = fs.Bool("memory", false, "enable the runtime memory model: resident accounting + OOM enforcement (with -adaptive, measured memory replaces declarations)")
+		trafficOn   = fs.Bool("traffic", false, "report the measured edge-rate matrix and inter-node tuple fraction (with -adaptive, consolidation rebalances minimize measured network cost)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,6 +131,9 @@ func run(w io.Writer, args []string) error {
 		if *memoryOn {
 			loopCfg.Controller.MemHeadroom = 0.8
 		}
+		// With -traffic the imbalance (consolidation) trigger plans against
+		// the measured edge-rate matrix instead of ref-node distance.
+		loopCfg.Controller.TrafficObjective = *trafficOn
 		loop := adaptive.NewLoop(sim, c, core.NewResourceAwareScheduler(), loopCfg)
 		if err := loop.Manage(topo, a); err != nil {
 			return err
@@ -153,6 +161,9 @@ func run(w io.Writer, args []string) error {
 		printRebalances(w, rebalances, result)
 	}
 	printMeasured(w, topo, prof, *memoryOn)
+	if *trafficOn {
+		printTraffic(w, topo, prof, result)
+	}
 	return nil
 }
 
@@ -259,6 +270,27 @@ func printRebalances(w io.Writer, events []adaptive.RebalanceEvent, result *simu
 			e.At, e.Topology, e.Trigger, e.Moves)
 	}
 	fmt.Fprintf(w, "  tuples failed by migration: %d\n", result.TuplesMigrated)
+}
+
+// printTraffic renders the measured edge-rate matrix — the traffic the
+// network-distance heuristic is a proxy for — and the run's inter-node
+// tuple fraction (the quantity a traffic-aware placement minimizes).
+func printTraffic(w io.Writer, topo *topology.Topology, prof *adaptive.Profiler, result *simulator.Result) {
+	edges := prof.EdgeStats(topo.Name())
+	if len(edges) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nmeasured edge traffic (EWMA over %d windows):\n", prof.Windows())
+	fmt.Fprintf(w, "  %-16s %-16s %10s %12s %9s\n",
+		"from", "to", "rate/s", "tuples", "remote")
+	for _, e := range edges {
+		fmt.Fprintf(w, "  %-16s %-16s %10.1f %12d %8.1f%%\n",
+			e.From, e.To, e.RatePerSec, e.Tuples, e.InterNodeFraction()*100)
+	}
+	if tr := result.Topology(topo.Name()); tr != nil {
+		fmt.Fprintf(w, "  inter-node tuple fraction: %.1f%% (%d of %d deliveries crossed nodes)\n",
+			tr.InterNodeFraction()*100, tr.TuplesSentRemote, tr.TuplesSent)
+	}
 }
 
 // printMeasured renders the metrics tap's per-component summary: declared

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -231,5 +232,84 @@ func TestRunAdaptiveMode(t *testing.T) {
 	}
 	if !strings.Contains(s, "measured per-component demand") {
 		t.Error("adaptive run missing measured table")
+	}
+}
+
+// TestRunTrafficMode: -traffic must report the measured edge-rate matrix
+// and the run's inter-node tuple fraction; combined with -adaptive on a
+// cold, CPU-overdeclared chain it must consolidate (imbalance-triggered
+// moves) and end with a lower inter-node fraction than the static run.
+func TestRunTrafficMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chatty.json")
+	// A scaled-down ChattyChain: declared heavy (spread one task per
+	// node), truly idle and latency-bound, with fat tuples on every edge.
+	// Four stages two tasks wide: the CPU lie spreads the chain across
+	// nodes *asymmetrically* (a 3-task-per-node spill pattern), which is
+	// what gives the traffic objective single-task moves to find. (A
+	// 2-node symmetric split is a fixed point: every task's traffic pulls
+	// equally both ways.)
+	spec := `{
+	  "name": "chatty",
+	  "components": [
+	    {"name": "src", "kind": "spout", "parallelism": 2, "cpuLoad": 85, "memoryLoadMb": 64,
+	     "profile": {"cpuPerTupleUs": 50, "tupleBytes": 8192, "cpuPoints": 8}},
+	    {"name": "mid", "kind": "bolt", "parallelism": 2, "cpuLoad": 85, "memoryLoadMb": 64,
+	     "profile": {"cpuPerTupleUs": 50, "tupleBytes": 8192, "cpuPoints": 8},
+	     "inputs": [{"from": "src"}]},
+	    {"name": "fold", "kind": "bolt", "parallelism": 2, "cpuLoad": 85, "memoryLoadMb": 64,
+	     "profile": {"cpuPerTupleUs": 50, "tupleBytes": 8192, "cpuPoints": 8},
+	     "inputs": [{"from": "mid"}]},
+	    {"name": "out", "kind": "bolt", "parallelism": 2, "cpuLoad": 85, "memoryLoadMb": 64,
+	     "profile": {"cpuPerTupleUs": 50, "tupleBytes": 8192, "cpuPoints": 8},
+	     "inputs": [{"from": "fold"}]}
+	  ]
+	}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var static bytes.Buffer
+	err := run(&static, []string{
+		"-topology", path, "-traffic",
+		"-duration", "4s", "-window", "500ms",
+	})
+	if err != nil {
+		t.Fatalf("run -traffic: %v", err)
+	}
+	s := static.String()
+	if !strings.Contains(s, "measured edge traffic") {
+		t.Fatalf("missing edge traffic table:\n%s", s)
+	}
+	for _, want := range []string{"src", "mid", "out", "inter-node tuple fraction:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("traffic report missing %q:\n%s", want, s)
+		}
+	}
+
+	var adapt bytes.Buffer
+	err = run(&adapt, []string{
+		"-topology", path, "-traffic", "-adaptive",
+		"-duration", "4s", "-window", "500ms",
+	})
+	if err != nil {
+		t.Fatalf("run -traffic -adaptive: %v", err)
+	}
+	a := adapt.String()
+	if !strings.Contains(a, "trigger=imbalance") {
+		t.Errorf("adaptive -traffic never consolidated the cold chain:\n%s", a)
+	}
+	frac := func(out string) float64 {
+		i := strings.Index(out, "inter-node tuple fraction:")
+		if i < 0 {
+			t.Fatalf("no fraction line:\n%s", out)
+		}
+		var f float64
+		if _, err := fmt.Sscanf(out[i:], "inter-node tuple fraction: %f%%", &f); err != nil {
+			t.Fatalf("unparsable fraction line: %v\n%s", err, out[i:])
+		}
+		return f
+	}
+	if sf, af := frac(s), frac(a); af >= sf {
+		t.Errorf("adaptive inter-node fraction %.1f%% not below static %.1f%%", af, sf)
 	}
 }

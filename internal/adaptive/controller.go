@@ -57,6 +57,16 @@ type ControllerConfig struct {
 	// under this fraction outrank tight fits. Zero disables the tier —
 	// the default, so declared-memory replans are unchanged.
 	MemHeadroom float64
+	// TrafficObjective, when set, hands the profiler's measured
+	// component-pair traffic matrix to imbalance-triggered (consolidation)
+	// rebalances: the incremental pass then minimizes measured network
+	// cost — Σ rate(a,b)·NetworkDistance(node(a),node(b)) — instead of
+	// ref-node distance, which is what lets a cold, spread-out topology
+	// consolidate its chatty edges onto shared nodes. Hotspot and memory
+	// triggers keep the distance objective: they are escaping overload,
+	// not chasing locality. Off by default — plans are byte-identical
+	// with the objective unset.
+	TrafficObjective bool
 }
 
 func (c ControllerConfig) withDefaults() ControllerConfig {
@@ -280,19 +290,22 @@ func (c *Controller) ShouldRebalance(name string) (string, bool) {
 // profiler's measured demands. available is the per-node availability
 // *excluding* this topology's own usage (dead nodes zeroed, co-resident
 // topologies' load subtracted — see Loop.availabilityFor); nil means the
-// topology has the whole cluster to itself. Plan does not mutate
-// controller state; call NotifyRebalanced once the plan has been applied
-// (or discarded) so the cooldown starts.
+// topology has the whole cluster to itself. trigger is the
+// ShouldRebalance verdict being acted on: an imbalance trigger under
+// TrafficObjective plans against the measured traffic matrix. Plan does
+// not mutate controller state; call NotifyRebalanced once the plan has
+// been applied (or discarded) so the cooldown starts.
 func (c *Controller) Plan(
 	topo *topology.Topology,
 	clu *cluster.Cluster,
 	current *core.Assignment,
 	available map[cluster.NodeID]resource.Vector,
+	trigger string,
 ) (*core.Assignment, []core.Move, error) {
 	if current == nil {
 		return nil, nil, fmt.Errorf("topology %q has no current assignment", topo.Name())
 	}
-	return c.sched.IncrementalReschedule(topo, clu, current, core.IncrementalOptions{
+	opts := core.IncrementalOptions{
 		Demands:     c.profiler.MeasuredDemands(topo),
 		Available:   available,
 		MaxMoves:    c.cfg.MaxMoves,
@@ -302,7 +315,11 @@ func (c *Controller) Plan(
 		// pinned in place (nothing is left to migrate) and no longer
 		// consuming their node's resources.
 		Dead: c.profiler.DeadTasks(topo.Name()),
-	})
+	}
+	if c.cfg.TrafficObjective && trigger == TriggerImbalance {
+		opts.Traffic = c.profiler.TrafficMatrix(topo.Name())
+	}
+	return c.sched.IncrementalReschedule(topo, clu, current, opts)
 }
 
 // NotifyRebalanced records an applied (or deliberately empty) rebalance
@@ -339,6 +356,11 @@ type TopologyStatus struct {
 	TotalMoves int              `json:"totalMoves"`
 	LastAction string           `json:"lastAction,omitempty"`
 	Components []ComponentStats `json:"components"`
+	// Traffic is the measured component-pair edge-rate matrix;
+	// InterNodeFraction is the cumulative share of the topology's tuple
+	// deliveries that crossed between nodes.
+	Traffic           []EdgeStats `json:"traffic,omitempty"`
+	InterNodeFraction float64     `json:"interNodeFraction"`
 }
 
 // ControllerStatus is the JSON-friendly snapshot served by the
@@ -370,16 +392,19 @@ func (c *Controller) Status() ControllerStatus {
 	}
 	for _, name := range c.order {
 		ts := c.topos[name]
+		traffic := c.profiler.EdgeStats(name)
 		out.Topologies = append(out.Topologies, TopologyStatus{
-			Name:       name,
-			HotStreak:  ts.hotStreak,
-			ColdStreak: ts.coldStreak,
-			MemStreak:  ts.memStreak,
-			Cooldown:   ts.cooldown,
-			Rebalances: ts.rebalances,
-			TotalMoves: ts.totalMoves,
-			LastAction: ts.lastAction,
-			Components: c.profiler.Stats(name),
+			Name:              name,
+			HotStreak:         ts.hotStreak,
+			ColdStreak:        ts.coldStreak,
+			MemStreak:         ts.memStreak,
+			Cooldown:          ts.cooldown,
+			Rebalances:        ts.rebalances,
+			TotalMoves:        ts.totalMoves,
+			LastAction:        ts.lastAction,
+			Components:        c.profiler.Stats(name),
+			Traffic:           traffic,
+			InterNodeFraction: edgesInterNodeFraction(traffic),
 		})
 	}
 	return out

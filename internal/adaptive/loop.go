@@ -131,7 +131,7 @@ func (l *Loop) Run() (*LoopResult, error) {
 				continue
 			}
 			topo := l.topos[name]
-			next, moves, err := l.ctrl.Plan(topo, l.cluster, l.current[name], l.availabilityFor(name))
+			next, moves, err := l.ctrl.Plan(topo, l.cluster, l.current[name], l.availabilityFor(name), trigger)
 			if err != nil {
 				return nil, fmt.Errorf("planning rebalance of %q: %w", name, err)
 			}

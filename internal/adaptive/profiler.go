@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"rstorm/internal/cluster"
+	"rstorm/internal/core"
 	"rstorm/internal/resource"
 	"rstorm/internal/simulator"
 	"rstorm/internal/topology"
@@ -97,6 +98,53 @@ type ComponentStats struct {
 
 type compKey struct{ topo, comp string }
 
+// edgeKey identifies one directed component pair of one topology.
+type edgeKey struct{ topo, from, to string }
+
+// EdgeStats is the profiler's rolling traffic estimate for one directed
+// component pair — the component-pair traffic matrix entry the
+// network-cost objective consumes. Rates come from the simulator's
+// per-wire tuple counters (TaskSample.Edges), folded per window.
+type EdgeStats struct {
+	Topology string `json:"topology"`
+	From     string `json:"from"`
+	To       string `json:"to"`
+	// RatePerSec is the EWMA tuples/sec summed across every task pair of
+	// the component pair.
+	RatePerSec float64 `json:"ratePerSec"`
+	// Tuples / RemoteTuples are cumulative delivery counts over the run,
+	// and the subset whose edge crossed nodes at flush time. Their ratio
+	// is the edge's inter-node tuple fraction.
+	Tuples       int64 `json:"tuples"`
+	RemoteTuples int64 `json:"remoteTuples"`
+	// Windows counts flushes folded into the rate.
+	Windows int `json:"windows"`
+}
+
+// InterNodeFraction returns the share of this edge's tuples that crossed
+// between nodes, in [0,1].
+func (e EdgeStats) InterNodeFraction() float64 {
+	if e.Tuples == 0 {
+		return 0
+	}
+	return float64(e.RemoteTuples) / float64(e.Tuples)
+}
+
+// edgesInterNodeFraction aggregates a topology's edges into its overall
+// inter-node tuple fraction — the /adaptive counterpart of
+// TopologyResult.InterNodeFraction, computed from the profiler's view.
+func edgesInterNodeFraction(edges []EdgeStats) float64 {
+	var sent, remote int64
+	for _, e := range edges {
+		sent += e.Tuples
+		remote += e.RemoteTuples
+	}
+	if sent == 0 {
+		return 0
+	}
+	return float64(remote) / float64(sent)
+}
+
 // Profiler folds per-window task samples into per-component demand
 // estimates. It implements simulator.Observer; the simulation feeding
 // OnWindow is single-threaded, but estimates are also read from other
@@ -113,6 +161,12 @@ type Profiler struct {
 	// the replanner freezes these in place, since there is no executor
 	// left to migrate.
 	dead map[string]map[int]bool
+
+	// edges is the EWMA component-pair traffic matrix, fed by the
+	// simulator's per-wire counters; edgeOrder is first-seen order for
+	// deterministic iteration.
+	edges     map[edgeKey]*EdgeStats
+	edgeOrder []edgeKey
 
 	// nodeBusy is scratch for per-node busy aggregation, reused across
 	// flushes.
@@ -142,6 +196,7 @@ func NewProfiler(cfg ProfilerConfig) *Profiler {
 		cfg:        cfg.withDefaults(),
 		stats:      make(map[compKey]*ComponentStats),
 		dead:       make(map[string]map[int]bool),
+		edges:      make(map[edgeKey]*EdgeStats),
 		nodeBusy:   make(map[cluster.NodeID]time.Duration),
 		prevMaxMem: make(map[compKey]float64),
 	}
@@ -209,6 +264,25 @@ func (p *Profiler) OnWindow(samples []simulator.TaskSample) {
 		latSum   time.Duration
 		latN     int64
 	}
+	type eacc struct {
+		tuples int64
+		remote int64
+	}
+	eaccs := make(map[edgeKey]*eacc, len(p.edges))
+	var ekeys []edgeKey
+	foldEdge := func(topo, comp string, e *simulator.EdgeRate) {
+		ek := edgeKey{topo, comp, e.DestComponent}
+		ea := eaccs[ek]
+		if ea == nil {
+			ea = &eacc{}
+			eaccs[ek] = ea
+			ekeys = append(ekeys, ek)
+		}
+		ea.tuples += e.Tuples
+		if e.Remote {
+			ea.remote += e.Tuples
+		}
+	}
 	accs := make(map[compKey]*acc, len(p.stats))
 	var keys []compKey
 	for i := range samples {
@@ -220,6 +294,16 @@ func (p *Profiler) OnWindow(samples []simulator.TaskSample) {
 				p.dead[s.Topology] = d
 			}
 			d[s.TaskID] = true
+			// Traffic the task delivered before dying this window is real
+			// and must reach the cumulative edge totals (the simulator's
+			// TuplesSent counted it). Only non-zero counts fold: a
+			// long-dead task's all-zero edges must not hold the pair live
+			// against the decay below.
+			for j := range s.Edges {
+				if s.Edges[j].Tuples != 0 {
+					foldEdge(s.Topology, s.Component, &s.Edges[j])
+				}
+			}
 			continue
 		}
 		k := compKey{s.Topology, s.Component}
@@ -249,6 +333,13 @@ func (p *Profiler) OnWindow(samples []simulator.TaskSample) {
 		a.overflow += s.Overflows
 		a.latSum += s.LatencySum
 		a.latN += s.LatencyN
+		// Edge traffic: sum each (component, dest component) pair's tuple
+		// counts across the source component's tasks. Task-level edges
+		// (TaskSample.Edges) arrive in deterministic order, so the
+		// first-seen pair order is deterministic too.
+		for j := range s.Edges {
+			foldEdge(s.Topology, s.Component, &s.Edges[j])
+		}
 	}
 	alpha := p.cfg.Alpha
 	for _, k := range keys {
@@ -294,6 +385,44 @@ func (p *Profiler) OnWindow(samples []simulator.TaskSample) {
 			st.MeanLatency = time.Duration(ew(float64(st.MeanLatency),
 				float64(a.latSum)/float64(a.latN)))
 		}
+	}
+	// Fold the window's edge traffic into the EWMA matrix. Rates are
+	// normalized by the flushed interval, so partial flushes (mid-window
+	// Reassign, trailing Finish) fold at their true per-second rate just
+	// like the egress estimate above.
+	for _, ek := range ekeys {
+		ea := eaccs[ek]
+		st := p.edges[ek]
+		if st == nil {
+			st = &EdgeStats{Topology: ek.topo, From: ek.from, To: ek.to}
+			p.edges[ek] = st
+			p.edgeOrder = append(p.edgeOrder, ek)
+		}
+		st.Windows++
+		st.Tuples += ea.tuples
+		st.RemoteTuples += ea.remote
+		rate := float64(ea.tuples) / window.Seconds()
+		if st.Windows == 1 {
+			st.RatePerSec = rate
+		} else {
+			st.RatePerSec = alpha*rate + (1-alpha)*st.RatePerSec
+		}
+	}
+	// Edges that folded nothing this window have no live source tasks
+	// left (a live task materializes all its edges every flush, zero
+	// counts included, and a dead task's edges fold only while they still
+	// carry death-window traffic): like the component decay below, the
+	// rate snaps to zero instead of freezing at its last — possibly hot —
+	// value, so a dead component's edges stop pulling traffic plans and
+	// stop reading as live flow on /adaptive. Cumulative totals are
+	// history and stay.
+	for _, ek := range p.edgeOrder {
+		if _, live := eaccs[ek]; live {
+			continue
+		}
+		st := p.edges[ek]
+		st.Windows++
+		st.RatePerSec = 0
 	}
 	// Components with no live tasks left this window decay to zero load
 	// instead of freezing at their last (possibly hot) estimate — a fully
@@ -395,6 +524,41 @@ func (p *Profiler) Topologies() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// EdgeStats returns the named topology's component-pair traffic estimates
+// in first-seen order — the measured edge-rate matrix served by /adaptive
+// and rendered by rstorm-sim -traffic.
+func (p *Profiler) EdgeStats(topo string) []EdgeStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []EdgeStats
+	for _, k := range p.edgeOrder {
+		if k.topo == topo {
+			out = append(out, *p.edges[k])
+		}
+	}
+	return out
+}
+
+// TrafficMatrix materializes the named topology's measured component-pair
+// rates for the incremental pass's network-cost objective. Nil when no
+// traffic has been measured yet (the pass then keeps the distance
+// objective rather than planning on an all-zero matrix).
+func (p *Profiler) TrafficMatrix(topo string) *core.TrafficMatrix {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var m *core.TrafficMatrix
+	for _, k := range p.edgeOrder {
+		if k.topo != topo {
+			continue
+		}
+		if m == nil {
+			m = core.NewTrafficMatrix()
+		}
+		m.Set(k.from, k.to, p.edges[k].RatePerSec)
+	}
+	return m
 }
 
 // MeasuredDemands returns per-component, per-task demand vectors with the

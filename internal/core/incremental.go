@@ -66,6 +66,21 @@ type IncrementalOptions struct {
 	// landing one window short of the next OOM. Zero disables the tier,
 	// leaving the feasibility ordering exactly as before.
 	MemHeadroom float64
+	// Traffic, when non-nil and carrying measured rates, switches the soft
+	// objective of the pass from the paper's ref-node distance to a
+	// network-cost objective over measured traffic: a candidate node for
+	// task a is scored by Σ_b rate(a,b)·NetworkDistance(candidate,
+	// node(b)) over the tasks b of adjacent components (planned positions
+	// for tasks already walked, current positions otherwise). This
+	// generalizes the exact solver's unit-weight pairwise cost (exact.go)
+	// to measured edge rates, and is what makes cold-topology
+	// consolidation produce moves: the symmetric ref-node distance cannot
+	// see that two chatty tasks sit one hop apart. Feasibility tiers, the
+	// stickiness margin (applied to the cost), and the move cap are
+	// unchanged; tasks with no measured traffic fall back to the distance
+	// objective. Nil (or an empty matrix) leaves the pass exactly as
+	// before.
+	Traffic *TrafficMatrix
 }
 
 // candidate tiers: a node that covers the task's CPU demand outright beats
@@ -83,6 +98,124 @@ const (
 	tierOver    = 3 // hard constraints satisfied, CPU overcommitted
 	tierInvalid = 4 // hard constraint violated
 )
+
+// trafficNeighbor is one adjacent component seen from a task's component,
+// with the measured per-task-pair rate (tuples/sec) of the edge between
+// them. Both directions of a stream contribute: distance is symmetric, so
+// traffic toward a producer pulls as hard as traffic toward a consumer.
+type trafficNeighbor struct {
+	comp string
+	rate float64
+}
+
+// trafficScorer evaluates the measured network-cost objective for one
+// IncrementalReschedule pass: cost(task, node) = Σ over tasks u of
+// adjacent components rate(task,u) · NetworkDistance(node, node(u)),
+// where node(u) is u's planned position if the walk has already decided
+// it and its current position otherwise. Component-pair rates are split
+// uniformly across the pair's live task pairs — the matrix is measured
+// per component (the profiler's EWMA), and a uniform split keeps the
+// objective well-defined without per-task-pair bookkeeping.
+type trafficScorer struct {
+	dist      [][]float64 // pairwise NetworkDistance by node index
+	nodeOf    map[int]int // task ID → node index, planned-so-far view
+	neighbors map[string][]trafficNeighbor
+	tasks     map[string][]int // component → live task IDs, dense order
+	// w is the per-node rate aggregation for the task currently being
+	// walked (prepare): w[n] sums the rates of the task's neighbors
+	// sitting on node n, so scoring a candidate is O(nodes) instead of
+	// O(neighbor tasks) per candidate.
+	w []float64
+}
+
+// newTrafficScorer builds the scorer, or returns nil when the matrix is
+// absent or carries no signal (the pass then keeps the distance objective).
+func newTrafficScorer(
+	topo *topology.Topology,
+	c *cluster.Cluster,
+	current *Assignment,
+	opts IncrementalOptions,
+	ids []cluster.NodeID,
+	idx map[cluster.NodeID]int,
+) *trafficScorer {
+	if opts.Traffic.Total() <= 0 {
+		return nil
+	}
+	sc := &trafficScorer{
+		dist:      make([][]float64, len(ids)),
+		nodeOf:    make(map[int]int, topo.TotalTasks()),
+		neighbors: make(map[string][]trafficNeighbor),
+		tasks:     make(map[string][]int),
+		w:         make([]float64, len(ids)),
+	}
+	for i, a := range ids {
+		sc.dist[i] = make([]float64, len(ids))
+		for j, b := range ids {
+			sc.dist[i][j] = c.NetworkDistance(a, b)
+		}
+	}
+	for _, task := range topo.Tasks() {
+		if p, ok := current.PlacementOf(task.ID); ok {
+			sc.nodeOf[task.ID] = idx[p.Node]
+		}
+		// Dead tasks are pinned corpses: they generate no traffic and must
+		// not anchor live neighbors to their node.
+		if !opts.Dead[task.ID] {
+			sc.tasks[task.Component] = append(sc.tasks[task.Component], task.ID)
+		}
+	}
+	for _, st := range topo.Streams() {
+		r := opts.Traffic.Rate(st.From, st.To)
+		if r <= 0 {
+			continue
+		}
+		nf, nt := len(sc.tasks[st.From]), len(sc.tasks[st.To])
+		if nf == 0 || nt == 0 {
+			continue
+		}
+		perPair := r / float64(nf*nt)
+		sc.neighbors[st.From] = append(sc.neighbors[st.From],
+			trafficNeighbor{comp: st.To, rate: perPair})
+		sc.neighbors[st.To] = append(sc.neighbors[st.To],
+			trafficNeighbor{comp: st.From, rate: perPair})
+	}
+	return sc
+}
+
+// prepare folds the task's neighbor traffic into the per-node weight
+// vector against the planned-so-far positions. Called once per walked
+// task, before its candidate loop; every subsequent cost() is O(nodes).
+func (sc *trafficScorer) prepare(task topology.Task) {
+	for i := range sc.w {
+		sc.w[i] = 0
+	}
+	for _, ne := range sc.neighbors[task.Component] {
+		for _, uid := range sc.tasks[ne.comp] {
+			if uid == task.ID {
+				continue
+			}
+			sc.w[sc.nodeOf[uid]] += ne.rate
+		}
+	}
+}
+
+// cost scores placing the prepared task on the node at index i. Zero when
+// the task has no measured traffic (callers then fall back to the
+// distance objective).
+func (sc *trafficScorer) cost(i int) float64 {
+	var cost float64
+	d := sc.dist[i]
+	for n, wn := range sc.w {
+		if wn != 0 {
+			cost += wn * d[n]
+		}
+	}
+	return cost
+}
+
+// place records the walk's decision for a task, so later tasks score
+// against the plan rather than the stale placement.
+func (sc *trafficScorer) place(taskID, nodeIdx int) { sc.nodeOf[taskID] = nodeIdx }
 
 // IncrementalReschedule computes a migration-aware improvement of an
 // existing assignment: every task keeps its placement unless another node
@@ -223,6 +356,11 @@ func (s *ResourceAwareScheduler) IncrementalReschedule(
 			s.weights.Apply(demandOf(order[j])).Total()
 	})
 
+	// With a traffic matrix, the soft objective becomes the measured
+	// network cost; without one (or without signal) scorer is nil and the
+	// pass scores by ref-node distance exactly as before.
+	scorer := newTrafficScorer(topo, c, current, opts, ids, idx)
+
 	next := NewAssignment(topo.Name(), s.Name()+"-incremental")
 	var moves []Move
 	for _, task := range order {
@@ -236,7 +374,10 @@ func (s *ResourceAwareScheduler) IncrementalReschedule(
 		// Lift the task off its node, then judge every node — including
 		// its own — from the resulting availability.
 		avail[ci] = avail[ci].Add(d)
-		best, bestTier, bestDist := -1, tierInvalid+1, 0.0
+		if scorer != nil {
+			scorer.prepare(task)
+		}
+		best, bestTier, bestDist, bestCost := -1, tierInvalid+1, 0.0, 0.0
 		for i := range ids {
 			tier := tierOf(i, avail[i], d)
 			if tier == tierInvalid {
@@ -246,21 +387,47 @@ func (s *ResourceAwareScheduler) IncrementalReschedule(
 				continue
 			}
 			dist := resource.Distance(d, avail[i], netdist[i], s.weights)
-			if tier < bestTier || (tier == bestTier && dist < bestDist) {
-				best, bestTier, bestDist = i, tier, dist
+			var cost float64
+			if scorer != nil {
+				cost = scorer.cost(i)
+			}
+			better := tier < bestTier
+			if tier == bestTier {
+				if scorer != nil {
+					// Traffic objective: network cost first; the paper's
+					// distance only splits cost ties, so zero-traffic tasks
+					// (cost 0 everywhere) keep the distance behavior.
+					better = cost < bestCost || (cost == bestCost && dist < bestDist)
+				} else {
+					better = dist < bestDist
+				}
+			}
+			if better {
+				best, bestTier, bestDist, bestCost = i, tier, dist, cost
 			}
 		}
 		chosen := ci
 		if best >= 0 && best != ci {
 			curTier := tierOf(ci, avail[ci], d)
 			curDist := resource.Distance(d, avail[ci], netdist[ci], s.weights)
-			improves := bestTier < curTier ||
-				(bestTier == curTier && bestDist < curDist*(1-opts.Margin))
+			var improves bool
+			if scorer != nil {
+				curCost := scorer.cost(ci)
+				improves = bestTier < curTier || (bestTier == curTier &&
+					(bestCost < curCost*(1-opts.Margin) ||
+						(bestCost == curCost && bestDist < curDist*(1-opts.Margin))))
+			} else {
+				improves = bestTier < curTier ||
+					(bestTier == curTier && bestDist < curDist*(1-opts.Margin))
+			}
 			if improves && (opts.MaxMoves <= 0 || len(moves) < opts.MaxMoves) {
 				chosen = best
 			}
 		}
 		avail[chosen] = avail[chosen].Sub(d)
+		if scorer != nil {
+			scorer.place(task.ID, chosen)
+		}
 		if chosen == ci {
 			next.Place(task.ID, cur)
 			continue

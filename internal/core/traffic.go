@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TrafficMatrix holds measured inter-component traffic rates — the
+// adaptive profiler's EWMA estimate of tuples per second flowing from one
+// component to another. It generalizes the exact solver's unit-weight
+// pairwise cost (exact.go) to measured rates: where the paper's heuristic
+// treats every adjacent component pair as equally chatty, the matrix
+// weights each pair by what the data plane actually delivered, which is
+// what makes a network-cost objective meaningful at runtime.
+//
+// Rates are directed (src → dst) but the network-cost objective is
+// symmetric in distance, so both directions of a pair contribute.
+type TrafficMatrix struct {
+	rates map[[2]string]float64
+	order [][2]string // first-set order, for deterministic iteration
+}
+
+// NewTrafficMatrix returns an empty traffic matrix.
+func NewTrafficMatrix() *TrafficMatrix {
+	return &TrafficMatrix{rates: make(map[[2]string]float64)}
+}
+
+// Set records the measured rate (tuples/sec) from component src to dst.
+// Setting a pair again replaces its rate.
+func (m *TrafficMatrix) Set(src, dst string, ratePerSec float64) {
+	k := [2]string{src, dst}
+	if _, seen := m.rates[k]; !seen {
+		m.order = append(m.order, k)
+	}
+	m.rates[k] = ratePerSec
+}
+
+// Rate returns the measured rate from src to dst (0 if unmeasured).
+func (m *TrafficMatrix) Rate(src, dst string) float64 {
+	if m == nil {
+		return 0
+	}
+	return m.rates[[2]string{src, dst}]
+}
+
+// Pairs visits every measured pair in first-set order.
+func (m *TrafficMatrix) Pairs(fn func(src, dst string, ratePerSec float64)) {
+	if m == nil {
+		return
+	}
+	for _, k := range m.order {
+		fn(k[0], k[1], m.rates[k])
+	}
+}
+
+// Total sums all measured rates — zero means the matrix carries no signal
+// and a traffic objective would be a no-op.
+func (m *TrafficMatrix) Total() float64 {
+	if m == nil {
+		return 0
+	}
+	var sum float64
+	for _, r := range m.rates {
+		sum += r
+	}
+	return sum
+}
+
+// String renders the matrix sorted by pair, for logs and tests.
+func (m *TrafficMatrix) String() string {
+	if m == nil || len(m.rates) == 0 {
+		return "traffic{}"
+	}
+	keys := make([][2]string, 0, len(m.rates))
+	for k := range m.rates {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	var b strings.Builder
+	b.WriteString("traffic{")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s->%s: %.1f/s", k[0], k[1], m.rates[k])
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrafficMatrix(t *testing.T) {
+	var nilM *TrafficMatrix
+	if nilM.Total() != 0 || nilM.Rate("a", "b") != 0 {
+		t.Error("nil matrix must read as empty")
+	}
+	nilM.Pairs(func(src, dst string, r float64) {
+		t.Errorf("nil matrix visited pair %s->%s", src, dst)
+	})
+	if got := nilM.String(); got != "traffic{}" {
+		t.Errorf("nil String = %q", got)
+	}
+
+	m := NewTrafficMatrix()
+	if got := m.String(); got != "traffic{}" {
+		t.Errorf("empty String = %q", got)
+	}
+	m.Set("a", "b", 100)
+	m.Set("b", "c", 50)
+	m.Set("a", "b", 200) // replaces, does not duplicate
+	if got := m.Rate("a", "b"); got != 200 {
+		t.Errorf("Rate(a,b) = %v, want 200", got)
+	}
+	if got := m.Rate("c", "a"); got != 0 {
+		t.Errorf("unmeasured pair = %v, want 0", got)
+	}
+	if got := m.Total(); got != 250 {
+		t.Errorf("Total = %v, want 250", got)
+	}
+	var visited [][2]string
+	m.Pairs(func(src, dst string, r float64) {
+		visited = append(visited, [2]string{src, dst})
+	})
+	if len(visited) != 2 || visited[0] != [2]string{"a", "b"} || visited[1] != [2]string{"b", "c"} {
+		t.Errorf("Pairs order = %v, want first-set order without duplicates", visited)
+	}
+	s := m.String()
+	for _, want := range []string{"a->b: 200.0/s", "b->c: 50.0/s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func consolidateOpts() Options {
+	return Options{
+		Duration:      10 * time.Second,
+		MetricsWindow: 2 * time.Second, // ignored: the experiment uses its own window
+		Seed:          1,
+	}
+}
+
+// TestConsolidateClosesTheLoop is the acceptance regression for the
+// traffic-aware consolidation objective: static R-Storm spreads the
+// CPU-overdeclared chatty chain so most deliveries cross the wire, and
+// the adaptive run must consolidate — strictly fewer migrations than a
+// full teardown, a clearly lower inter-node tuple fraction, and higher
+// steady-state throughput.
+func TestConsolidateClosesTheLoop(t *testing.T) {
+	e, ok := ByID("consolidate")
+	if !ok {
+		t.Fatal("consolidate experiment not registered")
+	}
+	report, err := e.Run(consolidateOpts())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(report.Rows) < 5 {
+		t.Fatalf("rows = %+v", report.Rows)
+	}
+	thr := report.Rows[0] // static (baseline) vs adaptive throughput
+	if thr.Baseline <= 0 {
+		t.Fatalf("static throughput = %v", thr.Baseline)
+	}
+	if thr.RStorm < 2*thr.Baseline {
+		t.Errorf("consolidation recovered only %.1fx of static throughput (%v vs %v); "+
+			"the wire was supposed to be the bottleneck", thr.RStorm/thr.Baseline, thr.RStorm, thr.Baseline)
+	}
+	frac := report.Rows[1] // inter-node tuple fraction, percent
+	if frac.Baseline < 50 {
+		t.Errorf("static inter-node fraction = %.1f%%, want the spread placement to put most "+
+			"traffic on the wire", frac.Baseline)
+	}
+	if frac.RStorm >= frac.Baseline/2 {
+		t.Errorf("adaptive inter-node fraction %.1f%% not clearly below static %.1f%%",
+			frac.RStorm, frac.Baseline)
+	}
+	lat := report.Rows[2] // mean latency, ms (lower is better)
+	if lat.RStorm >= lat.Baseline {
+		t.Errorf("adaptive latency %.2fms not below static %.2fms", lat.RStorm, lat.Baseline)
+	}
+	moves := report.Rows[3] // full teardown (baseline) vs incremental moves
+	if moves.RStorm <= 0 || moves.RStorm >= moves.Baseline {
+		t.Errorf("incremental moves = %v, want within (0, %v)", moves.RStorm, moves.Baseline)
+	}
+	for _, key := range []string{"static (spread)", "adaptive (consolidate)"} {
+		if len(report.Series[key]) == 0 {
+			t.Errorf("series %q missing", key)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"reflect"
 	"testing"
 	"time"
 )
@@ -56,19 +55,5 @@ func TestElasticityClosesTheLoop(t *testing.T) {
 	}
 }
 
-// TestElasticityDeterministic: the whole three-run experiment — adaptive
-// control decisions included — must be reproducible for a fixed seed.
-func TestElasticityDeterministic(t *testing.T) {
-	e, _ := ByID("elasticity")
-	first, err := e.Run(elasticityOpts())
-	if err != nil {
-		t.Fatalf("first run: %v", err)
-	}
-	second, err := e.Run(elasticityOpts())
-	if err != nil {
-		t.Fatalf("second run: %v", err)
-	}
-	if !reflect.DeepEqual(first, second) {
-		t.Errorf("elasticity runs diverged:\nfirst:  %+v\nsecond: %+v", first, second)
-	}
-}
+// Determinism of the whole three-run experiment is covered by the
+// golden-diff harness (TestGoldenDiffAllExperiments).

@@ -26,6 +26,7 @@ func All() []Experiment {
 		AblationWeights(),
 		Elasticity(),
 		MemoryStress(),
+		Consolidate(),
 	}
 }
 

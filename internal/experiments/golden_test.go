@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// goldenOpts are the short options the golden-diff harness runs every
+// experiment under. Experiments with intrinsic timelines (memstress) or
+// their own control windows (elasticity, consolidate) take what they need
+// from these and override the rest — the harness only cares that the same
+// options go in twice.
+func goldenOpts() Options {
+	return Options{
+		Duration:      6 * time.Second,
+		MetricsWindow: 2 * time.Second,
+		Seed:          1,
+	}
+}
+
+// TestGoldenDiffAllExperiments is the repository's determinism harness:
+// every registered experiment — adaptive control decisions, OOM kills,
+// migrations and all — must produce byte-identical reports when run twice
+// with the same options. It subsumes the per-experiment ad-hoc
+// determinism checks; a new experiment is covered the moment it is
+// registered in All().
+func TestGoldenDiffAllExperiments(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			first, err := e.Run(goldenOpts())
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			second, err := e.Run(goldenOpts())
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			// Structural equality first (catches NaN-free numeric drift in
+			// fields a rendering might round away) …
+			if !reflect.DeepEqual(first, second) {
+				t.Errorf("reports diverged structurally:\nfirst:  %+v\nsecond: %+v", first, second)
+			}
+			// … then the rendered bytes, which is what the acceptance
+			// criterion is stated in.
+			if a, b := first.Render(), second.Render(); a != b {
+				t.Errorf("rendered reports differ:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+			}
+		})
+	}
+}

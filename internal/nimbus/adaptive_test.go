@@ -153,6 +153,10 @@ func TestAdaptiveRoute(t *testing.T) {
 		Topology: "served", Component: "s", Node: cluster.NodeID("n0"),
 		WindowEnd: 1e9, Slowdown: 1, NodeCPUCapacity: 100,
 		ResidentMemMB: 1900, NodeMemCapacityMB: 2048,
+		Edges: []simulator.EdgeRate{
+			{DestTaskID: 1, DestComponent: "z", Tuples: 600, Remote: true},
+			{DestTaskID: 2, DestComponent: "z", Tuples: 400},
+		},
 	}})
 	srv2 := httptest.NewServer(NewStatisticServer(n, WithAdaptiveStatus(ctrl.Status)))
 	t.Cleanup(srv2.Close)
@@ -174,6 +178,19 @@ func TestAdaptiveRoute(t *testing.T) {
 	// 1900/2048 is past the default MemHigh: the streak must be visible.
 	if status.Topologies[0].MemStreak != 1 {
 		t.Errorf("memStreak = %d, want 1", status.Topologies[0].MemStreak)
+	}
+	// The measured traffic state is served: the component-pair edge rate
+	// (both task edges fold into one s->z pair) and the inter-node
+	// fraction of the counted deliveries.
+	traffic := status.Topologies[0].Traffic
+	if len(traffic) != 1 || traffic[0].From != "s" || traffic[0].To != "z" {
+		t.Fatalf("traffic = %+v, want one s->z edge", traffic)
+	}
+	if traffic[0].RatePerSec != 1000 || traffic[0].Tuples != 1000 || traffic[0].RemoteTuples != 600 {
+		t.Errorf("traffic edge = %+v, want 1000/s, 1000 tuples, 600 remote", traffic[0])
+	}
+	if got := status.Topologies[0].InterNodeFraction; got != 0.6 {
+		t.Errorf("interNodeFraction = %v, want 0.6", got)
 	}
 
 	post, err := http.Post(srv2.URL+"/adaptive", "text/plain", strings.NewReader("x"))

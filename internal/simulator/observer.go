@@ -68,6 +68,29 @@ type TaskSample struct {
 	// included: the controller wants the truth, not the SLA view).
 	LatencySum time.Duration
 	LatencyN   int64
+
+	// Edges are this task's outgoing per-edge tuple counts for the window
+	// — the measured traffic the paper's network-distance heuristic is a
+	// proxy for. Like the sample slice itself, the backing array is owned
+	// by the Simulation and reused across flushes: observers must copy
+	// what they keep. Edges with zero traffic this window are included
+	// (the slice is positionally stable across windows).
+	Edges []EdgeRate
+}
+
+// EdgeRate is one delivery edge's measured traffic over a metrics window.
+type EdgeRate struct {
+	// DestTaskID / DestComponent identify the consumer.
+	DestTaskID    int
+	DestComponent string
+	// Tuples is the number of tuple deliveries on this edge during the
+	// window (dropped deliveries included: traffic is offered load).
+	Tuples int64
+	// Remote reports whether the edge crossed nodes at flush time. A
+	// mid-window Reassign flushes the partial window before any task
+	// moves, so the classification matches the placement the counted
+	// traffic actually traversed.
+	Remote bool
 }
 
 // Utilization returns the executor's busy fraction over the window.
@@ -171,6 +194,9 @@ func (s *Simulation) flushWindow(now time.Duration) {
 					sample.ResidentMemMB = s.residentMemMB(st)
 					sample.NodeMemCapacityMB = st.node.spec.Capacity.MemoryMB
 				}
+				if len(st.edges) > 0 {
+					sample.Edges = st.materializeEdges()
+				}
 				buf = append(buf, sample)
 				st.resetWindow()
 			}
@@ -182,6 +208,24 @@ func (s *Simulation) flushWindow(now time.Duration) {
 	s.lastFlush = now
 }
 
+// materializeEdges snapshots the task's per-edge counters into its
+// reusable EdgeRate buffer for the observer. Remote-ness is classified
+// against current placements, which match the flushed interval: Reassign
+// flushes the partial window before moving anything.
+func (t *simTask) materializeEdges() []EdgeRate {
+	buf := t.edgeBuf[:0]
+	for _, e := range t.edges {
+		buf = append(buf, EdgeRate{
+			DestTaskID:    e.dest.task.ID,
+			DestComponent: e.dest.comp.Name,
+			Tuples:        e.tuples,
+			Remote:        e.dest.node != t.node,
+		})
+	}
+	t.edgeBuf = buf
+	return buf
+}
+
 // resetWindow clears the per-window counters after a flush.
 func (t *simTask) resetWindow() {
 	t.winBusy = 0
@@ -191,4 +235,7 @@ func (t *simTask) resetWindow() {
 	t.winBytesOut = 0
 	t.winLatSum = 0
 	t.winLatN = 0
+	for _, e := range t.edges {
+		e.tuples = 0
+	}
 }

@@ -29,6 +29,12 @@ type TopologyResult struct {
 	// TuplesExpired counts sink arrivals past the tuple timeout, which
 	// do not count as delivered.
 	TuplesExpired int64
+	// TuplesSent counts tuple deliveries entering the wire path over the
+	// run; TuplesSentRemote is the subset that crossed between nodes.
+	// Their ratio is the run's inter-node tuple fraction — the quantity a
+	// traffic-aware placement minimizes.
+	TuplesSent       int64
+	TuplesSentRemote int64
 	// MeanLatency is the mean spout-to-sink latency of delivered tuples.
 	MeanLatency time.Duration
 	// NodesUsed is the number of distinct nodes hosting tasks.
@@ -64,6 +70,15 @@ type Result struct {
 	// (Config.MemoryModel) for exceeding their node's memory capacity.
 	// Always zero with the model off.
 	TasksOOMKilled int64
+}
+
+// InterNodeFraction returns the share of the topology's tuple deliveries
+// that crossed between nodes, in [0,1]. Zero when nothing was sent.
+func (tr *TopologyResult) InterNodeFraction() float64 {
+	if tr.TuplesSent == 0 {
+		return 0
+	}
+	return float64(tr.TuplesSentRemote) / float64(tr.TuplesSent)
 }
 
 // Topology returns the named topology's result, or nil.
@@ -115,14 +130,16 @@ func (s *Simulation) buildResult() *Result {
 
 	for _, run := range s.runs {
 		tr := &TopologyResult{
-			Name:            run.topo.Name(),
-			Scheduler:       run.assignment.Scheduler,
-			ComponentSeries: make(map[string][]float64),
-			TuplesEmitted:   run.emitted,
-			TuplesProcessed: run.processed,
-			TuplesDelivered: run.delivered,
-			TuplesExpired:   run.expired,
-			NodesUsed:       len(run.assignment.NodesUsed()),
+			Name:             run.topo.Name(),
+			Scheduler:        run.assignment.Scheduler,
+			ComponentSeries:  make(map[string][]float64),
+			TuplesEmitted:    run.emitted,
+			TuplesProcessed:  run.processed,
+			TuplesDelivered:  run.delivered,
+			TuplesExpired:    run.expired,
+			TuplesSent:       run.sent,
+			TuplesSentRemote: run.sentRemote,
+			NodesUsed:        len(run.assignment.NodesUsed()),
 		}
 		var sinkSeries [][]float64
 		for _, comp := range run.topo.Sinks() {

@@ -88,6 +88,15 @@ type simTask struct {
 	winBytesOut  int64
 	winLatSum    time.Duration
 	winLatN      int64
+
+	// edges are this task's outgoing traffic counters in wire-creation
+	// order (outgoing streams, then consumer tasks — deterministic and
+	// placement-independent). Allocated on the first buildRouters pass and
+	// re-linked positionally on Reassign rebuilds, so counts accumulated
+	// mid-window survive a migration intact. edgeBuf is the reusable
+	// materialization of edges into TaskSample.Edges at window flushes.
+	edges   []*edgeCount
+	edgeBuf []EdgeRate
 }
 
 // wire is a precomputed delivery edge to one consumer task: the network
@@ -98,6 +107,23 @@ type wire struct {
 	latency time.Duration
 	net     bool  // path crosses the network (consumes NIC bandwidth)
 	uplink  *link // rack uplink for inter-rack hops, else nil
+	// edge is the persistent per-(emitter, consumer) traffic counter this
+	// wire delivers into. Wires are rebuilt on every Reassign; edge
+	// counters are owned by the emitting task and survive rebuilds, so
+	// mid-window migrations neither lose nor double-count traffic.
+	edge *edgeCount
+}
+
+// edgeCount measures one delivery edge — (emitter task, consumer task) —
+// for the adaptive control plane's traffic matrix. The tuples counter is a
+// single int add on the hot delivery path, materialized into TaskSample
+// edge rates and reset at each metrics-window flush. The edge set is fixed
+// at topology-add time (wires span every consumer regardless of
+// placement), so counters are allocated once and only re-linked when
+// Reassign rebuilds the wires.
+type edgeCount struct {
+	dest   *simTask
+	tuples int64 // window counter, reset at flush
 }
 
 // router fans one outgoing stream out to consumer tasks per its grouping.
@@ -126,6 +152,14 @@ type topoRun struct {
 	expired    int64
 	latencySum time.Duration
 	latencyN   int64
+
+	// sent / sentRemote count tuple deliveries entering the wire path over
+	// the whole run, and the subset that crossed the network (inter-node or
+	// inter-rack) — the denominator and numerator of the run's inter-node
+	// tuple fraction. Maintained unconditionally: two int adds on the hot
+	// path, independent of any observer.
+	sent       int64
+	sentRemote int64
 }
 
 // failure is a scheduled node death.
@@ -273,16 +307,27 @@ func (s *Simulation) buildRouters(run *topoRun) {
 	topo := run.topo
 	for _, st := range run.ordered {
 		st.outs = st.outs[:0]
+		// Edge counters are identified positionally: the wire iteration
+		// order below is placement-independent (outgoing streams, then
+		// consumer tasks), so on a rebuild the running index re-links each
+		// wire to the counter it fed before the migration.
+		edgeIdx := 0
 		for _, stream := range topo.Outgoing(st.task.Component) {
 			r := &router{stream: stream}
 			for _, ct := range topo.TasksOf(stream.To) {
 				target := run.tasks[ct.ID]
+				if edgeIdx == len(st.edges) {
+					st.edges = append(st.edges, &edgeCount{dest: target})
+				}
+				edge := st.edges[edgeIdx]
+				edgeIdx++
 				sameWorker := target.placement == st.placement
 				path := s.cluster.PathBetween(st.node.id, target.node.id, sameWorker)
 				w := wire{
 					dest:    target,
 					latency: net.Latency(path),
 					net:     path.CrossesNetwork(),
+					edge:    edge,
 				}
 				if path == cluster.PathInterRack && net.InterRackMbps > 0 {
 					w.uplink = s.uplinks[st.node.rack]
@@ -622,6 +667,19 @@ func (s *Simulation) finishDeliver(t *simTask) {
 // path latency) for local hand-offs, through the sender's NIC for remote
 // ones. comp fires when the sender may proceed.
 func (s *Simulation) deliver(from *simTask, ob outbound, comp completion) {
+	ob.edge.tuples++
+	from.run.sent++
+	// Remote accounting classifies against *live* placements, not the
+	// wire-build-time ob.net: a sender mid-emission across a Reassign
+	// still delivers its buffered outbounds on the stale path (documented
+	// in reassign.go), but the inter-node counters must agree with the
+	// flush-time EdgeRate.Remote classification, which sees the same live
+	// placements. Outside that transition the two predicates are
+	// identical (a wire crosses the network iff its endpoints' nodes
+	// differ).
+	if ob.dest.node != from.node {
+		from.run.sentRemote++
+	}
 	if ob.dest.dead || ob.dest.node.dead {
 		s.dropTuple(ob.tup)
 		s.scheduleComplete(0, comp)

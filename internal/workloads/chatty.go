@@ -1,0 +1,51 @@
+package workloads
+
+import (
+	"time"
+
+	"rstorm/internal/topology"
+)
+
+// ChattyChain builds the traffic-consolidation scenario (DESIGN.md §5): a
+// four-stage chain of cheap tasks shipping fat tuples, whose CPU demand is
+// declared an order of magnitude too high.
+//
+// With honest=true the declarations match the truth (8 points per task),
+// so R-Storm packs the whole chain onto one node and every hot edge is
+// local — the already-consolidated control case.
+//
+// With honest=false every task declares 85 CPU points: a
+// declaration-trusting R-Storm then spreads the chain one task per node
+// (a second "85-point" task would overcommit, and the symmetric distance
+// prefers the empty node next door), so every chain edge crosses the wire
+// and throughput is NIC-bound at a small fraction of what the hardware
+// allows. The true demand is tiny and latency-dominated, so every
+// executor idles — the controller sees a *cold* topology, and only a
+// traffic-aware consolidation objective can see that the placement, not
+// the load, is what's wrong. Only the declarations differ between the
+// variants; the execution profiles (the truth) are identical.
+func ChattyChain(honest bool) (*topology.Topology, error) {
+	const (
+		truePoints = 8
+		liedPoints = 85
+		memMB      = 64
+	)
+	decl := float64(liedPoints)
+	if honest {
+		decl = truePoints
+	}
+	profile := topology.ExecProfile{
+		CPUPerTuple: 50 * time.Microsecond,
+		TupleBytes:  8192,
+		CPUPoints:   truePoints,
+	}
+	b := topology.NewBuilder("chatty")
+	b.SetSpout("source", 2).SetCPULoad(decl).SetMemoryLoad(memMB).SetProfile(profile)
+	b.SetBolt("parse", 2).ShuffleGrouping("source").
+		SetCPULoad(decl).SetMemoryLoad(memMB).SetProfile(profile)
+	b.SetBolt("enrich", 2).ShuffleGrouping("parse").
+		SetCPULoad(decl).SetMemoryLoad(memMB).SetProfile(profile)
+	b.SetBolt("store", 2).ShuffleGrouping("enrich").
+		SetCPULoad(decl).SetMemoryLoad(memMB).SetProfile(profile)
+	return b.Build()
+}

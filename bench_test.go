@@ -8,6 +8,7 @@ import (
 	"rstorm"
 	"rstorm/internal/cluster"
 	"rstorm/internal/experiments"
+	"rstorm/internal/workloads"
 )
 
 // benchOpts keeps figure benchmarks affordable: three 4-second windows per
@@ -243,6 +244,109 @@ func BenchmarkSimulatorThroughputMemoryModel(b *testing.B) { benchSimulatorThrou
 // and tuples/s within noise of the unobserved run.
 func BenchmarkSimulatorThroughputTraffic(b *testing.B) {
 	benchSimulatorThroughputObserved(b, false, true)
+}
+
+// Multi-tenant control plane: cost of one Nimbus scheduling round on a
+// loaded 24-node cluster. The FIFO variant admits nine equal-priority
+// tenants (the pre-multi-tenancy behaviour, byte-identical with
+// priorities unset); the MultiTenant variant times the round where a
+// high-priority arrival on the full cluster takes the eviction path —
+// priority ordering, greedy victim trial, teardown and re-queue.
+
+func benchTenants(b *testing.B, n int) []*rstorm.Topology {
+	b.Helper()
+	out := make([]*rstorm.Topology, 0, n)
+	for i := 0; i < n; i++ {
+		topo, err := workloads.BatchTenant(fmt.Sprintf("batch-%02d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, topo)
+	}
+	return out
+}
+
+func BenchmarkSchedulingRoundFIFO(b *testing.B) {
+	b.ReportAllocs()
+	c, err := rstorm.Emulab24()
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := benchTenants(b, 9)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		n, err := rstorm.NewNimbus(c, rstorm.NewResourceAwareScheduler())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, id := range c.NodeIDs() {
+			if _, err := n.StartSupervisor(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, topo := range batches {
+			if err := n.SubmitTopology(topo); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if got := n.RunSchedulingRound(); len(got) != len(batches) {
+			b.Fatalf("round scheduled %d of %d", len(got), len(batches))
+		}
+	}
+}
+
+func BenchmarkSchedulingRoundMultiTenant(b *testing.B) {
+	b.ReportAllocs()
+	c, err := rstorm.Emulab24()
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := benchTenants(b, 9)
+	prod, err := workloads.ProdTenant(9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	evictions := 0
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		n, err := rstorm.NewNimbus(c, rstorm.NewResourceAwareScheduler())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, id := range c.NodeIDs() {
+			if _, err := n.StartSupervisor(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, topo := range batches {
+			if err := n.SubmitTopology(topo); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if got := n.RunSchedulingRound(); len(got) != len(batches) {
+			b.Fatalf("fill round scheduled %d of %d", len(got), len(batches))
+		}
+		if err := n.SubmitTopology(prod); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		got := n.RunSchedulingRound()
+		b.StopTimer()
+		if len(got) != 1 || got[0] != "prod" {
+			b.Fatalf("eviction round scheduled %v, want [prod]", got)
+		}
+		if evs := n.Evictions(); len(evs) == 0 {
+			b.Fatal("eviction path not exercised")
+		} else {
+			evictions += len(evs)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(evictions)/float64(b.N), "evictions/round")
+	}
 }
 
 // Assignment analysis cost on a large placement.

@@ -7,7 +7,8 @@
 //	rstorm-sim -topology topo.json [-cluster cluster.yaml] \
 //	           [-scheduler r-storm|default-even|offline-linear] \
 //	           [-duration 60s] [-fail node-0-3@20s] \
-//	           [-adaptive] [-control-interval 1s] [-memory] [-traffic]
+//	           [-adaptive] [-control-interval 1s] [-memory] [-traffic] \
+//	           [-multitenant]
 //
 // Without -topology it runs the built-in network-bound Linear benchmark.
 // With -adaptive the run is driven by the feedback control loop
@@ -21,7 +22,12 @@
 // With -traffic the report gains the measured edge-rate matrix and the
 // run's inter-node tuple fraction; combined with -adaptive, consolidation
 // (imbalance-triggered) rebalances minimize the measured network cost
-// instead of ref-node distance.
+// instead of ref-node distance. With -multitenant the other flags are set
+// aside and the multi-tenant control-plane scenario runs instead: a burst
+// of mixed-priority topologies arrives on a loaded cluster, FIFO
+// admission starves the high-priority tenant, and the priority-aware
+// pass evicts low-priority tenants to admit it (-duration and -seed
+// still apply).
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"rstorm/internal/adaptive"
 	"rstorm/internal/cluster"
 	"rstorm/internal/core"
+	"rstorm/internal/experiments"
 	"rstorm/internal/simulator"
 	"rstorm/internal/topology"
 	"rstorm/internal/viz"
@@ -64,9 +71,13 @@ func run(w io.Writer, args []string) error {
 		ctrlIvl     = fs.Duration("control-interval", 0, "adaptive control epoch (default: one metrics window)")
 		memoryOn    = fs.Bool("memory", false, "enable the runtime memory model: resident accounting + OOM enforcement (with -adaptive, measured memory replaces declarations)")
 		trafficOn   = fs.Bool("traffic", false, "report the measured edge-rate matrix and inter-node tuple fraction (with -adaptive, consolidation rebalances minimize measured network cost)")
+		multitenant = fs.Bool("multitenant", false, "run the multi-tenant control-plane scenario: priority-aware admission and eviction vs FIFO on a loaded cluster")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *multitenant {
+		return runMultiTenant(w, *duration, *seed)
 	}
 
 	c, err := loadCluster(*clusterPath)
@@ -147,7 +158,7 @@ func run(w io.Writer, args []string) error {
 		rebalances = lr.Events
 		a = lr.Assignments[topo.Name()]
 	} else {
-		prof = adaptive.NewProfiler(adaptive.ProfilerConfig{})
+		prof = adaptive.NewProfiler(adaptive.ProfilerConfig{MetricsWindow: *window})
 		if err := sim.SetObserver(prof); err != nil {
 			return err
 		}
@@ -164,6 +175,22 @@ func run(w io.Writer, args []string) error {
 	if *trafficOn {
 		printTraffic(w, topo, prof, result)
 	}
+	return nil
+}
+
+// runMultiTenant runs the multi-tenant control-plane experiment
+// (internal/experiments): FIFO admission vs priority-aware admission with
+// eviction, against the production tenant's dedicated-cluster oracle.
+func runMultiTenant(w io.Writer, duration time.Duration, seed int64) error {
+	e, ok := experiments.ByID("multitenant")
+	if !ok {
+		return fmt.Errorf("multitenant experiment not registered")
+	}
+	report, err := e.Run(experiments.Options{Duration: duration, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, report.Render())
 	return nil
 }
 

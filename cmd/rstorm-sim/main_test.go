@@ -313,3 +313,26 @@ func TestRunTrafficMode(t *testing.T) {
 		t.Errorf("adaptive inter-node fraction %.1f%% not below static %.1f%%", af, sf)
 	}
 }
+
+func TestRunMultiTenantMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, []string{"-multitenant", "-duration", "6s"}); err != nil {
+		t.Fatalf("run -multitenant: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"multitenant",
+		"priority-aware admission",
+		"evictions applied",
+		"prod priority (evicting)",
+		"prod fifo (starved)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("multitenant report missing %q:\n%s", want, s)
+		}
+	}
+	// A duration too short for the scenario's epochs is a clean error.
+	if err := run(&bytes.Buffer{}, []string{"-multitenant", "-duration", "1s"}); err == nil {
+		t.Error("1s multitenant run accepted")
+	}
+}

@@ -99,6 +99,7 @@ func (c ControllerConfig) withDefaults() ControllerConfig {
 
 // topoState is the controller's per-topology decision state.
 type topoState struct {
+	priority   int // tenant priority (cluster arbiter ordering/weighting)
 	hotStreak  int
 	coldStreak int
 	memStreak  int
@@ -159,6 +160,20 @@ func NewController(p *Profiler, sched *core.ResourceAwareScheduler, cfg Controll
 
 // Profiler exposes the underlying demand profiler.
 func (c *Controller) Profiler() *Profiler { return c.profiler }
+
+// SetPriority records a topology's tenant priority for status reporting
+// and the cluster arbiter's ordering (the Loop calls this at Manage time).
+func (c *Controller) SetPriority(name string, priority int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ts := c.topos[name]
+	if ts == nil {
+		ts = &topoState{}
+		c.topos[name] = ts
+		c.order = append(c.order, name)
+	}
+	ts.priority = priority
+}
 
 // OnWindow implements simulator.Observer: fold the window into the
 // profiler, then update each topology's hot/cold streaks. It runs inside
@@ -302,13 +317,32 @@ func (c *Controller) Plan(
 	available map[cluster.NodeID]resource.Vector,
 	trigger string,
 ) (*core.Assignment, []core.Move, error) {
+	return c.PlanWithCap(topo, clu, current, available, trigger, 0)
+}
+
+// PlanWithCap is Plan under an additional migration cap — the cluster
+// arbiter's per-topology share of the global move budget. A positive cap
+// bounds this plan's moves on top of (never loosening) the configured
+// MaxMoves; zero applies MaxMoves alone, making it exactly Plan.
+func (c *Controller) PlanWithCap(
+	topo *topology.Topology,
+	clu *cluster.Cluster,
+	current *core.Assignment,
+	available map[cluster.NodeID]resource.Vector,
+	trigger string,
+	moveCap int,
+) (*core.Assignment, []core.Move, error) {
 	if current == nil {
 		return nil, nil, fmt.Errorf("topology %q has no current assignment", topo.Name())
+	}
+	maxMoves := c.cfg.MaxMoves
+	if moveCap > 0 && (maxMoves <= 0 || moveCap < maxMoves) {
+		maxMoves = moveCap
 	}
 	opts := core.IncrementalOptions{
 		Demands:     c.profiler.MeasuredDemands(topo),
 		Available:   available,
-		MaxMoves:    c.cfg.MaxMoves,
+		MaxMoves:    maxMoves,
 		Margin:      c.cfg.Margin,
 		MemHeadroom: c.cfg.MemHeadroom,
 		// Tasks killed by node failures or the OOM killer are dead:
@@ -348,6 +382,7 @@ func (c *Controller) NotifyRebalanced(name string, moves int, trigger string) {
 // TopologyStatus is one topology's controller state snapshot.
 type TopologyStatus struct {
 	Name       string           `json:"name"`
+	Priority   int              `json:"priority"`
 	HotStreak  int              `json:"hotStreak"`
 	ColdStreak int              `json:"coldStreak"`
 	MemStreak  int              `json:"memStreak"`
@@ -395,6 +430,7 @@ func (c *Controller) Status() ControllerStatus {
 		traffic := c.profiler.EdgeStats(name)
 		out.Topologies = append(out.Topologies, TopologyStatus{
 			Name:              name,
+			Priority:          ts.priority,
 			HotStreak:         ts.hotStreak,
 			ColdStreak:        ts.coldStreak,
 			MemStreak:         ts.memStreak,

@@ -2,6 +2,7 @@ package adaptive
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"rstorm/internal/cluster"
@@ -17,6 +18,15 @@ type LoopConfig struct {
 	// controller evaluations. Zero defaults to the simulator's metrics
 	// window (every flushed window is a decision point).
 	Interval time.Duration
+	// MoveBudget is the cluster-wide migration budget per epoch — the
+	// arbiter's disruption cap across every managed topology, arbitrated
+	// priority-weighted: triggered topologies are served in descending
+	// priority, each granted a share proportional to priority+1 (unused
+	// share flows down to the next). Zero disables the global budget:
+	// each topology is bounded only by Controller.MaxMoves, and with all
+	// priorities equal the loop behaves exactly as the per-topology loops
+	// it replaced.
+	MoveBudget int
 	// Profiler and Controller configure the estimation and policy halves.
 	Profiler   ProfilerConfig
 	Controller ControllerConfig
@@ -28,6 +38,9 @@ type RebalanceEvent struct {
 	Topology string        `json:"topology"`
 	Trigger  string        `json:"trigger"`
 	Moves    int           `json:"moves"`
+	// Priority is the topology's tenant priority at the time of the
+	// rebalance (the arbiter serves higher priorities first).
+	Priority int `json:"priority"`
 }
 
 // LoopResult bundles a finished adaptive run.
@@ -54,16 +67,22 @@ func (r *LoopResult) TotalMoves() int {
 // Loop drives a simulation in pause/reassign/resume epochs: it runs the
 // simulator one control interval at a time, lets the controller judge the
 // freshly profiled window, and applies incremental rebalances between
-// epochs. The whole loop is deterministic for a fixed simulator seed.
+// epochs. Across topologies it is the cluster arbiter (DESIGN.md §6):
+// instead of independent per-topology control loops racing for the same
+// nodes, one epoch evaluation collects every triggered topology, serves
+// them in descending tenant priority, and — when MoveBudget is set —
+// splits a global migration budget priority-weighted among them. The
+// whole loop is deterministic for a fixed simulator seed.
 type Loop struct {
 	sim     *simulator.Simulation
 	cluster *cluster.Cluster
 	ctrl    *Controller
 	cfg     LoopConfig
 
-	names   []string
-	topos   map[string]*topology.Topology
-	current map[string]*core.Assignment
+	names    []string
+	topos    map[string]*topology.Topology
+	current  map[string]*core.Assignment
+	priority map[string]int
 }
 
 // NewLoop builds a Loop over a prepared (not yet started) simulation.
@@ -78,23 +97,39 @@ func NewLoop(
 	if cfg.Interval <= 0 {
 		cfg.Interval = sim.Config().MetricsWindow
 	}
+	if cfg.Profiler.MetricsWindow <= 0 {
+		// Thread the simulator's configured window into the profiler so
+		// flush classification never has to infer it (the LastFlushFull
+		// fix: a sub-window first flush must not count as evidence).
+		cfg.Profiler.MetricsWindow = sim.Config().MetricsWindow
+	}
 	ctrl := NewController(NewProfiler(cfg.Profiler), sched, cfg.Controller)
 	return &Loop{
-		sim:     sim,
-		cluster: clu,
-		ctrl:    ctrl,
-		cfg:     cfg,
-		topos:   make(map[string]*topology.Topology),
-		current: make(map[string]*core.Assignment),
+		sim:      sim,
+		cluster:  clu,
+		ctrl:     ctrl,
+		cfg:      cfg,
+		topos:    make(map[string]*topology.Topology),
+		current:  make(map[string]*core.Assignment),
+		priority: make(map[string]int),
 	}
 }
 
 // Controller exposes the loop's controller (for status endpoints).
 func (l *Loop) Controller() *Controller { return l.ctrl }
 
-// Manage registers a topology the loop may rebalance. The topology must
-// already be added to the simulation with the same assignment.
+// Manage registers a topology the loop may rebalance, at the priority the
+// topology itself declares. The topology must already be added to the
+// simulation with the same assignment.
 func (l *Loop) Manage(topo *topology.Topology, a *core.Assignment) error {
+	return l.ManageWithPriority(topo, a, topo.Priority())
+}
+
+// ManageWithPriority registers a topology at an explicit tenant priority,
+// overriding the topology's own declaration. The arbiter serves triggered
+// topologies in descending priority and weights the global move budget by
+// priority+1.
+func (l *Loop) ManageWithPriority(topo *topology.Topology, a *core.Assignment, priority int) error {
 	name := topo.Name()
 	if _, dup := l.topos[name]; dup {
 		return fmt.Errorf("topology %q already managed", name)
@@ -102,9 +137,14 @@ func (l *Loop) Manage(topo *topology.Topology, a *core.Assignment) error {
 	if a == nil || !a.Complete(topo) {
 		return fmt.Errorf("topology %q needs a complete assignment", name)
 	}
+	if priority < 0 {
+		return fmt.Errorf("topology %q: priority %d is negative", name, priority)
+	}
 	l.names = append(l.names, name)
 	l.topos[name] = topo
 	l.current[name] = a
+	l.priority[name] = priority
+	l.ctrl.SetPriority(name, priority)
 	return nil
 }
 
@@ -125,46 +165,110 @@ func (l *Loop) Run() (*LoopResult, error) {
 		if err := l.sim.RunTo(t); err != nil {
 			return nil, err
 		}
-		for _, name := range l.names {
-			trigger, ok := l.ctrl.ShouldRebalance(name)
-			if !ok {
-				continue
-			}
-			topo := l.topos[name]
-			next, moves, err := l.ctrl.Plan(topo, l.cluster, l.current[name], l.availabilityFor(name), trigger)
-			if err != nil {
-				return nil, fmt.Errorf("planning rebalance of %q: %w", name, err)
-			}
-			migrated := 0
-			if len(moves) > 0 {
-				// Reassign reports how many tasks actually moved (a plan
-				// may relocate dead tasks, which have nothing to migrate)
-				// and normalizes the assignment to what it applied.
-				migrated, err = l.sim.Reassign(name, next)
-				if err != nil {
-					return nil, fmt.Errorf("applying rebalance of %q: %w", name, err)
-				}
-				l.current[name] = next
-				if migrated > 0 {
-					events = append(events, RebalanceEvent{
-						At:       t,
-						Topology: name,
-						Trigger:  trigger,
-						Moves:    migrated,
-					})
-				}
-			}
-			// Cooldown starts either way: a plan with no moves means the
-			// current placement is the best the measured demands allow,
-			// and re-planning every window would be churn.
-			l.ctrl.NotifyRebalanced(name, migrated, trigger)
+		applied, err := l.arbitrate(t)
+		if err != nil {
+			return nil, err
 		}
+		events = append(events, applied...)
 	}
 	res, err := l.sim.Finish()
 	if err != nil {
 		return nil, err
 	}
 	return l.buildResult(res, events), nil
+}
+
+// arbitrate is one cluster-level control decision: collect every
+// triggered topology, order by descending tenant priority (managed order
+// within a priority), and apply their rebalances under the global move
+// budget. With MoveBudget set, each triggered topology's share is
+// proportional to priority+1 over the triggered set, granted in priority
+// order with any unused share flowing down — so a high-priority tenant's
+// repair is never starved by a low-priority tenant's churn, and total
+// per-epoch disruption is bounded cluster-wide.
+func (l *Loop) arbitrate(t time.Duration) ([]RebalanceEvent, error) {
+	type claim struct {
+		name     string
+		trigger  string
+		priority int
+	}
+	var claims []claim
+	weight := 0
+	for _, name := range l.names {
+		trigger, ok := l.ctrl.ShouldRebalance(name)
+		if !ok {
+			continue
+		}
+		claims = append(claims, claim{name: name, trigger: trigger, priority: l.priority[name]})
+		weight += l.priority[name] + 1
+	}
+	if len(claims) == 0 {
+		return nil, nil
+	}
+	sort.SliceStable(claims, func(i, j int) bool {
+		return claims[i].priority > claims[j].priority
+	})
+
+	remaining := l.cfg.MoveBudget
+	var events []RebalanceEvent
+	for _, cl := range claims {
+		moveCap := 0
+		if l.cfg.MoveBudget > 0 {
+			if remaining <= 0 {
+				// Budget exhausted: the trigger stays armed (streaks are
+				// not reset), so the starved topology contends again next
+				// epoch instead of silently burning a cooldown.
+				continue
+			}
+			// Priority-weighted share of the epoch budget, at least one
+			// move, never more than what is left.
+			share := (l.cfg.MoveBudget*(cl.priority+1) + weight - 1) / weight
+			if share < 1 {
+				share = 1
+			}
+			if share > remaining {
+				share = remaining
+			}
+			moveCap = share
+		}
+		topo := l.topos[cl.name]
+		next, moves, err := l.ctrl.PlanWithCap(topo, l.cluster, l.current[cl.name],
+			l.availabilityFor(cl.name), cl.trigger, moveCap)
+		if err != nil {
+			return nil, fmt.Errorf("planning rebalance of %q: %w", cl.name, err)
+		}
+		migrated := 0
+		if len(moves) > 0 {
+			// Reassign reports how many tasks actually moved (a plan
+			// may relocate dead tasks, which have nothing to migrate)
+			// and normalizes the assignment to what it applied.
+			migrated, err = l.sim.Reassign(cl.name, next)
+			if err != nil {
+				return nil, fmt.Errorf("applying rebalance of %q: %w", cl.name, err)
+			}
+			l.current[cl.name] = next
+			if migrated > 0 {
+				events = append(events, RebalanceEvent{
+					At:       t,
+					Topology: cl.name,
+					Trigger:  cl.trigger,
+					Moves:    migrated,
+					Priority: cl.priority,
+				})
+			}
+		}
+		if l.cfg.MoveBudget > 0 {
+			// The budget bounds real disruption: debit what actually
+			// migrated (Reassign may normalize away planned relocations of
+			// tasks that turn out dead, which cost nothing).
+			remaining -= migrated
+		}
+		// Cooldown starts either way: a plan with no moves means the
+		// current placement is the best the measured demands allow,
+		// and re-planning every window would be churn.
+		l.ctrl.NotifyRebalanced(cl.name, migrated, cl.trigger)
+	}
+	return events, nil
 }
 
 // availabilityFor builds the replanner's base availability for one

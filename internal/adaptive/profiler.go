@@ -40,6 +40,16 @@ type ProfilerConfig struct {
 	// very declarations it just caught lying. Without the model, samples
 	// are memory-blind and declarations stay authoritative.
 	MemLookaheadWindows int
+	// MetricsWindow is the simulator's configured metrics window. When
+	// set, flush classification (full window of evidence vs partial
+	// slice) and growth-slope scaling measure against it directly. When
+	// zero the profiler falls back to inferring the window from the
+	// largest span seen so far — which misclassifies the first flush of
+	// an external driver that Reassigns mid-window as full, letting
+	// hysteresis/cooldown clocks advance on partial evidence. Loop and
+	// rstorm-sim thread the configured window; standalone constructions
+	// should too.
+	MetricsWindow time.Duration
 }
 
 func (c ProfilerConfig) withDefaults() ProfilerConfig {
@@ -48,6 +58,9 @@ func (c ProfilerConfig) withDefaults() ProfilerConfig {
 	}
 	if c.MemLookaheadWindows <= 0 {
 		c.MemLookaheadWindows = 4
+	}
+	if c.MetricsWindow < 0 {
+		c.MetricsWindow = 0
 	}
 	return c
 }
@@ -179,20 +192,22 @@ type Profiler struct {
 	// measurements (the runtime memory model is on): MeasuredDemands then
 	// replaces declared memory with the measured projection.
 	sawMemory bool
-	// fullWindow is the longest flush interval seen — the configured
-	// metrics window, once one full window has flushed. Partial flushes
-	// (mid-window Reassign, trailing Finish) scale their growth deltas up
-	// to this length so MemGrowthMB stays a per-full-window slope, and
-	// are excluded from the Windows() count: a 250 ms slice is not a
-	// window of evidence. lastFlushFull is the classification of the most
-	// recent flush, shared with the controller's decision clocks.
+	// fullWindow is the configured metrics window when
+	// ProfilerConfig.MetricsWindow is set; otherwise the longest flush
+	// interval seen — the configured window, once one full window has
+	// flushed. Partial flushes (mid-window Reassign, trailing Finish)
+	// scale their growth deltas up to this length so MemGrowthMB stays a
+	// per-full-window slope, and are excluded from the Windows() count: a
+	// 250 ms slice is not a window of evidence. lastFlushFull is the
+	// classification of the most recent flush, shared with the
+	// controller's decision clocks.
 	fullWindow    time.Duration
 	lastFlushFull bool
 }
 
 // NewProfiler returns a Profiler with the given configuration.
 func NewProfiler(cfg ProfilerConfig) *Profiler {
-	return &Profiler{
+	p := &Profiler{
 		cfg:        cfg.withDefaults(),
 		stats:      make(map[compKey]*ComponentStats),
 		dead:       make(map[string]map[int]bool),
@@ -200,6 +215,10 @@ func NewProfiler(cfg ProfilerConfig) *Profiler {
 		nodeBusy:   make(map[cluster.NodeID]time.Duration),
 		prevMaxMem: make(map[compKey]float64),
 	}
+	if p.cfg.MetricsWindow > 0 {
+		p.fullWindow = p.cfg.MetricsWindow
+	}
+	return p
 }
 
 // Windows returns the number of full metrics windows observed. Partial
@@ -233,7 +252,10 @@ func (p *Profiler) OnWindow(samples []simulator.TaskSample) {
 	if window <= 0 {
 		return
 	}
-	if window > p.fullWindow {
+	// With a configured MetricsWindow the reference is fixed; otherwise it
+	// is inferred as the largest span seen so far (legacy behaviour, which
+	// over-trusts a sub-window first flush).
+	if p.cfg.MetricsWindow <= 0 && window > p.fullWindow {
 		p.fullWindow = window
 	}
 	p.lastFlushFull = window >= p.fullWindow
@@ -305,6 +327,12 @@ func (p *Profiler) OnWindow(samples []simulator.TaskSample) {
 				}
 			}
 			continue
+		}
+		// A live sample for a task marked dead means the control plane
+		// revived it (an evicted tenant readmitted): clear the mark so the
+		// replanner stops pinning an executor that is running again.
+		if d := p.dead[s.Topology]; d != nil {
+			delete(d, s.TaskID)
 		}
 		k := compKey{s.Topology, s.Component}
 		a := accs[k]

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/topology"
+)
+
+// This file is the cluster-level half of the multi-tenant control plane
+// (DESIGN.md §6): instead of admitting topologies one at a time in FIFO
+// order, a scheduling pass considers every pending submission against the
+// whole cluster, admits in descending priority, and — when a
+// higher-priority arrival is infeasible — frees capacity by evicting the
+// lowest-priority tenants. Storm's production descendant of R-Storm added
+// exactly this (topology priorities with eviction); Ghaderi et al. frame
+// the online-arrival shared-cluster setting it serves.
+
+// Tenant pairs a topology with its control-plane metadata: the scheduling
+// priority (higher wins; zero = none) and the admission sequence number
+// that breaks priority ties FIFO and makes eviction order deterministic.
+type Tenant struct {
+	Topo     *topology.Topology
+	Priority int
+	Seq      int
+}
+
+// Eviction records one tenant unassigned by the cluster pass to make room
+// for a higher-priority admission. The freed assignment is complete —
+// eviction is all-or-nothing, never partial — so the caller can re-queue
+// the victim for a full reschedule once capacity recovers.
+type Eviction struct {
+	// Victim is the evicted topology; Priority its priority at eviction.
+	Victim   string
+	Priority int
+	// For is the higher-priority topology the eviction made room for.
+	For string
+	// Assignment is the complete placement that was freed.
+	Assignment *Assignment
+}
+
+// ClusterScheduleResult reports one cluster-level scheduling pass.
+type ClusterScheduleResult struct {
+	// Scheduled maps newly admitted topologies to their assignments;
+	// ScheduledOrder lists them in admission order (descending priority,
+	// FIFO within a priority).
+	Scheduled      map[string]*Assignment
+	ScheduledOrder []string
+	// Evicted lists the tenants unassigned to admit higher-priority
+	// arrivals, in eviction order.
+	Evicted []Eviction
+	// Failed maps topologies that could not be placed (even after any
+	// permissible evictions) to the scheduler's error; FailedOrder lists
+	// them in consideration order. Failed topologies caused no evictions:
+	// a pass that cannot admit rolls its trial evictions back.
+	Failed      map[string]error
+	FailedOrder []string
+}
+
+// ClusterSchedule runs one cluster-level scheduling pass over the pending
+// submissions: pending tenants are considered in descending priority
+// (FIFO within a priority, by Seq), each scheduled with sched against
+// state and applied atomically. When a pending tenant is infeasible and
+// strictly lower-priority tenants are active, the eviction planner frees
+// capacity greedily: victims are taken in deterministic order — lowest
+// priority first, newest (highest Seq) first within a priority — each
+// unassigned in full (the freed assignment is returned for re-queueing),
+// until the arrival fits or no eligible victims remain. If it still does
+// not fit, every trial eviction is rolled back (the victims' assignments
+// re-applied unchanged) and the tenant is reported failed, so a failed
+// admission never leaves the cluster with anything evicted and never
+// leaves a partial assignment anywhere.
+//
+// active lists the currently scheduled tenants eligible as victims; a
+// tenant admitted by this pass is never evicted by it (pending is
+// priority-sorted, so later admissions never outrank earlier ones).
+//
+// With every priority zero (the default) the pass is exactly the old
+// FIFO round: submission order is preserved and no eviction can trigger
+// (no tenant has strictly lower priority than another).
+func ClusterSchedule(
+	sched Scheduler,
+	c *cluster.Cluster,
+	state *GlobalState,
+	pending []Tenant,
+	active []Tenant,
+) ClusterScheduleResult {
+	res := ClusterScheduleResult{
+		Scheduled: make(map[string]*Assignment),
+		Failed:    make(map[string]error),
+	}
+
+	order := append([]Tenant(nil), pending...)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].Priority != order[j].Priority {
+			return order[i].Priority > order[j].Priority
+		}
+		return order[i].Seq < order[j].Seq
+	})
+
+	// Victim candidates, kept sorted in eviction order: lowest priority
+	// first, newest first within a priority. Evicting the newest of the
+	// cheapest means long-running tenants outlive bursts of their peers.
+	victims := append([]Tenant(nil), active...)
+	sort.SliceStable(victims, func(i, j int) bool {
+		if victims[i].Priority != victims[j].Priority {
+			return victims[i].Priority < victims[j].Priority
+		}
+		return victims[i].Seq > victims[j].Seq
+	})
+
+	for _, t := range order {
+		name := t.Topo.Name()
+		a, err := trySchedule(sched, t.Topo, c, state)
+		if err == nil {
+			res.Scheduled[name] = a
+			res.ScheduledOrder = append(res.ScheduledOrder, name)
+			continue
+		}
+
+		// Infeasible: trial-evict eligible victims one at a time, retrying
+		// after each. All bookkeeping is reversible until the admission
+		// succeeds.
+		var trial []Eviction
+		for _, v := range victims {
+			if v.Priority >= t.Priority {
+				break // sorted ascending: no eligible victims remain
+			}
+			freed := state.Assignment(v.Topo.Name())
+			if freed == nil {
+				continue // not scheduled (itself pending): nothing to free
+			}
+			state.Remove(v.Topo.Name())
+			trial = append(trial, Eviction{
+				Victim:     v.Topo.Name(),
+				Priority:   v.Priority,
+				For:        name,
+				Assignment: freed,
+			})
+			if a, err = trySchedule(sched, t.Topo, c, state); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			// Still infeasible: roll every trial eviction back. Re-applying
+			// into state that only had those same reservations removed
+			// cannot fail.
+			for i := len(trial) - 1; i >= 0; i-- {
+				v := trial[i]
+				if applyErr := reapply(state, victimTopo(victims, v.Victim), v.Assignment); applyErr != nil {
+					// Unreachable by construction; surface it rather than
+					// silently corrupting state.
+					res.Failed[name] = fmt.Errorf("rollback of %q failed: %w (after %v)",
+						v.Victim, applyErr, err)
+				}
+			}
+			if res.Failed[name] == nil {
+				res.Failed[name] = err
+			}
+			res.FailedOrder = append(res.FailedOrder, name)
+			continue
+		}
+		// Admission succeeded: commit the evictions and drop the victims
+		// from the candidate pool (they are unassigned now).
+		res.Evicted = append(res.Evicted, trial...)
+		evictedSet := make(map[string]bool, len(trial))
+		for _, e := range trial {
+			evictedSet[e.Victim] = true
+		}
+		if len(evictedSet) > 0 {
+			kept := victims[:0]
+			for _, v := range victims {
+				if !evictedSet[v.Topo.Name()] {
+					kept = append(kept, v)
+				}
+			}
+			victims = kept
+		}
+		res.Scheduled[name] = a
+		res.ScheduledOrder = append(res.ScheduledOrder, name)
+	}
+	return res
+}
+
+// trySchedule computes and applies an assignment atomically, leaving state
+// untouched on failure.
+func trySchedule(sched Scheduler, topo *topology.Topology, c *cluster.Cluster, state *GlobalState) (*Assignment, error) {
+	a, err := sched.Schedule(topo, c, state)
+	if err != nil {
+		return nil, err
+	}
+	if err := state.Apply(topo, a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// reapply restores a victim's assignment during rollback.
+func reapply(state *GlobalState, topo *topology.Topology, a *Assignment) error {
+	if topo == nil {
+		return fmt.Errorf("victim topology unknown")
+	}
+	return state.Apply(topo, a)
+}
+
+// victimTopo finds a tenant's topology by name in the victim pool.
+func victimTopo(victims []Tenant, name string) *topology.Topology {
+	for _, v := range victims {
+		if v.Topo.Name() == name {
+			return v.Topo
+		}
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/resource"
+	"rstorm/internal/topology"
+)
+
+// tenantTopo builds a two-component topology with the given per-task
+// memory demand — memory is the hard axis, so it is what admission and
+// eviction bind on.
+func tenantTopo(t *testing.T, name string, par int, memMB float64) *topology.Topology {
+	t.Helper()
+	b := topology.NewBuilder(name)
+	b.SetSpout("s", 1).SetCPULoad(10).SetMemoryLoad(128)
+	b.SetBolt("w", par).ShuffleGrouping("s").SetCPULoad(20).SetMemoryLoad(memMB)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build(%s): %v", name, err)
+	}
+	return topo
+}
+
+// fillTenants builds n low-priority tenants that together nearly fill the
+// 12-node testbed's memory (each ~5.1 GB of the 24 GB total).
+func fillTenants(t *testing.T, n int) []Tenant {
+	t.Helper()
+	out := make([]Tenant, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Tenant{
+			Topo: tenantTopo(t, "batch-"+string(rune('a'+i)), 5, 1000),
+			Seq:  i,
+		})
+	}
+	return out
+}
+
+func scheduleAll(t *testing.T, state *GlobalState, c *cluster.Cluster, tenants []Tenant) {
+	t.Helper()
+	sched := NewResourceAwareScheduler()
+	for _, tn := range tenants {
+		a, err := sched.Schedule(tn.Topo, c, state)
+		if err != nil {
+			t.Fatalf("schedule %s: %v", tn.Topo.Name(), err)
+		}
+		if err := state.Apply(tn.Topo, a); err != nil {
+			t.Fatalf("apply %s: %v", tn.Topo.Name(), err)
+		}
+	}
+}
+
+func TestClusterScheduleFIFOWithEqualPriorities(t *testing.T) {
+	c := emulab12(t)
+	// Reference: the old FIFO round — schedule each in submission order.
+	ref := NewGlobalState(c)
+	pending := []Tenant{
+		{Topo: tenantTopo(t, "one", 4, 700), Seq: 0},
+		{Topo: tenantTopo(t, "two", 4, 700), Seq: 1},
+		{Topo: tenantTopo(t, "three", 4, 700), Seq: 2},
+	}
+	scheduleAll(t, ref, c, pending)
+
+	state := NewGlobalState(c)
+	res := ClusterSchedule(NewResourceAwareScheduler(), c, state, pending, nil)
+	if want := []string{"one", "two", "three"}; !reflect.DeepEqual(res.ScheduledOrder, want) {
+		t.Fatalf("ScheduledOrder = %v, want %v", res.ScheduledOrder, want)
+	}
+	if len(res.Evicted) != 0 {
+		t.Fatalf("equal priorities must never evict, got %v", res.Evicted)
+	}
+	for _, name := range res.ScheduledOrder {
+		if !reflect.DeepEqual(res.Scheduled[name].Placements, ref.Assignment(name).Placements) {
+			t.Errorf("%s: cluster pass placements differ from FIFO reference", name)
+		}
+	}
+}
+
+func TestClusterScheduleOrdersByPriority(t *testing.T) {
+	c := emulab12(t)
+	state := NewGlobalState(c)
+	pending := []Tenant{
+		{Topo: tenantTopo(t, "low", 4, 700), Priority: 1, Seq: 0},
+		{Topo: tenantTopo(t, "high", 4, 700), Priority: 9, Seq: 1},
+		{Topo: tenantTopo(t, "mid-a", 4, 700), Priority: 5, Seq: 2},
+		{Topo: tenantTopo(t, "mid-b", 4, 700), Priority: 5, Seq: 3},
+	}
+	res := ClusterSchedule(NewResourceAwareScheduler(), c, state, pending, nil)
+	want := []string{"high", "mid-a", "mid-b", "low"}
+	if !reflect.DeepEqual(res.ScheduledOrder, want) {
+		t.Fatalf("ScheduledOrder = %v, want %v", res.ScheduledOrder, want)
+	}
+}
+
+func TestClusterScheduleEvictsLowestPriorityVictims(t *testing.T) {
+	c := emulab12(t)
+	state := NewGlobalState(c)
+	// Fill the cluster with four low-priority tenants (~20.6 GB of 24 GB).
+	active := fillTenants(t, 4)
+	scheduleAll(t, state, c, active)
+
+	// A high-priority arrival needing ~7.1 GB: free memory (~3.4 GB) is
+	// not enough, so victims must fall.
+	prod := Tenant{Topo: tenantTopo(t, "prod", 7, 1000), Priority: 8, Seq: 100}
+	res := ClusterSchedule(NewResourceAwareScheduler(), c, state, []Tenant{prod}, active)
+
+	if len(res.ScheduledOrder) != 1 || res.ScheduledOrder[0] != "prod" {
+		t.Fatalf("prod not admitted: %+v", res)
+	}
+	if len(res.Evicted) == 0 {
+		t.Fatal("expected evictions")
+	}
+	// Victim order: lowest priority first (all zero here), newest first.
+	wantFirst := "batch-d"
+	if res.Evicted[0].Victim != wantFirst {
+		t.Errorf("first victim = %s, want %s (newest of the lowest priority)", res.Evicted[0].Victim, wantFirst)
+	}
+	for _, e := range res.Evicted {
+		if e.For != "prod" {
+			t.Errorf("eviction of %s attributed to %q, want prod", e.Victim, e.For)
+		}
+		if state.Assignment(e.Victim) != nil {
+			t.Errorf("victim %s still scheduled after eviction", e.Victim)
+		}
+		if e.Assignment == nil || len(e.Assignment.Placements) == 0 {
+			t.Errorf("victim %s freed assignment missing", e.Victim)
+		}
+	}
+	if state.Assignment("prod") == nil {
+		t.Fatal("prod assignment not applied")
+	}
+}
+
+func TestClusterScheduleNeverEvictsEqualOrHigherPriority(t *testing.T) {
+	c := emulab12(t)
+	state := NewGlobalState(c)
+	active := fillTenants(t, 4)
+	for i := range active {
+		active[i].Priority = 5
+	}
+	scheduleAll(t, state, c, active)
+
+	// Same priority as the actives and far too big: must fail, evict
+	// nothing, and leave every active tenant scheduled.
+	pend := Tenant{Topo: tenantTopo(t, "peer", 12, 1500), Priority: 5, Seq: 99}
+	res := ClusterSchedule(NewResourceAwareScheduler(), c, state, []Tenant{pend}, active)
+	if len(res.Evicted) != 0 {
+		t.Fatalf("evicted equal-priority tenants: %v", res.Evicted)
+	}
+	if res.Failed["peer"] == nil {
+		t.Fatal("peer should have failed")
+	}
+	for _, a := range active {
+		if state.Assignment(a.Topo.Name()) == nil {
+			t.Errorf("active tenant %s lost its assignment", a.Topo.Name())
+		}
+	}
+}
+
+func TestClusterScheduleRollsBackWhenEvictionInsufficient(t *testing.T) {
+	c := emulab12(t)
+	state := NewGlobalState(c)
+	active := fillTenants(t, 4)
+	scheduleAll(t, state, c, active)
+	before := state.AvailableAll()
+
+	// Demands one 3000 MB task: no node can ever host it (2048 MB nodes),
+	// so even evicting everything cannot help — all trial evictions must
+	// roll back.
+	huge := Tenant{Topo: tenantTopo(t, "huge", 1, 3000), Priority: 9, Seq: 50}
+	res := ClusterSchedule(NewResourceAwareScheduler(), c, state, []Tenant{huge}, active)
+	if len(res.Evicted) != 0 {
+		t.Fatalf("committed evictions for an unplaceable tenant: %v", res.Evicted)
+	}
+	if res.Failed["huge"] == nil {
+		t.Fatal("huge should have failed")
+	}
+	after := state.AvailableAll()
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("availability changed across a failed admission:\nbefore %v\nafter  %v", before, after)
+	}
+	for _, a := range active {
+		got := state.Assignment(a.Topo.Name())
+		if got == nil || !got.Complete(a.Topo) {
+			t.Errorf("tenant %s assignment damaged by rollback", a.Topo.Name())
+		}
+	}
+}
+
+// TestClusterScheduleDeterministicVictimSequence is the eviction analogue
+// of the golden-diff harness: identical priorities and capacities must
+// produce the identical victim sequence run after run.
+func TestClusterScheduleDeterministicVictimSequence(t *testing.T) {
+	run := func() []string {
+		c := emulab12(t)
+		state := NewGlobalState(c)
+		active := fillTenants(t, 4)
+		scheduleAll(t, state, c, active)
+		prod := Tenant{Topo: tenantTopo(t, "prod", 7, 1000), Priority: 8, Seq: 100}
+		res := ClusterSchedule(NewResourceAwareScheduler(), c, state, []Tenant{prod}, active)
+		out := make([]string, 0, len(res.Evicted))
+		for _, e := range res.Evicted {
+			out = append(out, e.Victim)
+		}
+		return out
+	}
+	first := run()
+	if len(first) == 0 {
+		t.Fatal("scenario produced no evictions")
+	}
+	for i := 0; i < 5; i++ {
+		if got := run(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("victim sequence diverged on run %d: %v vs %v", i+2, got, first)
+		}
+	}
+}
+
+// TestClusterScheduleNeverPartial fuzzes random tenant mixes and checks
+// the invariant behind "full assignments re-queued, never partial": after
+// every pass, each topology is either completely scheduled (assignment
+// covers every task, resources reserved) or completely absent from state.
+func TestClusterScheduleNeverPartial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := emulab12(t)
+	classes := resource.DefaultClasses()
+	for iter := 0; iter < 40; iter++ {
+		state := NewGlobalState(c)
+		var active []Tenant
+		nActive := 2 + rng.Intn(4)
+		for i := 0; i < nActive; i++ {
+			topo := tenantTopo(t, "act-"+string(rune('a'+i)), 2+rng.Intn(5), float64(400+rng.Intn(900)))
+			active = append(active, Tenant{Topo: topo, Priority: rng.Intn(3), Seq: i})
+		}
+		// Some actives may themselves fail to fit; keep only the scheduled.
+		sched := NewResourceAwareScheduler()
+		kept := active[:0]
+		for _, tn := range active {
+			if a, err := sched.Schedule(tn.Topo, c, state); err == nil {
+				if err := state.Apply(tn.Topo, a); err == nil {
+					kept = append(kept, tn)
+				}
+			}
+		}
+		active = kept
+		var pending []Tenant
+		nPend := 1 + rng.Intn(3)
+		for i := 0; i < nPend; i++ {
+			topo := tenantTopo(t, "pend-"+string(rune('a'+i)), 2+rng.Intn(6), float64(400+rng.Intn(1200)))
+			pending = append(pending, Tenant{Topo: topo, Priority: rng.Intn(6), Seq: 100 + i})
+		}
+		res := ClusterSchedule(sched, c, state, pending, active)
+
+		topoOf := make(map[string]*topology.Topology)
+		for _, tn := range active {
+			topoOf[tn.Topo.Name()] = tn.Topo
+		}
+		for _, tn := range pending {
+			topoOf[tn.Topo.Name()] = tn.Topo
+		}
+		evicted := make(map[string]bool)
+		for _, e := range res.Evicted {
+			if !e.Assignment.Complete(topoOf[e.Victim]) {
+				t.Fatalf("iter %d: eviction of %s returned a partial assignment", iter, e.Victim)
+			}
+			evicted[e.Victim] = true
+		}
+		for name, topo := range topoOf {
+			a := state.Assignment(name)
+			if a == nil {
+				continue // fully absent is fine (failed, evicted, or never active)
+			}
+			if evicted[name] {
+				t.Fatalf("iter %d: %s both evicted and still scheduled", iter, name)
+			}
+			if !a.Complete(topo) {
+				t.Fatalf("iter %d: %s has a partial assignment (%d of %d tasks)",
+					iter, name, len(a.Placements), topo.TotalTasks())
+			}
+			if err := a.Validate(topo, c, classes); err != nil {
+				t.Fatalf("iter %d: %s assignment invalid: %v", iter, name, err)
+			}
+		}
+		// Failed admissions must have evicted nothing on their behalf.
+		for name := range res.Failed {
+			for _, e := range res.Evicted {
+				if e.For == name {
+					t.Fatalf("iter %d: failed admission %s committed an eviction of %s", iter, name, e.Victim)
+				}
+			}
+		}
+	}
+}

@@ -27,7 +27,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		"fig9a", "fig9b", "fig9c",
 		"fig10", "fig12a", "fig12b", "fig13",
 		"ablationA", "ablationB", "ablationC",
-		"elasticity", "memstress", "consolidate",
+		"elasticity", "memstress", "consolidate", "multitenant",
 	}
 	if len(all) != len(wantIDs) {
 		t.Fatalf("experiments = %d, want %d", len(all), len(wantIDs))

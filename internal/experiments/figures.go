@@ -27,6 +27,7 @@ func All() []Experiment {
 		Elasticity(),
 		MemoryStress(),
 		Consolidate(),
+		MultiTenant(),
 	}
 }
 

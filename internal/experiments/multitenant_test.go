@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func multitenantOpts() Options {
+	return Options{
+		Duration: 12 * time.Second,
+		Seed:     1,
+	}
+}
+
+// TestMultiTenantAcceptance is the acceptance regression for the
+// multi-tenant control plane: under FIFO admission the production tenant
+// starves on the loaded cluster; under priority-aware admission the
+// eviction planner frees capacity, the tenant recovers at least 90% of
+// its dedicated-cluster oracle, and a victim is readmitted in full once
+// capacity recovers.
+func TestMultiTenantAcceptance(t *testing.T) {
+	e, ok := ByID("multitenant")
+	if !ok {
+		t.Fatal("multitenant experiment not registered")
+	}
+	report, err := e.Run(multitenantOpts())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(report.Rows) < 5 {
+		t.Fatalf("rows = %+v", report.Rows)
+	}
+	fifoVsPrio := report.Rows[0]
+	if fifoVsPrio.Baseline != 0 {
+		t.Errorf("FIFO admission should starve prod entirely, got %v tuples/window", fifoVsPrio.Baseline)
+	}
+	if fifoVsPrio.RStorm <= 0 {
+		t.Fatalf("priority arm produced nothing: %v", fifoVsPrio.RStorm)
+	}
+	recovery := report.Rows[1]
+	if recovery.Baseline <= 0 {
+		t.Fatalf("oracle produced nothing: %v", recovery.Baseline)
+	}
+	if ratio := recovery.RStorm / recovery.Baseline; ratio < 0.9 {
+		t.Errorf("priority recovered only %.1f%% of the dedicated oracle (%v vs %v), want >= 90%%",
+			ratio*100, recovery.RStorm, recovery.Baseline)
+	}
+	if evs := report.Rows[2]; evs.RStorm == 0 {
+		t.Error("priority arm applied no evictions")
+	} else if evs.Baseline != 0 {
+		t.Errorf("FIFO arm evicted %v tenants; equal priorities must never evict", evs.Baseline)
+	}
+	if re := report.Rows[3]; re.RStorm == 0 {
+		t.Error("no victim was readmitted after capacity recovery")
+	}
+	// The FIFO arm's batch tier keeps the capacity the priority arm
+	// confiscates: its aggregate throughput must be at least as high.
+	if batch := report.Rows[4]; batch.RStorm > batch.Baseline {
+		t.Errorf("batch tier did better under eviction (%v) than under FIFO (%v)?",
+			batch.RStorm, batch.Baseline)
+	}
+	// The starvation timeline: prod's FIFO series is flat zero, and the
+	// priority series is zero only before the burst.
+	fifoSeries := report.Series["prod fifo (starved)"]
+	for i, v := range fifoSeries {
+		if v != 0 {
+			t.Errorf("FIFO prod delivered %v tuples in window %d", v, i)
+			break
+		}
+	}
+	prioSeries := report.Series["prod priority (evicting)"]
+	var post float64
+	for _, v := range prioSeries[len(prioSeries)/2:] {
+		post += v
+	}
+	if post <= 0 {
+		t.Errorf("priority prod never flowed: %v", prioSeries)
+	}
+}

@@ -23,6 +23,20 @@ const (
 	assignmentsPath = "/assignments"
 )
 
+// EvictionEvent is one entry of the master's eviction history: a tenant
+// unassigned by a scheduling round to admit a higher-priority arrival.
+type EvictionEvent struct {
+	// Victim is the evicted topology; Priority its priority at eviction.
+	Victim   string `json:"victim"`
+	Priority int    `json:"priority"`
+	// For is the admitted topology the eviction made room for, and
+	// ForPriority its priority.
+	For         string `json:"for"`
+	ForPriority int    `json:"forPriority"`
+	// Round is the scheduling round (0-based) the eviction happened in.
+	Round int `json:"round"`
+}
+
 // Nimbus is the master daemon. It is safe for concurrent use.
 type Nimbus struct {
 	mu         sync.Mutex
@@ -34,6 +48,16 @@ type Nimbus struct {
 	pending    []string
 	alive      map[cluster.NodeID]bool
 	events     []string
+
+	// Multi-tenant metadata: per-topology priority and admission sequence
+	// (FIFO tie-break and deterministic eviction order), the monotonically
+	// increasing submission counter, the round counter, and the eviction
+	// history.
+	priorities map[string]int
+	seqs       map[string]int
+	nextSeq    int
+	rounds     int
+	evictions  []EvictionEvent
 }
 
 // New returns a Nimbus over the cluster using the given scheduler. Nodes
@@ -57,6 +81,8 @@ func New(c *cluster.Cluster, sched core.Scheduler) (*Nimbus, error) {
 		scheduler:  sched,
 		topologies: make(map[string]*topology.Topology),
 		alive:      make(map[cluster.NodeID]bool),
+		priorities: make(map[string]int),
+		seqs:       make(map[string]int),
 	}, nil
 }
 
@@ -82,8 +108,23 @@ func (n *Nimbus) AliveSupervisors() []cluster.NodeID {
 	return out
 }
 
-// SubmitTopology queues a topology for scheduling at the next round.
+// SubmitTopology queues a topology for scheduling at the next round, at
+// the priority the topology itself declares (Builder.SetPriority; zero
+// means none — plain FIFO admission).
 func (n *Nimbus) SubmitTopology(topo *topology.Topology) error {
+	return n.SubmitTopologyWithPriority(topo, topo.Priority())
+}
+
+// SubmitTopologyWithPriority queues a topology at an explicit priority,
+// overriding the topology's own declaration — the operator-facing knob
+// (Storm's topology.priority, inverted: higher wins here). A
+// higher-priority submission is admitted before lower-priority pending
+// work and may evict lower-priority running tenants when the cluster is
+// full.
+func (n *Nimbus) SubmitTopologyWithPriority(topo *topology.Topology, priority int) error {
+	if priority < 0 {
+		return fmt.Errorf("priority %d is negative", priority)
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	name := topo.Name()
@@ -94,9 +135,33 @@ func (n *Nimbus) SubmitTopology(topo *topology.Topology) error {
 		return fmt.Errorf("register topology: %w", err)
 	}
 	n.topologies[name] = topo
+	n.priorities[name] = priority
+	n.seqs[name] = n.nextSeq
+	n.nextSeq++
 	n.pending = append(n.pending, name)
-	n.logf("submitted topology %q (%d tasks)", name, topo.TotalTasks())
+	if priority > 0 {
+		n.logf("submitted topology %q (%d tasks, priority %d)", name, topo.TotalTasks(), priority)
+	} else {
+		n.logf("submitted topology %q (%d tasks)", name, topo.TotalTasks())
+	}
 	return nil
+}
+
+// TopologyPriority returns a submitted topology's priority (zero when
+// unset or unknown).
+func (n *Nimbus) TopologyPriority(name string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.priorities[name]
+}
+
+// Evictions returns the master's eviction history, oldest first.
+func (n *Nimbus) Evictions() []EvictionEvent {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]EvictionEvent, len(n.evictions))
+	copy(out, n.evictions)
+	return out
 }
 
 // KillTopology releases a topology's resources and forgets it.
@@ -108,6 +173,8 @@ func (n *Nimbus) KillTopology(name string) error {
 	}
 	n.state.Remove(name)
 	delete(n.topologies, name)
+	delete(n.priorities, name)
+	delete(n.seqs, name)
 	n.dropPendingLocked(name)
 	_ = n.store.Delete(assignmentsPath + "/" + name)
 	_ = n.store.Delete(topologiesPath + "/" + name)
@@ -129,37 +196,107 @@ func (n *Nimbus) Pending() []string {
 	return out
 }
 
-// RunSchedulingRound schedules every pending topology, applying successful
-// assignments atomically. It returns the names scheduled this round;
-// topologies that cannot be placed stay pending (with the error logged),
-// matching Nimbus's periodic retry behaviour.
+// RunSchedulingRound runs one cluster-level scheduling pass
+// (core.ClusterSchedule): pending topologies are admitted in descending
+// priority (FIFO within a priority), and an infeasible higher-priority
+// arrival may evict lower-priority running tenants — each victim's
+// complete assignment is torn down and the victim re-queued as pending,
+// so it is rescheduled in full once capacity recovers. It returns the
+// names scheduled this round; topologies that cannot be placed (even
+// after permissible evictions) stay pending with the error logged,
+// matching Nimbus's periodic retry behaviour. With every priority zero
+// this is exactly the old FIFO round.
 func (n *Nimbus) RunSchedulingRound() []string {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	var scheduled []string
-	var still []string
+	round := n.rounds
+	n.rounds++
+
+	var pending []core.Tenant
 	for _, name := range n.pending {
 		topo := n.topologies[name]
 		if topo == nil {
 			continue
 		}
-		a, err := n.scheduler.Schedule(topo, n.cluster, n.state)
-		if err != nil {
-			n.logf("scheduling %q failed: %v", name, err)
-			still = append(still, name)
-			continue
-		}
-		if err := n.state.Apply(topo, a); err != nil {
-			n.logf("applying assignment for %q failed: %v", name, err)
-			still = append(still, name)
-			continue
-		}
-		n.persistAssignment(name, a)
-		n.logf("scheduled %q on %d nodes via %s", name, len(a.NodesUsed()), a.Scheduler)
-		scheduled = append(scheduled, name)
+		pending = append(pending, core.Tenant{
+			Topo:     topo,
+			Priority: n.priorities[name],
+			Seq:      n.seqs[name],
+		})
 	}
-	n.pending = still
-	return scheduled
+	if len(pending) == 0 {
+		n.pending = nil
+		return nil
+	}
+	var active []core.Tenant
+	for name, topo := range n.topologies {
+		if n.state.Assignment(name) == nil {
+			continue
+		}
+		active = append(active, core.Tenant{
+			Topo:     topo,
+			Priority: n.priorities[name],
+			Seq:      n.seqs[name],
+		})
+	}
+
+	res := core.ClusterSchedule(n.scheduler, n.cluster, n.state, pending, active)
+
+	// Tear down evicted store state and record the history, in eviction
+	// order.
+	var requeued []string
+	for _, e := range res.Evicted {
+		_ = n.store.Delete(assignmentsPath + "/" + e.Victim)
+		n.evictions = append(n.evictions, EvictionEvent{
+			Victim:      e.Victim,
+			Priority:    e.Priority,
+			For:         e.For,
+			ForPriority: n.priorities[e.For],
+			Round:       round,
+		})
+		requeued = append(requeued, e.Victim)
+	}
+	// Log per-tenant outcomes in the pass's consideration order — with
+	// every priority zero this interleaves scheduled and failed lines
+	// exactly as the FIFO round it replaced did. An admission's evictions
+	// log immediately before its scheduled line.
+	considered := append([]string(nil), res.ScheduledOrder...)
+	considered = append(considered, res.FailedOrder...)
+	sort.SliceStable(considered, func(i, j int) bool {
+		if n.priorities[considered[i]] != n.priorities[considered[j]] {
+			return n.priorities[considered[i]] > n.priorities[considered[j]]
+		}
+		return n.seqs[considered[i]] < n.seqs[considered[j]]
+	})
+	for _, name := range considered {
+		if a, ok := res.Scheduled[name]; ok {
+			for _, e := range res.Evicted {
+				if e.For == name {
+					n.logf("evicted topology %q (priority %d) to admit %q (priority %d); re-queued",
+						e.Victim, e.Priority, e.For, n.priorities[e.For])
+				}
+			}
+			n.persistAssignment(name, a)
+			n.logf("scheduled %q on %d nodes via %s", name, len(a.NodesUsed()), a.Scheduler)
+			continue
+		}
+		n.logf("scheduling %q failed: %v", name, res.Failed[name])
+	}
+
+	// Pending set for the next round. The list order is cosmetic
+	// (admission order is always priority, then submission sequence):
+	// an evicted victim keeps its original sequence, so within its
+	// priority it retains submission seniority over later arrivals —
+	// losing its slot to a higher priority does not also forfeit its
+	// place in line.
+	var still []string
+	for _, name := range n.pending {
+		if _, ok := res.Scheduled[name]; !ok && n.topologies[name] != nil {
+			still = append(still, name)
+		}
+	}
+	n.pending = append(still, requeued...)
+	return res.ScheduledOrder
 }
 
 // Tick is one periodic master cycle: detect membership changes, then run a

@@ -86,6 +86,8 @@ type ClusterSummary struct {
 	Topologies       []TopologySummary   `json:"topologies"`
 	Pending          []string            `json:"pending"`
 	NodeAvailable    map[string]Capacity `json:"nodeAvailable"`
+	// Evictions is the master's eviction history, oldest first.
+	Evictions []EvictionEvent `json:"evictions,omitempty"`
 }
 
 // TopologySummary summarizes one scheduled topology.
@@ -95,6 +97,8 @@ type TopologySummary struct {
 	Tasks     int    `json:"tasks"`
 	Nodes     int    `json:"nodes"`
 	Workers   int    `json:"workers"`
+	// Priority is the tenant's scheduling priority (zero = none).
+	Priority int `json:"priority"`
 }
 
 // Capacity is the JSON form of a resource vector.
@@ -110,6 +114,7 @@ func (n *Nimbus) Summary() ClusterSummary {
 		AliveSupervisors: len(n.AliveSupervisors()),
 		Pending:          n.Pending(),
 		NodeAvailable:    make(map[string]Capacity, n.cluster.Size()),
+		Evictions:        n.Evictions(),
 	}
 	for id, v := range n.state.AvailableAll() {
 		out.NodeAvailable[string(id)] = Capacity{
@@ -142,6 +147,7 @@ func (n *Nimbus) Summary() ClusterSummary {
 			Tasks:     topo.TotalTasks(),
 			Nodes:     len(a.NodesUsed()),
 			Workers:   a.WorkersUsed(),
+			Priority:  n.TopologyPriority(name),
 		})
 	}
 	return out

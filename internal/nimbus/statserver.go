@@ -14,10 +14,12 @@ import (
 //
 // Routes:
 //
-//	GET /summary                cluster summary (supervisors, topologies)
+//	GET /summary                cluster summary (supervisors, topologies,
+//	                            per-topology priority, eviction history)
 //	GET /assignments            every assignment, keyed by topology
 //	GET /assignments/{name}     one topology's assignment
 //	GET /events                 the master's action log
+//	GET /evictions              the master's eviction history
 //	GET /adaptive               adaptive-controller state (when attached)
 //
 // Mount it on any mux or serve it directly:
@@ -51,6 +53,7 @@ func NewStatisticServer(n *Nimbus, opts ...StatServerOption) *StatisticServer {
 	s.mux.HandleFunc("/assignments", s.handleAssignments)
 	s.mux.HandleFunc("/assignments/", s.handleAssignment)
 	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/evictions", s.handleEvictions)
 	s.mux.HandleFunc("/adaptive", s.handleAdaptive)
 	return s
 }
@@ -112,6 +115,14 @@ func (s *StatisticServer) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.nimbus.Events())
+}
+
+func (s *StatisticServer) handleEvictions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.nimbus.Evictions())
 }
 
 func (s *StatisticServer) handleAdaptive(w http.ResponseWriter, r *http.Request) {

@@ -63,8 +63,9 @@ type Result struct {
 	// TuplesDropped counts tuples abandoned due to node failures and OOM
 	// kills (an OOM-killed task's queue drains through the same path).
 	TuplesDropped int64
-	// TuplesMigrated counts tuples failed out of task queues by Reassign
-	// migrations (the rebalance analogue of a worker restart).
+	// TuplesMigrated counts tuples failed out of task queues by the
+	// administrative drain path: Reassign migrations (the rebalance
+	// analogue of a worker restart) and KillTopology teardowns (eviction).
 	TuplesMigrated int64
 	// TasksOOMKilled counts executors killed by the runtime memory model
 	// (Config.MemoryModel) for exceeding their node's memory capacity.

@@ -235,20 +235,30 @@ func New(c *cluster.Cluster, cfg Config) (*Simulation, error) {
 // Config returns the simulation's effective (default-filled) configuration.
 func (s *Simulation) Config() Config { return s.cfg }
 
-// AddTopology registers a scheduled topology for execution.
+// AddTopology registers a scheduled topology for execution. It must be
+// called before Start; SubmitTopology (tenancy.go) is the mid-run
+// admission path.
 func (s *Simulation) AddTopology(topo *topology.Topology, a *core.Assignment) error {
 	if s.started {
 		return fmt.Errorf("simulation already started")
 	}
+	_, err := s.addRun(topo, a)
+	return err
+}
+
+// addRun validates an assignment and constructs the topology's runtime
+// state, wiring its tasks onto their nodes and building delivery routers.
+// Shared by the pre-start AddTopology and the mid-run SubmitTopology.
+func (s *Simulation) addRun(topo *topology.Topology, a *core.Assignment) (*topoRun, error) {
 	if a.Topology != topo.Name() {
-		return fmt.Errorf("assignment is for %q, topology is %q", a.Topology, topo.Name())
+		return nil, fmt.Errorf("assignment is for %q, topology is %q", a.Topology, topo.Name())
 	}
 	if !a.Complete(topo) {
-		return fmt.Errorf("assignment for %q is incomplete", topo.Name())
+		return nil, fmt.Errorf("assignment for %q is incomplete", topo.Name())
 	}
 	for _, r := range s.runs {
 		if r.topo.Name() == topo.Name() {
-			return fmt.Errorf("topology %q already added", topo.Name())
+			return nil, fmt.Errorf("topology %q already added", topo.Name())
 		}
 	}
 	run := &topoRun{
@@ -270,7 +280,7 @@ func (s *Simulation) AddTopology(topo *topology.Topology, a *core.Assignment) er
 		p := a.Placements[task.ID]
 		node, ok := s.nodes[p.Node]
 		if !ok {
-			return fmt.Errorf("task %d placed on unknown node %q", task.ID, p.Node)
+			return nil, fmt.Errorf("task %d placed on unknown node %q", task.ID, p.Node)
 		}
 		comp := topo.Component(task.Component)
 		st := &simTask{
@@ -293,7 +303,7 @@ func (s *Simulation) AddTopology(topo *topology.Topology, a *core.Assignment) er
 	}
 	s.buildRouters(run)
 	s.runs = append(s.runs, run)
-	return nil
+	return run, nil
 }
 
 // buildRouters (re)resolves the run's delivery edges. Path level, latency,

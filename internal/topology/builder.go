@@ -20,6 +20,7 @@ type Builder struct {
 	streams    []Stream
 	workers    int
 	maxPending int
+	priority   int
 	errs       []error
 }
 
@@ -42,6 +43,14 @@ func (b *Builder) SetNumWorkers(n int) *Builder {
 // topology.max.spout.pending). Zero means "use the cluster default".
 func (b *Builder) SetMaxSpoutPending(n int) *Builder {
 	b.maxPending = n
+	return b
+}
+
+// SetPriority sets the topology's scheduling priority (higher wins).
+// Zero — the default — means "no priority": equal-priority topologies are
+// admitted FIFO and never evict each other.
+func (b *Builder) SetPriority(p int) *Builder {
+	b.priority = p
 	return b
 }
 
@@ -86,6 +95,9 @@ func (b *Builder) Build() (*Topology, error) {
 	if b.maxPending < 0 {
 		return nil, fmt.Errorf("topology %q: max spout pending %d is negative", b.name, b.maxPending)
 	}
+	if b.priority < 0 {
+		return nil, fmt.Errorf("topology %q: priority %d is negative", b.name, b.priority)
+	}
 
 	t := &Topology{
 		name:       b.name,
@@ -94,6 +106,7 @@ func (b *Builder) Build() (*Topology, error) {
 		streams:    append([]Stream(nil), b.streams...),
 		workers:    b.workers,
 		maxPending: b.maxPending,
+		priority:   b.priority,
 		taskIndex:  make(map[string][]Task, len(b.components)),
 		outgoing:   make(map[string][]Stream),
 		incoming:   make(map[string][]Stream),

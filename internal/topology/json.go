@@ -27,6 +27,7 @@ type Spec struct {
 	Name            string          `json:"name"`
 	Workers         int             `json:"workers,omitempty"`
 	MaxSpoutPending int             `json:"maxSpoutPending,omitempty"`
+	Priority        int             `json:"priority,omitempty"`
 	Components      []ComponentSpec `json:"components"`
 }
 
@@ -76,6 +77,7 @@ func (s *Spec) Build() (*Topology, error) {
 	b := NewBuilder(s.Name)
 	b.SetNumWorkers(s.Workers)
 	b.SetMaxSpoutPending(s.MaxSpoutPending)
+	b.SetPriority(s.Priority)
 	for _, cs := range s.Components {
 		profile := ExecProfile{}
 		if cs.Profile != nil {
@@ -135,6 +137,7 @@ func SpecOf(t *Topology) *Spec {
 		Name:            t.Name(),
 		Workers:         t.NumWorkers(),
 		MaxSpoutPending: t.MaxSpoutPending(),
+		Priority:        t.Priority(),
 	}
 	for _, c := range t.Components() {
 		cs := ComponentSpec{

@@ -34,6 +34,7 @@ type Topology struct {
 	streams    []Stream
 	workers    int
 	maxPending int
+	priority   int
 
 	tasks     []Task
 	taskIndex map[string][]Task // component name -> its tasks
@@ -52,6 +53,14 @@ func (t *Topology) NumWorkers() int { return t.workers }
 // (Storm's topology.max.spout.pending). Zero means "use the cluster
 // default".
 func (t *Topology) MaxSpoutPending() int { return t.maxPending }
+
+// Priority returns the topology's scheduling priority (Storm's
+// topology.priority, inverted: here higher wins). The multi-tenant control
+// plane admits pending topologies in descending priority and may evict
+// lower-priority tenants to make room for a higher-priority arrival. Zero
+// — the default — means "no priority": with every topology at zero the
+// cluster pass degenerates to FIFO admission and never evicts.
+func (t *Topology) Priority() int { return t.priority }
 
 // Component returns the named component, or nil if absent.
 func (t *Topology) Component(name string) *Component {

@@ -1,0 +1,42 @@
+package workloads
+
+import (
+	"time"
+
+	"rstorm/internal/topology"
+)
+
+// Multi-tenant workload (DESIGN.md §6): background batch tenants that
+// together nearly fill the 12-node testbed's memory (the hard axis), and
+// a high-priority production tenant whose burst arrival on the loaded
+// cluster is infeasible until the control plane evicts batch tenants.
+// All declarations are honest — the scenario stresses admission and
+// eviction, not demand estimation.
+
+// BatchTenant builds one low-priority background tenant: a single spout
+// feeding five 900 MB workers (~4.6 GB per tenant). Four of them occupy
+// ~18.5 GB of the testbed's 24 GB.
+func BatchTenant(name string) (*topology.Topology, error) {
+	light := topology.ExecProfile{CPUPerTuple: 200 * time.Microsecond, TupleBytes: 256}
+	work := topology.ExecProfile{CPUPerTuple: time.Millisecond, TupleBytes: 256}
+	b := topology.NewBuilder(name)
+	b.SetSpout("feed", 1).SetCPULoad(10).SetMemoryLoad(128).SetProfile(light)
+	b.SetBolt("crunch", 5).ShuffleGrouping("feed").
+		SetCPULoad(30).SetMemoryLoad(900).SetProfile(work)
+	return b.Build()
+}
+
+// ProdTenant builds the high-priority production tenant at the given
+// priority: a spout feeding eleven 1000 MB workers (~11.1 GB) — far more
+// than the loaded cluster's free memory, so admission requires eviction.
+// With priority zero it is the same topology minus the privilege: FIFO
+// admission leaves it starved behind the batch tenants.
+func ProdTenant(priority int) (*topology.Topology, error) {
+	light := topology.ExecProfile{CPUPerTuple: 200 * time.Microsecond, TupleBytes: 256}
+	work := topology.ExecProfile{CPUPerTuple: time.Millisecond, TupleBytes: 256}
+	b := topology.NewBuilder("prod").SetPriority(priority)
+	b.SetSpout("ingest", 1).SetCPULoad(10).SetMemoryLoad(128).SetProfile(light)
+	b.SetBolt("serve", 11).ShuffleGrouping("ingest").
+		SetCPULoad(40).SetMemoryLoad(1000).SetProfile(work)
+	return b.Build()
+}

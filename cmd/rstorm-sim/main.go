@@ -6,9 +6,22 @@
 //
 //	rstorm-sim -topology topo.json [-cluster cluster.yaml] \
 //	           [-scheduler r-storm|default-even|offline-linear] \
-//	           [-duration 60s] [-fail node-0-3@20s] \
+//	           [-duration 60s] [-fail schedule] [-replay] \
 //	           [-adaptive] [-control-interval 1s] [-memory] [-traffic] \
-//	           [-multitenant]
+//	           [-multitenant] [-chaos]
+//
+// -fail takes a comma-separated chaos schedule (internal/faults): each
+// event is [crash:|recover:|slow:]node@time[:factor], the bare node@time
+// form being a crash. For example
+//
+//	-fail node-0-3@20s
+//	-fail crash:node-0-3@20s,recover:node-0-3@40s,slow:node-0-5@10s:2.5
+//
+// crashes node-0-3 at t=20s (first form), or additionally brings it back
+// at t=40s and degrades node-0-5's service times by 2.5x from t=10s
+// (second form). -replay turns on at-least-once delivery: tuple trees
+// failed by a crash or drain re-emit from their spout with bounded
+// exponential backoff instead of dropping.
 //
 // Without -topology it runs the built-in network-bound Linear benchmark.
 // With -adaptive the run is driven by the feedback control loop
@@ -27,7 +40,10 @@
 // of mixed-priority topologies arrives on a loaded cluster, FIFO
 // admission starves the high-priority tenant, and the priority-aware
 // pass evicts low-priority tenants to admit it (-duration and -seed
-// still apply).
+// still apply). With -chaos the failover experiment runs the same way:
+// a scripted crash/recover schedule against a static schedule and against
+// the adaptive loop's failover trigger, reporting recovery ratio and
+// time-to-recover.
 package main
 
 import (
@@ -36,13 +52,13 @@ import (
 	"io"
 	"os"
 	"sort"
-	"strings"
 	"time"
 
 	"rstorm/internal/adaptive"
 	"rstorm/internal/cluster"
 	"rstorm/internal/core"
 	"rstorm/internal/experiments"
+	"rstorm/internal/faults"
 	"rstorm/internal/simulator"
 	"rstorm/internal/topology"
 	"rstorm/internal/viz"
@@ -65,19 +81,24 @@ func run(w io.Writer, args []string) error {
 		duration    = fs.Duration("duration", 60*time.Second, "simulated duration")
 		window      = fs.Duration("window", 10*time.Second, "metrics window")
 		seed        = fs.Int64("seed", 1, "RNG seed")
-		failSpec    = fs.String("fail", "", "inject a node failure, e.g. node-0-3@20s")
+		failSpec    = fs.String("fail", "", "chaos schedule: comma-separated [crash:|recover:|slow:]node@time[:factor] events, e.g. node-0-3@20s or crash:node-0-3@20s,recover:node-0-3@40s")
+		replayOn    = fs.Bool("replay", false, "at-least-once delivery: replay failed tuple trees from the spout with bounded exponential backoff")
 		showAssign  = fs.Bool("assignment", false, "print the task placement")
 		adaptiveOn  = fs.Bool("adaptive", false, "close the loop: profile measured demands and rebalance incrementally")
 		ctrlIvl     = fs.Duration("control-interval", 0, "adaptive control epoch (default: one metrics window)")
 		memoryOn    = fs.Bool("memory", false, "enable the runtime memory model: resident accounting + OOM enforcement (with -adaptive, measured memory replaces declarations)")
 		trafficOn   = fs.Bool("traffic", false, "report the measured edge-rate matrix and inter-node tuple fraction (with -adaptive, consolidation rebalances minimize measured network cost)")
 		multitenant = fs.Bool("multitenant", false, "run the multi-tenant control-plane scenario: priority-aware admission and eviction vs FIFO on a loaded cluster")
+		chaos       = fs.Bool("chaos", false, "run the failover experiment: scripted crash/recover vs the adaptive failover trigger")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *multitenant {
-		return runMultiTenant(w, *duration, *seed)
+		return runExperiment(w, "multitenant", *duration, *seed)
+	}
+	if *chaos {
+		return runExperiment(w, "failover", *duration, *seed)
 	}
 
 	c, err := loadCluster(*clusterPath)
@@ -110,6 +131,7 @@ func run(w io.Writer, args []string) error {
 		MetricsWindow: *window,
 		Seed:          *seed,
 		MemoryModel:   *memoryOn,
+		Replay:        *replayOn,
 	})
 	if err != nil {
 		return err
@@ -118,11 +140,11 @@ func run(w io.Writer, args []string) error {
 		return err
 	}
 	if *failSpec != "" {
-		node, at, err := parseFailure(*failSpec)
+		schedule, err := faults.ParseSchedule(*failSpec)
 		if err != nil {
-			return err
+			return fmt.Errorf("failure spec: %w", err)
 		}
-		if err := sim.FailNodeAt(node, at); err != nil {
+		if err := schedule.Apply(sim); err != nil {
 			return err
 		}
 	}
@@ -168,6 +190,7 @@ func run(w io.Writer, args []string) error {
 		}
 	}
 	printResult(w, topo, a, result, c, *memoryOn)
+	printFaults(w, sim.Faults(), result, *replayOn)
 	if *adaptiveOn {
 		printRebalances(w, rebalances, result)
 	}
@@ -178,13 +201,14 @@ func run(w io.Writer, args []string) error {
 	return nil
 }
 
-// runMultiTenant runs the multi-tenant control-plane experiment
-// (internal/experiments): FIFO admission vs priority-aware admission with
-// eviction, against the production tenant's dedicated-cluster oracle.
-func runMultiTenant(w io.Writer, duration time.Duration, seed int64) error {
-	e, ok := experiments.ByID("multitenant")
+// runExperiment runs a registered scenario experiment
+// (internal/experiments) and renders its report: "multitenant" (FIFO vs
+// priority-aware admission) or "failover" (scripted chaos vs the adaptive
+// failover trigger).
+func runExperiment(w io.Writer, id string, duration time.Duration, seed int64) error {
+	e, ok := experiments.ByID(id)
 	if !ok {
-		return fmt.Errorf("multitenant experiment not registered")
+		return fmt.Errorf("%s experiment not registered", id)
 	}
 	report, err := e.Run(experiments.Options{Duration: duration, Seed: seed})
 	if err != nil {
@@ -235,18 +259,6 @@ func pickScheduler(name string) (core.Scheduler, error) {
 	}
 }
 
-func parseFailure(spec string) (cluster.NodeID, time.Duration, error) {
-	parts := strings.SplitN(spec, "@", 2)
-	if len(parts) != 2 {
-		return "", 0, fmt.Errorf("failure spec %q, want node@time (e.g. node-0-3@20s)", spec)
-	}
-	at, err := time.ParseDuration(parts[1])
-	if err != nil {
-		return "", 0, fmt.Errorf("failure time: %w", err)
-	}
-	return cluster.NodeID(parts[0]), at, nil
-}
-
 func printResult(w io.Writer, topo *topology.Topology, a *core.Assignment, result *simulator.Result, c *cluster.Cluster, memoryOn bool) {
 	tr := result.Topology(topo.Name())
 	fmt.Fprintf(w, "topology    %s (%d tasks, %d components)\n",
@@ -282,6 +294,31 @@ func printResult(w io.Writer, topo *topology.Topology, a *core.Assignment, resul
 			total += v
 		}
 		fmt.Fprintf(w, "  %-16s %12.0f tuples\n", comp, total)
+	}
+}
+
+// printFaults lists the chaos events the run actually applied, each
+// node's total downtime, and — with replay on — the at-least-once
+// re-emission count. Silent when nothing was injected and replay is off,
+// keeping fault-free output byte-identical.
+func printFaults(w io.Writer, recs []simulator.FaultRecord, result *simulator.Result, replayOn bool) {
+	if len(recs) > 0 {
+		fmt.Fprintln(w, "\nfaults applied:")
+		for _, fr := range recs {
+			fmt.Fprintf(w, "  t=%-8v %s %s\n", fr.At, fr.Kind, fr.Node)
+		}
+		var nodes []cluster.NodeID
+		for id := range result.NodeDowntime {
+			nodes = append(nodes, id)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for _, id := range nodes {
+			fmt.Fprintf(w, "  downtime %s: %v\n", id, result.NodeDowntime[id])
+		}
+	}
+	if replayOn {
+		fmt.Fprintf(w, "\nreplay      %d re-emissions of failed tuple trees (at-least-once)\n",
+			result.TuplesReplayed)
 	}
 }
 

@@ -8,21 +8,43 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"rstorm/internal/faults"
 )
 
-func TestParseFailure(t *testing.T) {
-	node, at, err := parseFailure("node-0-3@20s")
+// TestFailScheduleRoundTrip pins the -fail grammar: the legacy node@time
+// crash form, the spelled-out multi-event schedule, and the slow form all
+// parse, and a parsed schedule renders back to parseable syntax.
+func TestFailScheduleRoundTrip(t *testing.T) {
+	legacy, err := faults.ParseSchedule("node-0-3@20s")
 	if err != nil {
-		t.Fatalf("parseFailure: %v", err)
+		t.Fatalf("legacy form: %v", err)
 	}
-	if string(node) != "node-0-3" || at != 20*time.Second {
-		t.Errorf("parsed %s @ %v", node, at)
+	if len(legacy) != 1 || legacy[0].Kind != faults.Crash ||
+		string(legacy[0].Node) != "node-0-3" || legacy[0].At != 20*time.Second {
+		t.Errorf("legacy form parsed as %+v", legacy)
 	}
-	if _, _, err := parseFailure("node-0-3"); err == nil {
-		t.Error("missing @time accepted")
+
+	spec := "crash:node-0-3@20s,recover:node-0-3@40s,slow:node-0-5@10s:2.5"
+	sched, err := faults.ParseSchedule(spec)
+	if err != nil {
+		t.Fatalf("multi-event form: %v", err)
 	}
-	if _, _, err := parseFailure("n@xyz"); err == nil {
-		t.Error("bad duration accepted")
+	if len(sched) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(sched))
+	}
+	if got := sched.String(); got != spec {
+		t.Errorf("round-trip = %q, want %q", got, spec)
+	}
+	reparsed, err := faults.ParseSchedule(sched.String())
+	if err != nil || len(reparsed) != 3 {
+		t.Errorf("re-parse: %v, %+v", err, reparsed)
+	}
+
+	for _, bad := range []string{"node-0-3", "n@xyz", "slow:n@1s", "slow:n@1s:0.5"} {
+		if _, err := faults.ParseSchedule(bad); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
 	}
 }
 
@@ -311,6 +333,52 @@ func TestRunTrafficMode(t *testing.T) {
 	}
 	if sf, af := frac(s), frac(a); af >= sf {
 		t.Errorf("adaptive inter-node fraction %.1f%% not below static %.1f%%", af, sf)
+	}
+}
+
+// TestRunChaosSchedule drives a full crash/recover/slow schedule with
+// replay through the CLI and expects the fault log, downtime, and replay
+// lines in the report.
+func TestRunChaosSchedule(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, []string{
+		"-duration", "4s", "-window", "500ms", "-replay",
+		"-fail", "crash:node-0-0@1s,recover:node-0-0@2s,slow:node-0-1@500ms:2.0",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"faults applied:",
+		"crash node-0-0",
+		"recover node-0-0",
+		"slow node-0-1",
+		"downtime node-0-0: 1s",
+		"replay",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chaos report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunChaosMode runs the failover experiment end to end from the CLI.
+func TestRunChaosMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, []string{"-chaos", "-duration", "6s"}); err != nil {
+		t.Fatalf("run -chaos: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"failover",
+		"time-to-recover",
+		"static (no failover)",
+		"adaptive (failover)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chaos report missing %q:\n%s", want, s)
+		}
 	}
 }
 

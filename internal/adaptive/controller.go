@@ -16,6 +16,7 @@ const (
 	TriggerHotspot   = "hotspot"   // a component saturated or overflowing
 	TriggerImbalance = "imbalance" // everything idle: consolidation pass
 	TriggerMemory    = "memory"    // a node's resident memory nears capacity
+	TriggerFailover  = "failover"  // tasks lost to a node crash need restarting
 )
 
 // ControllerConfig tunes hotspot detection and the rebalance policy.
@@ -103,6 +104,7 @@ type topoState struct {
 	hotStreak  int
 	coldStreak int
 	memStreak  int
+	failStreak int
 	cooldown   int  // remaining quiet windows
 	quiet      bool // this window falls inside the cooldown
 	rebalances int
@@ -275,6 +277,14 @@ func (c *Controller) OnWindow(samples []simulator.TaskSample) {
 		} else {
 			ts.coldStreak = 0
 		}
+		// Failover has no hysteresis to build: the profiler's crash marks
+		// persist until the tasks are restarted, so one window carrying
+		// them is a confirmed loss, not a blip to be debounced.
+		if c.profiler.crashedCount(name) > 0 {
+			ts.failStreak++
+		} else {
+			ts.failStreak = 0
+		}
 	}
 }
 
@@ -284,7 +294,18 @@ func (c *Controller) ShouldRebalance(name string) (string, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ts := c.topos[name]
-	if ts == nil || ts.quiet || c.profiler.Windows() < c.cfg.MinWindows {
+	if ts == nil {
+		return "", false
+	}
+	// Failover outranks everything and bypasses the quiet/warm-up gates:
+	// crashed tasks process nothing until restarted, so every window spent
+	// debouncing or cooling down is pure lost throughput — and the trigger
+	// disarms itself once the restarts land (live samples clear the crash
+	// marks), so it cannot flap the way load triggers can.
+	if ts.failStreak >= 1 {
+		return TriggerFailover, true
+	}
+	if ts.quiet || c.profiler.Windows() < c.cfg.MinWindows {
 		return "", false
 	}
 	// Memory outranks the CPU hotspot: the hard axis ends in OOM kills,
@@ -353,6 +374,22 @@ func (c *Controller) PlanWithCap(
 	if c.cfg.TrafficObjective && trigger == TriggerImbalance {
 		opts.Traffic = c.profiler.TrafficMatrix(topo.Name())
 	}
+	// A failover plan splits the dead set: crash victims become forced
+	// restarts (re-placed on live capacity, exempt from the move budget),
+	// while OOM-killed tasks — whose death was a resource verdict, not an
+	// infrastructure loss — stay pinned dead as on every other trigger.
+	if trigger == TriggerFailover {
+		if crashed := c.profiler.CrashedTasks(topo.Name()); len(crashed) > 0 {
+			opts.Restart = crashed
+			still := make(map[int]bool)
+			for id := range opts.Dead {
+				if !crashed[id] {
+					still[id] = true
+				}
+			}
+			opts.Dead = still
+		}
+	}
 	return c.sched.IncrementalReschedule(topo, clu, current, opts)
 }
 
@@ -372,6 +409,7 @@ func (c *Controller) NotifyRebalanced(name string, moves int, trigger string) {
 	ts.hotStreak = 0
 	ts.coldStreak = 0
 	ts.memStreak = 0
+	ts.failStreak = 0
 	if moves > 0 {
 		ts.rebalances++
 		ts.totalMoves += moves
@@ -386,6 +424,7 @@ type TopologyStatus struct {
 	HotStreak  int              `json:"hotStreak"`
 	ColdStreak int              `json:"coldStreak"`
 	MemStreak  int              `json:"memStreak"`
+	FailStreak int              `json:"failStreak"`
 	Cooldown   int              `json:"cooldown"`
 	Rebalances int              `json:"rebalances"`
 	TotalMoves int              `json:"totalMoves"`
@@ -434,6 +473,7 @@ func (c *Controller) Status() ControllerStatus {
 			HotStreak:         ts.hotStreak,
 			ColdStreak:        ts.coldStreak,
 			MemStreak:         ts.memStreak,
+			FailStreak:        ts.failStreak,
 			Cooldown:          ts.cooldown,
 			Rebalances:        ts.rebalances,
 			TotalMoves:        ts.totalMoves,

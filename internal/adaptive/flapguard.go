@@ -1,0 +1,92 @@
+package adaptive
+
+import (
+	"sort"
+
+	"rstorm/internal/cluster"
+)
+
+// FlapGuard dampens placement flapping around node recovery. A node that
+// just returned from the dead is the least trustworthy capacity in the
+// cluster — hardware that crashed once tends to crash again, and a
+// detector can bounce a node through dead/live several times during one
+// real incident. Re-placing tasks onto it immediately turns each bounce
+// into a fresh round of crash-kills and restarts. The guard therefore
+// embargoes a recovered node for a configured number of control epochs:
+// while embargoed, the node reads as zero availability to every planner
+// (exactly like a dead node), so neither failover restarts nor
+// improvement moves land there. Re-dying during the embargo clears it;
+// the node re-earns a full hold on its next recovery.
+//
+// The guard is epoch-driven and deterministic: feed it the simulator's
+// dead-node set once per control epoch via Observe, in the same order the
+// loop makes decisions.
+type FlapGuard struct {
+	hold    int
+	dead    map[cluster.NodeID]bool
+	embargo map[cluster.NodeID]int
+}
+
+// NewFlapGuard returns a guard holding recovered nodes out of service for
+// hold epochs. hold <= 0 disables damping: Observe and Embargoed become
+// no-ops, so wiring the guard unconditionally costs nothing.
+func NewFlapGuard(hold int) *FlapGuard {
+	return &FlapGuard{
+		hold:    hold,
+		dead:    make(map[cluster.NodeID]bool),
+		embargo: make(map[cluster.NodeID]int),
+	}
+}
+
+// Observe folds one control epoch's dead-node set. Call it exactly once
+// per epoch, before planning: embargoes tick down per call, so the hold
+// is measured in epochs, not wall time.
+func (g *FlapGuard) Observe(dead []cluster.NodeID) {
+	if g == nil || g.hold <= 0 {
+		return
+	}
+	isDead := make(map[cluster.NodeID]bool, len(dead))
+	for _, id := range dead {
+		isDead[id] = true
+	}
+	// Tick existing embargoes. A node that re-dies mid-embargo leaves the
+	// embargo set (dead outranks embargoed — availability is zero either
+	// way) and restarts a full hold at its next recovery.
+	for id, left := range g.embargo {
+		if isDead[id] || left <= 1 {
+			delete(g.embargo, id)
+			continue
+		}
+		g.embargo[id] = left - 1
+	}
+	// Dead→live transitions start a fresh hold, embargoing the node for
+	// this epoch and the hold-1 that follow.
+	for id := range g.dead {
+		if !isDead[id] {
+			g.embargo[id] = g.hold
+		}
+	}
+	g.dead = isDead
+}
+
+// Embargoed returns the nodes currently held out of service, sorted.
+// Planners zero these out of availability exactly like dead nodes.
+func (g *FlapGuard) Embargoed() []cluster.NodeID {
+	if g == nil || len(g.embargo) == 0 {
+		return nil
+	}
+	out := make([]cluster.NodeID, 0, len(g.embargo))
+	for id := range g.embargo {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Holding reports whether the named node is currently embargoed.
+func (g *FlapGuard) Holding(id cluster.NodeID) bool {
+	if g == nil {
+		return false
+	}
+	return g.embargo[id] > 0
+}

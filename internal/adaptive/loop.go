@@ -27,6 +27,12 @@ type LoopConfig struct {
 	// priorities equal the loop behaves exactly as the per-topology loops
 	// it replaced.
 	MoveBudget int
+	// FlapDamping embargoes a recovered node for this many control epochs
+	// after it transitions dead→live: its availability keeps reading zero,
+	// so neither failover restarts nor improvement moves land on hardware
+	// that may still be flapping. Zero disables damping (a recovered node
+	// is eligible immediately), preserving prior behaviour.
+	FlapDamping int
 	// Profiler and Controller configure the estimation and policy halves.
 	Profiler   ProfilerConfig
 	Controller ControllerConfig
@@ -78,6 +84,7 @@ type Loop struct {
 	cluster *cluster.Cluster
 	ctrl    *Controller
 	cfg     LoopConfig
+	guard   *FlapGuard
 
 	names    []string
 	topos    map[string]*topology.Topology
@@ -109,6 +116,7 @@ func NewLoop(
 		cluster:  clu,
 		ctrl:     ctrl,
 		cfg:      cfg,
+		guard:    NewFlapGuard(cfg.FlapDamping),
 		topos:    make(map[string]*topology.Topology),
 		current:  make(map[string]*core.Assignment),
 		priority: make(map[string]int),
@@ -187,6 +195,9 @@ func (l *Loop) Run() (*LoopResult, error) {
 // repair is never starved by a low-priority tenant's churn, and total
 // per-epoch disruption is bounded cluster-wide.
 func (l *Loop) arbitrate(t time.Duration) ([]RebalanceEvent, error) {
+	// One guard tick per epoch, before any planning: dead→live
+	// transitions observed here open this epoch's embargo window.
+	l.guard.Observe(l.sim.DeadNodes())
 	type claim struct {
 		name     string
 		trigger  string
@@ -241,8 +252,23 @@ func (l *Loop) arbitrate(t time.Duration) ([]RebalanceEvent, error) {
 		if len(moves) > 0 {
 			// Reassign reports how many tasks actually moved (a plan
 			// may relocate dead tasks, which have nothing to migrate)
-			// and normalizes the assignment to what it applied.
-			migrated, err = l.sim.Reassign(cl.name, next)
+			// and normalizes the assignment to what it applied. A
+			// failover plan instead goes through ReassignRestarting:
+			// crash-dead tasks that received a forced placement (a Move
+			// — its absence means no live node could fit the task, which
+			// then stays dead and re-arms the trigger) are revived there.
+			if cl.trigger == TriggerFailover {
+				crashed := l.ctrl.Profiler().CrashedTasks(cl.name)
+				restart := make(map[int]bool, len(moves))
+				for _, m := range moves {
+					if crashed[m.TaskID] {
+						restart[m.TaskID] = true
+					}
+				}
+				migrated, err = l.sim.ReassignRestarting(cl.name, next, restart)
+			} else {
+				migrated, err = l.sim.Reassign(cl.name, next)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("applying rebalance of %q: %w", cl.name, err)
 			}
@@ -283,6 +309,11 @@ func (l *Loop) availabilityFor(excl string) map[cluster.NodeID]resource.Vector {
 		avail[n.ID] = n.Spec.Capacity
 	}
 	for _, id := range l.sim.DeadNodes() {
+		avail[id] = resource.Vector{}
+	}
+	// Recovered-but-embargoed nodes read as dead until the flap-damping
+	// hold expires: capacity a flapping node offers is not capacity.
+	for _, id := range l.guard.Embargoed() {
 		avail[id] = resource.Vector{}
 	}
 	for _, name := range l.names {

@@ -175,6 +175,14 @@ type Profiler struct {
 	// left to migrate.
 	dead map[string]map[int]bool
 
+	// crashed is the subset of dead tasks whose host node was itself dead
+	// when the task was sampled — killed by a node crash rather than the
+	// OOM killer. These are restartable: the failover trigger re-places
+	// them on live capacity. Marks persist through node recovery (the
+	// executor stays gone until a failover round restarts it) and clear
+	// on the task's next live sample.
+	crashed map[string]map[int]bool
+
 	// edges is the EWMA component-pair traffic matrix, fed by the
 	// simulator's per-wire counters; edgeOrder is first-seen order for
 	// deterministic iteration.
@@ -211,6 +219,7 @@ func NewProfiler(cfg ProfilerConfig) *Profiler {
 		cfg:        cfg.withDefaults(),
 		stats:      make(map[compKey]*ComponentStats),
 		dead:       make(map[string]map[int]bool),
+		crashed:    make(map[string]map[int]bool),
 		edges:      make(map[edgeKey]*EdgeStats),
 		nodeBusy:   make(map[cluster.NodeID]time.Duration),
 		prevMaxMem: make(map[compKey]float64),
@@ -316,6 +325,14 @@ func (p *Profiler) OnWindow(samples []simulator.TaskSample) {
 				p.dead[s.Topology] = d
 			}
 			d[s.TaskID] = true
+			if s.NodeDead {
+				cr := p.crashed[s.Topology]
+				if cr == nil {
+					cr = make(map[int]bool)
+					p.crashed[s.Topology] = cr
+				}
+				cr[s.TaskID] = true
+			}
 			// Traffic the task delivered before dying this window is real
 			// and must reach the cumulative edge totals (the simulator's
 			// TuplesSent counted it). Only non-zero counts fold: a
@@ -333,6 +350,9 @@ func (p *Profiler) OnWindow(samples []simulator.TaskSample) {
 		// replanner stops pinning an executor that is running again.
 		if d := p.dead[s.Topology]; d != nil {
 			delete(d, s.TaskID)
+		}
+		if cr := p.crashed[s.Topology]; cr != nil {
+			delete(cr, s.TaskID)
 		}
 		k := compKey{s.Topology, s.Component}
 		a := accs[k]
@@ -482,6 +502,35 @@ func (p *Profiler) DeadTasks(topo string) map[int]bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.dead[topo]
+}
+
+// CrashedTasks returns a copy of the IDs of topo's tasks lost to node
+// crashes — dead tasks whose host was dead when last sampled dead. This
+// is the failover trigger's restart set: unlike OOM-killed tasks (whose
+// node is healthy and whose death was a resource verdict), crash victims
+// have capacity waiting for them elsewhere. Nil when none. A copy,
+// because callers hand it to the incremental pass and mutate plans
+// around it across epochs.
+func (p *Profiler) CrashedTasks(topo string) map[int]bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	src := p.crashed[topo]
+	if len(src) == 0 {
+		return nil
+	}
+	out := make(map[int]bool, len(src))
+	for id := range src {
+		out[id] = true
+	}
+	return out
+}
+
+// crashedCount is the controller's per-window probe: how many of topo's
+// tasks are currently crash-dead and awaiting restart.
+func (p *Profiler) crashedCount(topo string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.crashed[topo])
 }
 
 // taskPoints estimates one task's CPU demand in points for this window.

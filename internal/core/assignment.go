@@ -42,6 +42,21 @@ func NewAssignment(topo, scheduler string) *Assignment {
 	}
 }
 
+// Clone returns a deep copy of the assignment. Failover planners mutate
+// the copy (re-placing a dead node's tasks) while the original stays the
+// authoritative record of what is currently applied.
+func (a *Assignment) Clone() *Assignment {
+	out := &Assignment{
+		Topology:   a.Topology,
+		Scheduler:  a.Scheduler,
+		Placements: make(map[int]Placement, len(a.Placements)),
+	}
+	for id, p := range a.Placements {
+		out.Placements[id] = p
+	}
+	return out
+}
+
 // Place records the placement for a task.
 func (a *Assignment) Place(taskID int, p Placement) {
 	a.Placements[taskID] = p

@@ -50,6 +50,18 @@ type IncrementalOptions struct {
 	// CPU demand departs, so debiting it would deny survivors a node
 	// that in truth has that capacity back.
 	Dead map[int]bool
+	// Restart marks dead tasks that should be brought back: instead of
+	// being pinned as corpses they are force-placed on the best feasible
+	// node — no stickiness margin (there is no live placement to stick
+	// to) and no MaxMoves charge (leaving work dead to save a move would
+	// invert the budget's purpose). A restart Move is recorded even when
+	// the chosen node is the current one (restart-in-place after the node
+	// recovered); if no node is feasible the task stays put, dead, with no
+	// Move recorded. Like Dead tasks, their demand is not debited at the
+	// current placement — it returns only on the node the walk picks.
+	// Callers exclude dead *nodes* the usual way, by zeroing them in
+	// Available; Restart wins where it overlaps Dead or Frozen.
+	Restart map[int]bool
 	// MaxMoves caps migrations per call; 0 means no cap. Capping trades
 	// convergence speed for per-round disruption — the control loop's
 	// hysteresis carries the remainder into later rounds.
@@ -277,7 +289,7 @@ func (s *ResourceAwareScheduler) IncrementalReschedule(
 		if !ok {
 			return nil, nil, fmt.Errorf("task %d currently on unknown node %q", task.ID, p.Node)
 		}
-		if opts.Dead[task.ID] {
+		if opts.Dead[task.ID] || opts.Restart[task.ID] {
 			continue
 		}
 		avail[ni] = avail[ni].Sub(demandOf(task))
@@ -363,17 +375,22 @@ func (s *ResourceAwareScheduler) IncrementalReschedule(
 
 	next := NewAssignment(topo.Name(), s.Name()+"-incremental")
 	var moves []Move
+	forced := 0 // restart moves, exempt from the MaxMoves budget
 	for _, task := range order {
 		cur := current.Placements[task.ID]
-		if opts.Frozen[task.ID] || opts.Dead[task.ID] {
+		restart := opts.Restart[task.ID]
+		if !restart && (opts.Frozen[task.ID] || opts.Dead[task.ID]) {
 			next.Place(task.ID, cur)
 			continue
 		}
 		d := demandOf(task)
 		ci := idx[cur.Node]
 		// Lift the task off its node, then judge every node — including
-		// its own — from the resulting availability.
-		avail[ci] = avail[ci].Add(d)
+		// its own — from the resulting availability. A restarting task was
+		// never debited (it is dead), so there is nothing to lift.
+		if !restart {
+			avail[ci] = avail[ci].Add(d)
+		}
 		if scorer != nil {
 			scorer.prepare(task)
 		}
@@ -406,6 +423,28 @@ func (s *ResourceAwareScheduler) IncrementalReschedule(
 				best, bestTier, bestDist, bestCost = i, tier, dist, cost
 			}
 		}
+		if restart {
+			if best < 0 {
+				// Nowhere feasible: the task stays where it died, and no
+				// Move is recorded — callers learn the restart failed by
+				// its absence from moves.
+				next.Place(task.ID, cur)
+				continue
+			}
+			// Forced placement: best node wins outright, restart-in-place
+			// included, outside the MaxMoves budget.
+			avail[best] = avail[best].Sub(d)
+			if scorer != nil {
+				scorer.place(task.ID, best)
+			}
+			slot, _ := slotFor(ids[best])
+			to := Placement{Node: ids[best], Slot: slot}
+			slotOn[to.Node] = to.Slot
+			next.Place(task.ID, to)
+			moves = append(moves, Move{TaskID: task.ID, From: cur, To: to})
+			forced++
+			continue
+		}
 		chosen := ci
 		if best >= 0 && best != ci {
 			curTier := tierOf(ci, avail[ci], d)
@@ -420,7 +459,7 @@ func (s *ResourceAwareScheduler) IncrementalReschedule(
 				improves = bestTier < curTier ||
 					(bestTier == curTier && bestDist < curDist*(1-opts.Margin))
 			}
-			if improves && (opts.MaxMoves <= 0 || len(moves) < opts.MaxMoves) {
+			if improves && (opts.MaxMoves <= 0 || len(moves)-forced < opts.MaxMoves) {
 				chosen = best
 			}
 		}

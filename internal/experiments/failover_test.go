@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func failoverOpts() Options {
+	return Options{
+		Duration:      15 * time.Second,
+		MetricsWindow: 2 * time.Second, // ignored: the experiment uses its own window
+		Seed:          1,
+	}
+}
+
+// TestFailoverSelfHeals is the acceptance regression for the self-healing
+// subsystem: after the scripted crash, the static schedule must stay
+// degraded for the rest of the run (its crash-killed tasks never restart),
+// while the adaptive failover trigger must recover at least 90% of the
+// run's own pre-crash throughput, with a measured (non-sentinel)
+// time-to-recover. Replay is on for both runs, so the adaptive run's
+// recovery includes at-least-once re-emissions.
+func TestFailoverSelfHeals(t *testing.T) {
+	e, ok := ByID("failover")
+	if !ok {
+		t.Fatal("failover experiment not registered")
+	}
+	report, err := e.Run(failoverOpts())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(report.Rows) < 7 {
+		t.Fatalf("rows = %+v", report.Rows)
+	}
+
+	headline := report.Rows[0] // static steady (baseline) vs adaptive steady
+	if headline.RStorm <= headline.Baseline {
+		t.Errorf("adaptive post-crash throughput %v not above static %v",
+			headline.RStorm, headline.Baseline)
+	}
+	recovery := report.Rows[1] // pre-crash (baseline) vs adaptive post-crash
+	if recovery.Baseline <= 0 {
+		t.Fatalf("pre-crash throughput = %v", recovery.Baseline)
+	}
+	if ratio := recovery.RStorm / recovery.Baseline; ratio < 0.9 {
+		t.Errorf("adaptive recovered only %.1f%% of pre-crash throughput (%v vs %v)",
+			ratio*100, recovery.RStorm, recovery.Baseline)
+	}
+	damage := report.Rows[2] // pre-crash (baseline) vs static post-crash
+	if ratio := damage.RStorm / damage.Baseline; ratio >= 0.9 {
+		t.Errorf("static unexpectedly recovered %.1f%% without a failover", ratio*100)
+	}
+	ttr := report.Rows[3]
+	if ttr.Baseline != -1 {
+		t.Errorf("static time-to-recover = %v, want the -1 never-recovered sentinel", ttr.Baseline)
+	}
+	if ttr.RStorm <= 0 {
+		t.Errorf("adaptive time-to-recover = %v, want measured > 0", ttr.RStorm)
+	}
+	replayed := report.Rows[4]
+	if replayed.RStorm <= 0 {
+		t.Errorf("adaptive run replayed %v tuples, want > 0 (replay is on)", replayed.RStorm)
+	}
+	for _, key := range []string{"static (no failover)", "adaptive (failover)"} {
+		if len(report.Series[key]) == 0 {
+			t.Errorf("series %q missing", key)
+		}
+	}
+}
+
+// Determinism of both runs is covered by the golden-diff harness
+// (TestGoldenDiffAllExperiments).

@@ -28,6 +28,7 @@ func All() []Experiment {
 		MemoryStress(),
 		Consolidate(),
 		MultiTenant(),
+		Failover(),
 	}
 }
 

@@ -58,6 +58,10 @@ type Nimbus struct {
 	nextSeq    int
 	rounds     int
 	evictions  []EvictionEvent
+
+	// detector is the heartbeat failure detector (detector.go); nil until
+	// EnableFailureDetector.
+	detector *detector
 }
 
 // New returns a Nimbus over the cluster using the given scheduler. Nodes
@@ -358,6 +362,20 @@ func (n *Nimbus) registerSupervisor(id cluster.NodeID) error {
 	defer n.mu.Unlock()
 	if n.alive[id] {
 		return fmt.Errorf("supervisor %q already registered", id)
+	}
+	if d := n.detector; d != nil {
+		if h := d.nodes[id]; h != nil && (h.state == HealthDead || h.state == HealthRecovering) {
+			// Flap-damping hold-down: a node the detector saw die rejoins
+			// without capacity. lastSeq -1 makes the registration payload's
+			// seq 0 count as the first fresh beat; HeartbeatTick restores
+			// capacity once FlapDamping beats accumulate.
+			h.state = HealthRecovering
+			h.lastSeq = -1
+			h.healthy = 0
+			n.alive[id] = true
+			n.logf("supervisor %s rejoined; held down for flap damping", id)
+			return nil
+		}
 	}
 	if err := n.state.RestoreNode(id); err != nil {
 		return err

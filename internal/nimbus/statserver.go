@@ -21,6 +21,8 @@ import (
 //	GET /events                 the master's action log
 //	GET /evictions              the master's eviction history
 //	GET /adaptive               adaptive-controller state (when attached)
+//	GET /faults                 failure-detector state and failover history
+//	                            (when the detector is enabled)
 //
 // Mount it on any mux or serve it directly:
 //
@@ -55,6 +57,7 @@ func NewStatisticServer(n *Nimbus, opts ...StatServerOption) *StatisticServer {
 	s.mux.HandleFunc("/events", s.handleEvents)
 	s.mux.HandleFunc("/evictions", s.handleEvictions)
 	s.mux.HandleFunc("/adaptive", s.handleAdaptive)
+	s.mux.HandleFunc("/faults", s.handleFaults)
 	return s
 }
 
@@ -135,6 +138,19 @@ func (s *StatisticServer) handleAdaptive(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	writeJSON(w, s.adaptive())
+}
+
+func (s *StatisticServer) handleFaults(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	status := s.nimbus.DetectorStatus()
+	if !status.Enabled {
+		http.Error(w, "failure detector not enabled", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, status)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

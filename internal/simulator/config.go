@@ -64,6 +64,19 @@ type Config struct {
 	// default (the zero value must not silently change summaries); pass
 	// NoWarmup (-1) to include every window in the mean.
 	WarmupWindows int
+	// Replay enables at-least-once delivery (Storm's acking contract,
+	// DESIGN.md §7): a tuple tree failed by a crash or queue drain
+	// re-emits its root from the spout — on the credit it already holds —
+	// after an exponential backoff, up to ReplayMaxRetries times, instead
+	// of being dropped for good. Off by default: with replay unset, runs
+	// are byte-identical to the drop-on-failure simulator.
+	Replay bool
+	// ReplayMaxRetries bounds re-emissions per tuple tree (attempts beyond
+	// the original emission). Default 3 when Replay is on.
+	ReplayMaxRetries int
+	// ReplayBackoff is the delay before a failed tree's first replay;
+	// attempt n waits ReplayBackoff << n. Default 50ms when Replay is on.
+	ReplayBackoff time.Duration
 	// MemoryModel enables the runtime memory model (DESIGN.md §4): each
 	// task's resident memory — queue-resident tuple bytes plus its
 	// (possibly growing) working set per ExecProfile — is accounted
@@ -107,6 +120,14 @@ func (c Config) withDefaults() Config {
 	} else if c.WarmupWindows < 0 {
 		c.WarmupWindows = 0 // NoWarmup sentinel: 0 warm-up windows
 	}
+	if c.Replay {
+		if c.ReplayMaxRetries == 0 {
+			c.ReplayMaxRetries = 3
+		}
+		if c.ReplayBackoff == 0 {
+			c.ReplayBackoff = 50 * time.Millisecond
+		}
+	}
 	return c
 }
 
@@ -137,6 +158,14 @@ func (c Config) validate() error {
 	// default of 1 and any negative (the NoWarmup sentinel) to 0.
 	if c.TupleTimeout < 0 {
 		return fmt.Errorf("tuple timeout %v, want >= 0", c.TupleTimeout)
+	}
+	if c.Replay {
+		if c.ReplayMaxRetries < 1 {
+			return fmt.Errorf("replay max retries %d, want >= 1", c.ReplayMaxRetries)
+		}
+		if c.ReplayBackoff <= 0 {
+			return fmt.Errorf("replay backoff %v, want > 0", c.ReplayBackoff)
+		}
 	}
 	return nil
 }

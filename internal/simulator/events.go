@@ -25,6 +25,7 @@ const (
 	evComplete                 // fire an acceptance completion
 	evWindowFlush              // metrics-window boundary: feed the observer
 	evOOMCheck                 // memory-model boundary: enforce the hard axis
+	evSpoutReplay              // replay backoff expired: queue a re-emission
 )
 
 // Completion kinds: what to do when a transfer/enqueue is accepted.
@@ -55,6 +56,11 @@ type simEvent struct {
 	link *link      // evLinkDone
 	tr   transfer   // evLinkDone
 	comp completion // evArrive, evComplete
+
+	// Replay payload (evSpoutReplay): the failed tree's key and the
+	// attempt number of the coming re-emission.
+	key     uint64
+	attempt int
 }
 
 // Fire implements des.Event. It copies what it needs, returns the record
@@ -97,6 +103,10 @@ func (e *simEvent) Fire() {
 	case evOOMCheck:
 		s.freeEvent(e)
 		s.oomCheck()
+	case evSpoutReplay:
+		t, key, attempt := e.task, e.key, e.attempt
+		s.freeEvent(e)
+		s.handleSpoutReplay(t, key, attempt)
 	}
 }
 
@@ -175,6 +185,8 @@ func (s *Simulation) newTree(spout *simTask) *tree {
 		tr.spout = spout
 		tr.pending = 0
 		tr.failed = false
+		tr.key = 0
+		tr.attempt = 0
 		return tr
 	}
 	return &tree{spout: spout}

@@ -20,10 +20,14 @@ type TaskSample struct {
 	TaskID    int
 	Node      cluster.NodeID
 	// Spout and Sink mirror the task's role; Dead marks tasks lost to a
-	// node failure (their counters stop moving).
-	Spout bool
-	Sink  bool
-	Dead  bool
+	// node failure (their counters stop moving). NodeDead marks the host
+	// node itself as currently down, letting observers distinguish a task
+	// killed by a crash (restartable elsewhere once detected) from one the
+	// OOM killer took on a healthy node.
+	Spout    bool
+	Sink     bool
+	Dead     bool
+	NodeDead bool
 
 	// Window is the flush index (0-based); WindowStart/WindowEnd bound the
 	// sampled interval in virtual time.
@@ -175,6 +179,7 @@ func (s *Simulation) flushWindow(now time.Duration) {
 					Spout:           st.isSpout == 1,
 					Sink:            st.isSink,
 					Dead:            st.dead,
+					NodeDead:        st.node.dead,
 					Window:          s.windowIdx,
 					WindowStart:     start,
 					WindowEnd:       now,

@@ -130,6 +130,140 @@ func (s *Simulation) Reassign(topoName string, a *core.Assignment) (int, error) 
 	return len(moving), nil
 }
 
+// ReassignRestarting is Reassign plus executor restarts: tasks in the
+// restart set that are currently dead are revived at their assignment's
+// placement (which must be a live node) — the failover path after a node
+// crash, and the re-spread path after the node returns. Like a revive,
+// a restarted executor begins empty (working set re-warms, queue empty)
+// and a restarted spout re-enters its cycle, parking until stale trees
+// from before the crash finish draining credits. Live tasks and dead
+// tasks outside the restart set follow plain Reassign semantics. Returns
+// the number of tasks migrated or restarted.
+func (s *Simulation) ReassignRestarting(topoName string, a *core.Assignment, restart map[int]bool) (int, error) {
+	if !s.started {
+		return 0, fmt.Errorf("simulation not started")
+	}
+	if s.finished {
+		return 0, fmt.Errorf("simulation already finished")
+	}
+	var run *topoRun
+	for _, r := range s.runs {
+		if r.topo.Name() == topoName {
+			run = r
+			break
+		}
+	}
+	if run == nil {
+		return 0, fmt.Errorf("topology %q is not part of this simulation", topoName)
+	}
+	if a.Topology != topoName {
+		return 0, fmt.Errorf("assignment is for %q, topology is %q", a.Topology, topoName)
+	}
+	if !a.Complete(run.topo) {
+		return 0, fmt.Errorf("assignment for %q is incomplete", topoName)
+	}
+
+	// Validate everything before mutating anything (same discipline as
+	// Reassign). Dead tasks outside the restart set normalize back to
+	// their actual placement; restarting tasks must land on live nodes.
+	var moving, restarting, deadStay []*simTask
+	for _, st := range run.ordered {
+		np := a.Placements[st.task.ID]
+		if st.dead && restart[st.task.ID] {
+			node, ok := s.nodes[np.Node]
+			if !ok {
+				return 0, fmt.Errorf("task %d restarted on unknown node %q", st.task.ID, np.Node)
+			}
+			if node.dead {
+				return 0, fmt.Errorf("task %d restarted on dead node %q", st.task.ID, np.Node)
+			}
+			restarting = append(restarting, st)
+			continue
+		}
+		if np == st.placement {
+			continue
+		}
+		if st.dead {
+			deadStay = append(deadStay, st)
+			continue
+		}
+		node, ok := s.nodes[np.Node]
+		if !ok {
+			return 0, fmt.Errorf("task %d reassigned to unknown node %q", st.task.ID, np.Node)
+		}
+		if node.dead {
+			return 0, fmt.Errorf("task %d reassigned to dead node %q", st.task.ID, np.Node)
+		}
+		moving = append(moving, st)
+	}
+	for _, st := range deadStay {
+		a.Placements[st.task.ID] = st.placement
+	}
+	run.assignment = a
+	if len(moving) == 0 && len(restarting) == 0 {
+		return 0, nil
+	}
+
+	s.flushPartialWindow()
+	affected := make(map[*simNode]bool, 2*(len(moving)+len(restarting)))
+	for _, st := range moving {
+		old := st.node
+		next := s.nodes[a.Placements[st.task.ID].Node]
+		tuples, unblocked := st.queue.drain()
+		for _, tup := range tuples {
+			s.migrateTuple(tup)
+		}
+		for _, comp := range unblocked {
+			s.scheduleComplete(0, comp)
+		}
+		st.handled = 0
+		delta := st.tracker.Busy() - st.creditedBusy
+		old.departedWeighted += float64(delta) * st.comp.EffectiveCPUPoints()
+		st.creditedBusy = st.tracker.Busy()
+		removeTask(old, st)
+		next.tasks = append(next.tasks, st)
+		next.everHosted = true
+		st.node = next
+		st.placement = a.Placements[st.task.ID]
+		affected[old] = true
+		affected[next] = true
+	}
+	for _, st := range restarting {
+		old := st.node
+		next := s.nodes[a.Placements[st.task.ID].Node]
+		// The queue was drained when the node crashed; credit the busy
+		// time the executor accrued on its old (possibly still-dead) host
+		// so end-of-run utilization attribution stays per-host-honest.
+		delta := st.tracker.Busy() - st.creditedBusy
+		old.departedWeighted += float64(delta) * st.comp.EffectiveCPUPoints()
+		st.creditedBusy = st.tracker.Busy()
+		st.handled = 0
+		removeTask(old, st)
+		next.tasks = append(next.tasks, st)
+		next.everHosted = true
+		st.node = next
+		st.placement = a.Placements[st.task.ID]
+		st.dead = false
+		st.busy = false
+		st.parked = false
+		// outBuf/outIdx stay, as in revive: a stale delivery sequence from
+		// before the crash finishes deterministically; new emissions reset
+		// the cursor themselves.
+		affected[old] = true
+		affected[next] = true
+	}
+	// refreeze (not the inline loop) because a restarting task's old node
+	// may still be dead; dead nodes must not refreeze.
+	s.refreeze(affected)
+	s.buildRouters(run)
+	for _, st := range restarting {
+		if st.isSpout == 1 {
+			s.scheduleTask(0, evSpoutCycle, st)
+		}
+	}
+	return len(moving) + len(restarting), nil
+}
+
 // DeadNodes returns the nodes killed by failure injection so far, in
 // cluster declaration order. Adaptive replanners zero these out of their
 // availability picture.

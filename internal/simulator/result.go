@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rstorm/internal/cluster"
+	"rstorm/internal/faults"
 	"rstorm/internal/metrics"
 )
 
@@ -39,6 +40,13 @@ type TopologyResult struct {
 	MeanLatency time.Duration
 	// NodesUsed is the number of distinct nodes hosting tasks.
 	NodesUsed int
+	// RecoveryTime measures time-to-recover after the run's first node
+	// crash: the interval from the crash until the end of the first full
+	// metrics window whose sink throughput reached ≥90% of the pre-crash
+	// baseline (the mean of full post-warmup windows before the crash).
+	// Zero when no crash occurred or the baseline is not measurable; -1
+	// when the topology never recovered within the run.
+	RecoveryTime time.Duration
 }
 
 // Result is a completed simulation's output.
@@ -71,6 +79,18 @@ type Result struct {
 	// (Config.MemoryModel) for exceeding their node's memory capacity.
 	// Always zero with the model off.
 	TasksOOMKilled int64
+	// TuplesReplayed counts spout re-emissions of failed tuple trees under
+	// at-least-once replay (Config.Replay); TreesLost counts failed trees
+	// abandoned for good — retries exhausted, or the spout died. Both are
+	// always zero with replay off.
+	TuplesReplayed int64
+	TreesLost      int64
+	// Faults is the log of fault events actually applied during the run
+	// (state transitions only), in virtual-time order. Nil without faults.
+	Faults []FaultRecord
+	// NodeDowntime is each crashed node's total dead time over the run
+	// (still-dead nodes accrue until the end). Nil without crashes.
+	NodeDowntime map[cluster.NodeID]time.Duration
 }
 
 // InterNodeFraction returns the share of the topology's tuple deliveries
@@ -127,6 +147,21 @@ func (s *Simulation) buildResult() *Result {
 		TuplesDropped:   s.dropped,
 		TuplesMigrated:  s.migrated,
 		TasksOOMKilled:  s.oomKilled,
+		TuplesReplayed:  s.replayed,
+		TreesLost:       s.lostTrees,
+	}
+	if len(s.faultLog) > 0 {
+		res.Faults = make([]FaultRecord, len(s.faultLog))
+		copy(res.Faults, s.faultLog)
+	}
+	// firstCrash drives per-topology time-to-recover; the fault log is in
+	// virtual-time order, so the first Crash entry is the earliest.
+	firstCrash := time.Duration(-1)
+	for _, fr := range s.faultLog {
+		if fr.Kind == faults.Crash {
+			firstCrash = fr.At
+			break
+		}
 	}
 
 	for _, run := range s.runs {
@@ -159,6 +194,10 @@ func (s *Simulation) buildResult() *Result {
 		if run.latencyN > 0 {
 			tr.MeanLatency = run.latencySum / time.Duration(run.latencyN)
 		}
+		if firstCrash >= 0 {
+			tr.RecoveryTime = recoveryTime(tr.SinkSeries, firstCrash,
+				s.cfg.MetricsWindow, s.cfg.WarmupWindows)
+		}
 		res.Topologies[tr.Name] = tr
 	}
 
@@ -190,5 +229,53 @@ func (s *Simulation) buildResult() *Result {
 	if res.NodesUsed > 0 {
 		res.MeanUtilizationUsed = utilSum / float64(res.NodesUsed)
 	}
+	for _, id := range s.order {
+		n := s.nodes[id]
+		down := n.downtime
+		if n.dead {
+			down += s.cfg.Duration - n.crashedAt
+		}
+		if down > 0 {
+			if res.NodeDowntime == nil {
+				res.NodeDowntime = make(map[cluster.NodeID]time.Duration)
+			}
+			res.NodeDowntime[id] = down
+		}
+	}
 	return res
+}
+
+// recoveryTime computes time-to-recover from a sink-throughput series: the
+// interval from crashAt until the end of the first fully-post-crash window
+// whose throughput reached ≥90% of the pre-crash baseline. Returns 0 when
+// no full post-warmup window precedes the crash (baseline unmeasurable)
+// and -1 when no window recovered before the run ended.
+func recoveryTime(series []float64, crashAt, window time.Duration, warmup int) time.Duration {
+	crashWin := int(crashAt / window) // first window overlapping the crash
+	if crashWin <= warmup {
+		return 0
+	}
+	var baseline float64
+	n := 0
+	for i := warmup; i < crashWin && i < len(series); i++ {
+		baseline += series[i]
+		n++
+	}
+	if n == 0 || baseline <= 0 {
+		return 0
+	}
+	baseline /= float64(n)
+	// Scan from the first window that starts at/after the crash: the
+	// window containing a mid-window crash is partially healthy and would
+	// read as spuriously recovered.
+	start := crashWin
+	if crashAt%window != 0 {
+		start++
+	}
+	for i := start; i < len(series); i++ {
+		if series[i] >= 0.9*baseline {
+			return time.Duration(i+1)*window - crashAt
+		}
+	}
+	return -1
 }

@@ -8,6 +8,7 @@ import (
 	"rstorm/internal/cluster"
 	"rstorm/internal/core"
 	"rstorm/internal/des"
+	"rstorm/internal/faults"
 	"rstorm/internal/metrics"
 	"rstorm/internal/topology"
 )
@@ -22,6 +23,15 @@ type simNode struct {
 	cpuDemand float64 // true CPU points of all hosted tasks
 	slowdown  float64 // max(1, cpuDemand/capacity): soft overcommit stretch
 	dead      bool
+	// slowFactor is the transient degradation multiplier of a Slow fault
+	// (faultinject.go), 1 when healthy. It stretches service times on top
+	// of the overcommit slowdown and resets when the node recovers.
+	slowFactor float64
+	// crashedAt is the virtual time of the node's last crash; downtime
+	// accumulates completed dead intervals (recoverNode), with a still-dead
+	// tail added at buildResult.
+	crashedAt time.Duration
+	downtime  time.Duration
 	// everHosted marks nodes that held at least one task at any point of
 	// the run (a node fully drained by migration still counts as used).
 	everHosted bool
@@ -78,6 +88,11 @@ type simTask struct {
 	isSpout  int // 1 if spout (int for alignment clarity; 0 otherwise)
 	inFlight int
 	parked   bool // waiting for a max-pending credit
+	// replayQ holds failed tuple trees awaiting re-emission (at-least-once
+	// replay, faultinject.go). Each entry's max-pending credit is still
+	// held, so re-emission does not take a new one. Always empty with
+	// Config.Replay off.
+	replayQ []spoutReplay
 
 	// Per-window counters for the metrics tap (observer.go). Plain adds on
 	// the hot path; materialized and reset at window flushes.
@@ -162,12 +177,6 @@ type topoRun struct {
 	sentRemote int64
 }
 
-// failure is a scheduled node death.
-type failure struct {
-	at   time.Duration
-	node cluster.NodeID
-}
-
 // Simulation wires topologies, assignments, and a cluster into a
 // discrete-event run. A simulation either runs in one shot (Run) or in
 // epochs: Start, then RunTo as many times as needed — with Reassign calls
@@ -181,10 +190,13 @@ type Simulation struct {
 	order     []cluster.NodeID
 	uplinks   map[cluster.RackID]*link
 	runs      []*topoRun
-	failures  []failure
+	schedule  faults.Schedule // pre-start fault injections, applied in Start
+	faultLog  []FaultRecord   // faults actually applied, in virtual-time order
 	dropped   int64
 	migrated  int64
 	oomKilled int64
+	replayed  int64 // replay re-emissions (Config.Replay)
+	lostTrees int64 // failed trees abandoned: retries exhausted or spout dead
 	started   bool
 	finished  bool
 
@@ -218,7 +230,7 @@ func New(c *cluster.Cluster, cfg Config) (*Simulation, error) {
 		uplinks: make(map[cluster.RackID]*link, len(c.Racks())),
 	}
 	for _, n := range c.Nodes() {
-		sn := &simNode{id: n.ID, rack: n.Rack, spec: n.Spec, slowdown: 1}
+		sn := &simNode{id: n.ID, rack: n.Rack, spec: n.Spec, slowdown: 1, slowFactor: 1}
 		sn.nic = newLink(func() bool { return !sn.dead },
 			n.Spec.NICMbps, cfg.NICQueueCapacity, cfg.NICWindow)
 		s.nodes[n.ID] = sn
@@ -354,19 +366,11 @@ func (s *Simulation) buildRouters(run *topoRun) {
 
 // FailNodeAt schedules a node failure during the run: its tasks die,
 // queued tuples are dropped (their trees fail so spouts are not wedged),
-// and blocked senders are released.
+// and blocked senders are released. It is shorthand for injecting a Crash
+// fault and, like InjectFault, is legal both before Start and mid-run
+// between epochs.
 func (s *Simulation) FailNodeAt(node cluster.NodeID, at time.Duration) error {
-	if s.started {
-		return fmt.Errorf("simulation already started")
-	}
-	if _, ok := s.nodes[node]; !ok {
-		return fmt.Errorf("unknown node %q", node)
-	}
-	if at < 0 {
-		return fmt.Errorf("failure time %v, want >= 0", at)
-	}
-	s.failures = append(s.failures, failure{at: at, node: node})
-	return nil
+	return s.InjectFault(faults.Fault{Kind: faults.Crash, Node: node, At: at})
 }
 
 // Run executes the simulation in one shot and returns its Result. A
@@ -397,9 +401,9 @@ func (s *Simulation) Start() error {
 	for _, id := range s.order {
 		s.freezeNode(s.nodes[id])
 	}
-	for _, f := range s.failures {
+	for _, f := range s.schedule {
 		f := f
-		s.engine.Schedule(f.at, func() { s.failNode(f.node) })
+		s.engine.Schedule(f.At, func() { s.applyFault(f) })
 	}
 	for _, run := range s.runs {
 		for _, st := range run.ordered {
@@ -483,9 +487,12 @@ func (s *Simulation) freezeNode(n *simNode) {
 	}
 }
 
-// serviceTime returns the stretched per-tuple cost for a task.
+// serviceTime returns the stretched per-tuple cost for a task: the
+// component's profile cost × the node's overcommit slowdown × any
+// transient slow-fault degradation (slowFactor is exactly 1 on healthy
+// nodes, so fault-free runs are bit-identical to the pre-fault model).
 func (s *Simulation) serviceTime(t *simTask) time.Duration {
-	d := time.Duration(float64(t.comp.Profile.CPUPerTuple) * t.node.slowdown)
+	d := time.Duration(float64(t.comp.Profile.CPUPerTuple) * t.node.slowdown * t.node.slowFactor)
 	if d <= 0 {
 		d = time.Nanosecond
 	}
@@ -493,12 +500,14 @@ func (s *Simulation) serviceTime(t *simTask) time.Duration {
 }
 
 // spoutCycle generates one root tuple, delivers it, and loops. It parks
-// when the max-pending window is full and is woken by tree completion.
+// when the max-pending window is full and is woken by tree completion. A
+// queued replay proceeds regardless of credits: its tree's credit is
+// already held.
 func (s *Simulation) spoutCycle(t *simTask) {
 	if t.dead {
 		return
 	}
-	if t.inFlight >= t.run.maxPending {
+	if len(t.replayQ) == 0 && t.inFlight >= t.run.maxPending {
 		t.parked = true
 		return
 	}
@@ -516,8 +525,22 @@ func (s *Simulation) spoutFire(t *simTask) {
 	t.winEmitted++
 	t.handled++
 	now := s.engine.Now()
-	key := s.rng.Uint64() % uint64(t.comp.Profile.KeyCardinality)
+	// A queued replay re-emits a failed tree's key on its held credit;
+	// otherwise a fresh root tuple draws a new key (and a new credit).
+	var key uint64
+	attempt := 0
+	replaying := len(t.replayQ) > 0
+	if replaying {
+		re := t.replayQ[0]
+		t.replayQ = t.replayQ[:copy(t.replayQ, t.replayQ[1:])]
+		key, attempt = re.key, re.attempt
+		s.replayed++
+	} else {
+		key = s.rng.Uint64() % uint64(t.comp.Profile.KeyCardinality)
+	}
 	tr := s.newTree(t)
+	tr.key = key
+	tr.attempt = attempt
 	outs := s.routeOutputs(t, key, now, tr, true)
 	t.run.emitted++
 	if t.isSink {
@@ -526,11 +549,16 @@ func (s *Simulation) spoutFire(t *simTask) {
 	}
 	if len(outs) == 0 {
 		s.freeTree(tr)
+		if replaying {
+			t.inFlight-- // the held credit has nothing left to wait for
+		}
 		s.scheduleTask(0, evSpoutCycle, t)
 		return
 	}
 	tr.pending = len(outs)
-	t.inFlight++
+	if !replaying {
+		t.inFlight++
+	}
 	t.outIdx = 0
 	s.stepDeliver(t)
 }
@@ -777,8 +805,24 @@ func (s *Simulation) failTuple(tup *tuple) {
 }
 
 // completeTree returns a max-pending credit to the spout and wakes it.
+// With at-least-once replay on, a failed tree with retries left re-emits
+// from the spout after an exponential backoff instead — its credit stays
+// held until the retry chain completes or is exhausted.
 func (s *Simulation) completeTree(tr *tree) {
 	sp := tr.spout
+	if tr.failed && s.cfg.Replay && sp != nil {
+		if !sp.dead && tr.attempt < s.cfg.ReplayMaxRetries {
+			key, attempt := tr.key, tr.attempt
+			s.freeTree(tr)
+			ev := s.newEvent(evSpoutReplay)
+			ev.task = sp
+			ev.key = key
+			ev.attempt = attempt + 1
+			s.engine.ScheduleEvent(s.cfg.ReplayBackoff<<uint(attempt), ev)
+			return
+		}
+		s.lostTrees++
+	}
 	s.freeTree(tr)
 	if sp == nil {
 		return
@@ -797,6 +841,7 @@ func (s *Simulation) failNode(id cluster.NodeID) {
 		return
 	}
 	n.dead = true
+	n.crashedAt = s.engine.Now()
 	for _, t := range n.tasks {
 		t.dead = true
 		tuples, unblocked := t.queue.drain()

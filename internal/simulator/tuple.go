@@ -13,6 +13,11 @@ type tree struct {
 	spout   *simTask
 	pending int
 	failed  bool // a descendant was dropped (node failure)
+	// key and attempt support at-least-once replay (Config.Replay): a
+	// failed tree re-emits its root key from the spout, and attempt counts
+	// how many times this tree already ran (0 = original emission).
+	key     uint64
+	attempt int
 }
 
 // tuple is one in-flight tuple instance. Tuples are pooled (see events.go).

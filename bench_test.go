@@ -152,10 +152,14 @@ func BenchmarkSchedulerLatencyOffline400Tasks(b *testing.B) {
 // evaluation's event rates.
 
 func benchSimulatorThroughput(b *testing.B, memoryModel bool) {
-	benchSimulatorThroughputObserved(b, memoryModel, false)
+	benchSimulatorThroughputFull(b, memoryModel, false, false)
 }
 
 func benchSimulatorThroughputObserved(b *testing.B, memoryModel, observed bool) {
+	benchSimulatorThroughputFull(b, memoryModel, observed, false)
+}
+
+func benchSimulatorThroughputFull(b *testing.B, memoryModel, observed, histograms bool) {
 	b.Helper()
 	b.ReportAllocs()
 	c, err := cluster.Emulab12()
@@ -192,7 +196,7 @@ func benchSimulatorThroughputObserved(b *testing.B, memoryModel, observed bool) 
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := rstorm.SimConfig{Duration: 5 * time.Second, MetricsWindow: time.Second,
-			MemoryModel: memoryModel}
+			MemoryModel: memoryModel, LatencyHistograms: histograms}
 		var result *rstorm.SimResult
 		var err error
 		if observed {
@@ -244,6 +248,16 @@ func BenchmarkSimulatorThroughputMemoryModel(b *testing.B) { benchSimulatorThrou
 // and tuples/s within noise of the unobserved run.
 func BenchmarkSimulatorThroughputTraffic(b *testing.B) {
 	benchSimulatorThroughputObserved(b, false, true)
+}
+
+// BenchmarkSimulatorThroughputObservability measures the same engine run
+// with per-topology latency histograms enabled: every delivered tuple also
+// records into a log-bucketed histogram. The acceptance bar is <5%
+// throughput regression versus BenchmarkSimulatorThroughput and identical
+// allocs/op — histogram buckets are preallocated, so the tuple path must
+// stay allocation-free.
+func BenchmarkSimulatorThroughputObservability(b *testing.B) {
+	benchSimulatorThroughputFull(b, false, false, true)
 }
 
 // Multi-tenant control plane: cost of one Nimbus scheduling round on a

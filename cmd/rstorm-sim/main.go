@@ -8,7 +8,8 @@
 //	           [-scheduler r-storm|default-even|offline-linear] \
 //	           [-duration 60s] [-fail schedule] [-replay] \
 //	           [-adaptive] [-control-interval 1s] [-memory] [-traffic] \
-//	           [-multitenant] [-chaos]
+//	           [-multitenant] [-chaos] \
+//	           [-percentiles] [-trace N] [-journal]
 //
 // -fail takes a comma-separated chaos schedule (internal/faults): each
 // event is [crash:|recover:|slow:]node@time[:factor], the bare node@time
@@ -44,6 +45,17 @@
 // a scripted crash/recover schedule against a static schedule and against
 // the adaptive loop's failover trigger, reporting recovery ratio and
 // time-to-recover.
+//
+// The observability flags (DESIGN.md §8) are independent of the mode
+// flags and off by default — leaving them off keeps every mode's output
+// byte-identical to the uninstrumented simulator. -percentiles turns on
+// the zero-allocation latency histograms and prints complete-tree latency
+// percentiles (p50/p95/p99/max) plus the per-window p99 timeline; with
+// -chaos it adds the failover latency-spike rows to the report. -trace N
+// samples every Nth spout emission into a tuple trace and prints the
+// reconstructed span trees (per-hop queue wait, service, and network
+// time). -journal records the run's control-plane decisions (faults
+// injected, OOM kills, triggers, rebalances) and prints them as JSONL.
 package main
 
 import (
@@ -61,6 +73,7 @@ import (
 	"rstorm/internal/faults"
 	"rstorm/internal/simulator"
 	"rstorm/internal/topology"
+	"rstorm/internal/trace"
 	"rstorm/internal/viz"
 	"rstorm/internal/workloads"
 )
@@ -90,15 +103,26 @@ func run(w io.Writer, args []string) error {
 		trafficOn   = fs.Bool("traffic", false, "report the measured edge-rate matrix and inter-node tuple fraction (with -adaptive, consolidation rebalances minimize measured network cost)")
 		multitenant = fs.Bool("multitenant", false, "run the multi-tenant control-plane scenario: priority-aware admission and eviction vs FIFO on a loaded cluster")
 		chaos       = fs.Bool("chaos", false, "run the failover experiment: scripted crash/recover vs the adaptive failover trigger")
+		percentiles = fs.Bool("percentiles", false, "latency histograms: print complete-tree latency percentiles and the per-window p99 timeline (with -chaos, add the failover latency-spike rows)")
+		traceEvery  = fs.Int("trace", 0, "sample every Nth spout emission into a tuple trace and print the reconstructed span trees (0 = off)")
+		journalOn   = fs.Bool("journal", false, "record control-plane decisions (faults, OOM kills, triggers, rebalances) and print them as JSONL")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *traceEvery < 0 {
+		return fmt.Errorf("-trace %d is negative", *traceEvery)
+	}
+	if (*multitenant || *chaos) && (*traceEvery > 0 || *journalOn) {
+		// The experiment modes run their own pre-wired simulations;
+		// only -percentiles threads through to them.
+		return fmt.Errorf("-trace and -journal apply to direct simulation runs, not -multitenant/-chaos (use -percentiles there)")
+	}
 	if *multitenant {
-		return runExperiment(w, "multitenant", *duration, *seed)
+		return runExperiment(w, "multitenant", *duration, *seed, *percentiles)
 	}
 	if *chaos {
-		return runExperiment(w, "failover", *duration, *seed)
+		return runExperiment(w, "failover", *duration, *seed, *percentiles)
 	}
 
 	c, err := loadCluster(*clusterPath)
@@ -127,17 +151,26 @@ func run(w io.Writer, args []string) error {
 	}
 
 	sim, err := simulator.New(c, simulator.Config{
-		Duration:      *duration,
-		MetricsWindow: *window,
-		Seed:          *seed,
-		MemoryModel:   *memoryOn,
-		Replay:        *replayOn,
+		Duration:          *duration,
+		MetricsWindow:     *window,
+		Seed:              *seed,
+		MemoryModel:       *memoryOn,
+		Replay:            *replayOn,
+		LatencyHistograms: *percentiles,
+		TraceSampleEvery:  *traceEvery,
 	})
 	if err != nil {
 		return err
 	}
 	if err := sim.AddTopology(topo, a); err != nil {
 		return err
+	}
+	var journal *trace.Journal
+	if *journalOn {
+		journal = trace.NewJournal(0)
+		if err := sim.SetJournal(journal); err != nil {
+			return err
+		}
 	}
 	if *failSpec != "" {
 		schedule, err := faults.ParseSchedule(*failSpec)
@@ -160,7 +193,7 @@ func run(w io.Writer, args []string) error {
 		// demonstrates the loop repairing a default-even schedule. With
 		// -memory the loop additionally measures resident memory and keeps
 		// rescheduled tasks under a memory-fill headroom.
-		loopCfg := adaptive.LoopConfig{Interval: *ctrlIvl}
+		loopCfg := adaptive.LoopConfig{Interval: *ctrlIvl, Journal: journal}
 		if *memoryOn {
 			loopCfg.Controller.MemHeadroom = 0.8
 		}
@@ -198,6 +231,15 @@ func run(w io.Writer, args []string) error {
 	if *trafficOn {
 		printTraffic(w, topo, prof, result)
 	}
+	if *percentiles {
+		printPercentiles(w, topo, result)
+	}
+	if *traceEvery > 0 {
+		printTraces(w, sim.Tracer())
+	}
+	if *journalOn {
+		printJournal(w, journal)
+	}
 	return nil
 }
 
@@ -205,12 +247,16 @@ func run(w io.Writer, args []string) error {
 // (internal/experiments) and renders its report: "multitenant" (FIFO vs
 // priority-aware admission) or "failover" (scripted chaos vs the adaptive
 // failover trigger).
-func runExperiment(w io.Writer, id string, duration time.Duration, seed int64) error {
+func runExperiment(w io.Writer, id string, duration time.Duration, seed int64, percentiles bool) error {
 	e, ok := experiments.ByID(id)
 	if !ok {
 		return fmt.Errorf("%s experiment not registered", id)
 	}
-	report, err := e.Run(experiments.Options{Duration: duration, Seed: seed})
+	report, err := e.Run(experiments.Options{
+		Duration:    duration,
+		Seed:        seed,
+		Percentiles: percentiles,
+	})
 	if err != nil {
 		return err
 	}
@@ -355,6 +401,52 @@ func printTraffic(w io.Writer, topo *topology.Topology, prof *adaptive.Profiler,
 		fmt.Fprintf(w, "  inter-node tuple fraction: %.1f%% (%d of %d deliveries crossed nodes)\n",
 			tr.InterNodeFraction()*100, tr.TuplesSentRemote, tr.TuplesSent)
 	}
+}
+
+// printPercentiles renders the latency histograms' roll-up: the whole-run
+// complete-tree percentiles per topology plus the per-window p99 timeline
+// (the series that exposes a failover latency spike and its recovery).
+func printPercentiles(w io.Writer, topo *topology.Topology, result *simulator.Result) {
+	tr := result.Topology(topo.Name())
+	if tr == nil {
+		return
+	}
+	fmt.Fprintln(w, "\nlatency percentiles (complete-tree, histogram-quantized):")
+	fmt.Fprintf(w, "  %-16s %10s %10s %10s %10s\n", "topology", "p50", "p95", "p99", "max")
+	fmt.Fprintf(w, "  %-16s %10v %10v %10v %10v\n",
+		tr.Name, tr.LatencyP50, tr.LatencyP95, tr.LatencyP99, tr.LatencyMax)
+	if len(tr.LatencyP99Series) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, viz.LineChart(
+			fmt.Sprintf("p99 latency (ms) per %s window", result.Window),
+			[]viz.Series{{Name: tr.Name, Values: tr.LatencyP99Series}}, 72, 12))
+	}
+}
+
+// printTracesMax caps how many reconstructed span trees the CLI renders;
+// the total is always reported.
+const printTracesMax = 8
+
+// printTraces renders the sampled tuple traces as indented span trees.
+func printTraces(w io.Writer, tracer *trace.Tracer) {
+	trees := tracer.Trees()
+	fmt.Fprintf(w, "\ntuple traces: %d spans in %d trees (deterministic sampling)\n",
+		len(tracer.Spans()), len(trees))
+	shown := trees
+	if len(shown) > printTracesMax {
+		shown = shown[:printTracesMax]
+	}
+	fmt.Fprint(w, trace.RenderTrees(shown))
+	if len(trees) > printTracesMax {
+		fmt.Fprintf(w, "  ... %d more trees not shown\n", len(trees)-printTracesMax)
+	}
+}
+
+// printJournal dumps the decision journal as JSONL — the same exposition
+// the StatisticServer's /journal route serves.
+func printJournal(w io.Writer, journal *trace.Journal) {
+	fmt.Fprintf(w, "\ndecision journal (%d events, JSONL):\n", journal.Len())
+	_ = journal.WriteJSONL(w)
 }
 
 // printMeasured renders the metrics tap's per-component summary: declared

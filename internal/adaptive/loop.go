@@ -10,6 +10,7 @@ import (
 	"rstorm/internal/resource"
 	"rstorm/internal/simulator"
 	"rstorm/internal/topology"
+	"rstorm/internal/trace"
 )
 
 // LoopConfig tunes the epoch driver.
@@ -36,6 +37,12 @@ type LoopConfig struct {
 	// Profiler and Controller configure the estimation and policy halves.
 	Profiler   ProfilerConfig
 	Controller ControllerConfig
+	// Journal, when set, receives the loop's decision events
+	// (trigger-fired, plan-computed, rebalance-applied) at epoch virtual
+	// time — one causally-ordered stream with the simulator's and
+	// Nimbus's events when they share the journal (DESIGN.md §8). Nil
+	// disables journaling with no other behavior change.
+	Journal *trace.Journal
 }
 
 // RebalanceEvent records one applied mid-run rebalance.
@@ -212,6 +219,7 @@ func (l *Loop) arbitrate(t time.Duration) ([]RebalanceEvent, error) {
 		}
 		claims = append(claims, claim{name: name, trigger: trigger, priority: l.priority[name]})
 		weight += l.priority[name] + 1
+		l.journalRecord(t, trace.CodeTriggerFired, name, trigger)
 	}
 	if len(claims) == 0 {
 		return nil, nil
@@ -248,6 +256,8 @@ func (l *Loop) arbitrate(t time.Duration) ([]RebalanceEvent, error) {
 		if err != nil {
 			return nil, fmt.Errorf("planning rebalance of %q: %w", cl.name, err)
 		}
+		l.journalRecord(t, trace.CodePlanComputed, cl.name,
+			fmt.Sprintf("trigger=%s planned=%d cap=%d", cl.trigger, len(moves), moveCap))
 		migrated := 0
 		if len(moves) > 0 {
 			// Reassign reports how many tasks actually moved (a plan
@@ -281,6 +291,8 @@ func (l *Loop) arbitrate(t time.Duration) ([]RebalanceEvent, error) {
 					Moves:    migrated,
 					Priority: cl.priority,
 				})
+				l.journalRecord(t, trace.CodeRebalanceApplied, cl.name,
+					fmt.Sprintf("trigger=%s moves=%d", cl.trigger, migrated))
 			}
 		}
 		if l.cfg.MoveBudget > 0 {
@@ -295,6 +307,14 @@ func (l *Loop) arbitrate(t time.Duration) ([]RebalanceEvent, error) {
 		l.ctrl.NotifyRebalanced(cl.name, migrated, cl.trigger)
 	}
 	return events, nil
+}
+
+// journalRecord appends a loop decision event at epoch virtual time if a
+// journal is configured.
+func (l *Loop) journalRecord(at time.Duration, code, topo, detail string) {
+	if l.cfg.Journal != nil {
+		l.cfg.Journal.Record(at, code, topo, "", -1, detail)
+	}
 }
 
 // availabilityFor builds the replanner's base availability for one

@@ -26,6 +26,12 @@ type Options struct {
 	MetricsWindow time.Duration
 	// Seed drives the simulator RNG. Default 1.
 	Seed int64
+	// Percentiles turns on the simulator's latency histograms
+	// (simulator.Config.LatencyHistograms) in experiments that support
+	// them, adding latency-percentile rows to the report. Off by default;
+	// leaving it off keeps every report byte-identical to before the
+	// observability layer existed.
+	Percentiles bool
 }
 
 func (o Options) withDefaults() Options {

@@ -28,7 +28,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		"fig10", "fig12a", "fig12b", "fig13",
 		"ablationA", "ablationB", "ablationC",
 		"elasticity", "memstress", "consolidate", "multitenant",
-		"failover",
+		"failover", "observability",
 	}
 	if len(all) != len(wantIDs) {
 		t.Fatalf("experiments = %d, want %d", len(all), len(wantIDs))

@@ -29,6 +29,7 @@ func All() []Experiment {
 		Consolidate(),
 		MultiTenant(),
 		Failover(),
+		Observability(),
 	}
 }
 

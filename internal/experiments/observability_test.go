@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func obsOpts() Options {
+	return Options{Duration: 6 * time.Second, Seed: 1, Percentiles: true}
+}
+
+// TestObservabilityZeroPerturbation: the bare and instrumented runs of
+// the chaos scenario agree exactly on every shared quantity — turning
+// the observability layer on does not change what it observes.
+func TestObservabilityZeroPerturbation(t *testing.T) {
+	report, err := runObservability(obsOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range report.Rows[:3] { // throughput, delivered, mean latency
+		if row.Baseline != row.RStorm {
+			t.Errorf("%s: bare %v != instrumented %v", row.Label, row.Baseline, row.RStorm)
+		}
+	}
+	bare, full := report.Series["bare"], report.Series["instrumented"]
+	if len(bare) == 0 || len(bare) != len(full) {
+		t.Fatalf("series lengths: bare %d, instrumented %d", len(bare), len(full))
+	}
+	for i := range bare {
+		if bare[i] != full[i] {
+			t.Fatalf("sink series diverge at window %d: %v vs %v", i, bare[i], full[i])
+		}
+	}
+}
+
+// TestObservabilityDeterminism: same seed and sample rate ⇒ the span
+// trees and journal are byte-identical across two independent runs. The
+// registered experiment's digest rows fold the same property into
+// TestGoldenDiffAllExperiments; this is the direct byte-level check.
+func TestObservabilityDeterminism(t *testing.T) {
+	capture := func() *observedOutcome {
+		t.Helper()
+		out, err := runObservedChaos(obsOpts(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first := capture()
+	second := capture()
+	if first.spans == 0 || first.trees == 0 || first.journaled == 0 {
+		t.Fatalf("instrumented run captured nothing: %+v", first)
+	}
+	if first.spans != second.spans || first.trees != second.trees ||
+		first.journaled != second.journaled {
+		t.Errorf("capture counts diverged: %+v vs %+v", first, second)
+	}
+	if first.jsonlDigest != second.jsonlDigest {
+		t.Error("journal JSONL bytes diverged across identical runs")
+	}
+	if first.treeDigest != second.treeDigest {
+		t.Error("rendered span trees diverged across identical runs")
+	}
+}
+
+// TestFailoverPercentilesRows: with Percentiles on, the failover report
+// gains the p99 rows and they show the spike-and-recover shape; with it
+// off the report is unchanged (no latency rows at all).
+func TestFailoverPercentilesRows(t *testing.T) {
+	// The full default duration: the recovery assertion needs enough
+	// post-repair windows for the tail to drain back down.
+	o := Options{Duration: 30 * time.Second, Seed: 1}
+	plain, err := runFailover(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range plain.Rows {
+		if strings.Contains(row.Label, "p99") {
+			t.Errorf("p99 row %q present without Percentiles", row.Label)
+		}
+	}
+	o.Percentiles = true
+	withP, err := runFailover(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pre, spike, final Row
+	found := 0
+	for _, row := range withP.Rows {
+		switch {
+		case strings.Contains(row.Label, "pre-crash max"):
+			pre = row
+			found++
+		case strings.Contains(row.Label, "post-crash spike"):
+			spike = row
+			found++
+		case strings.Contains(row.Label, "final window"):
+			final = row
+			found++
+		case strings.Contains(row.Label, "p99"):
+			found++
+		}
+	}
+	if found != 4 {
+		t.Fatalf("p99 rows = %d, want 4", found)
+	}
+	// The spike: the failover run's tail rises above its pre-crash
+	// equilibrium as the chain re-equilibrates on surviving capacity.
+	if spike.RStorm <= pre.RStorm {
+		t.Errorf("adaptive p99 spike %v not above pre-crash %v", spike.RStorm, pre.RStorm)
+	}
+	// The recovery: the failover run still serves traffic at a bounded
+	// tail in the final window, while the starved static run has no
+	// latency to measure at all.
+	if final.RStorm <= 0 {
+		t.Errorf("adaptive final-window p99 = %v, want > 0 (traffic flowing)", final.RStorm)
+	}
+	if final.Baseline != 0 {
+		t.Errorf("static final-window p99 = %v, want 0 (starved)", final.Baseline)
+	}
+	if final.RStorm > spike.RStorm {
+		t.Errorf("final p99 %v exceeds the spike %v: tail unbounded", final.RStorm, spike.RStorm)
+	}
+	// The non-percentile rows are identical to the plain run: histograms
+	// observe without perturbing.
+	if len(withP.Rows) != len(plain.Rows)+4 {
+		t.Fatalf("rows = %d, want %d", len(withP.Rows), len(plain.Rows)+4)
+	}
+	for i, row := range plain.Rows {
+		if row != withP.Rows[i] {
+			t.Errorf("row %d changed under Percentiles: %+v vs %+v", i, row, withP.Rows[i])
+		}
+	}
+}

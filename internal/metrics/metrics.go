@@ -6,34 +6,29 @@ package metrics
 
 import (
 	"fmt"
-	"sort"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Counter is a monotonically increasing tally.
+// Counter is a monotonically increasing tally, safe for concurrent use.
+// It is a bare atomic — no mutex — so concurrent writers never contend
+// on a lock (see BenchmarkCounterContention).
 type Counter struct {
-	mu sync.Mutex
-	v  int64
+	v atomic.Int64
 }
 
 // Add increments the counter by n.
-func (c *Counter) Add(n int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.v += n
-}
+func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current tally.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
-}
+func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Windowed accumulates values into fixed-duration buckets of virtual time.
+// Windowed accumulates values into fixed-duration buckets of virtual
+// time. It is NOT safe for concurrent use: every writer in the
+// repository is the simulator's single-threaded event loop, and Record
+// sits on its per-tuple hot path — a lock here would be paid millions of
+// times per run to guard nothing.
 type Windowed struct {
-	mu      sync.Mutex
 	window  time.Duration
 	buckets []float64
 }
@@ -52,8 +47,6 @@ func (w *Windowed) Record(at time.Duration, v float64) {
 		at = 0
 	}
 	idx := int(at / w.window)
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	for len(w.buckets) <= idx {
 		w.buckets = append(w.buckets, 0)
 	}
@@ -71,8 +64,6 @@ func (w *Windowed) Series(horizon time.Duration) []float64 {
 	if n < 0 {
 		n = 0
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	out := make([]float64, n)
 	copy(out, w.buckets)
 	return out
@@ -80,73 +71,11 @@ func (w *Windowed) Series(horizon time.Duration) []float64 {
 
 // Total returns the sum over all buckets.
 func (w *Windowed) Total() float64 {
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	var sum float64
 	for _, b := range w.buckets {
 		sum += b
 	}
 	return sum
-}
-
-// Registry stores named windowed series and counters. Names are
-// hierarchical by convention: "topology/component/task".
-type Registry struct {
-	mu       sync.Mutex
-	window   time.Duration
-	series   map[string]*Windowed
-	counters map[string]*Counter
-}
-
-// NewRegistry returns a Registry whose series share one window duration.
-func NewRegistry(window time.Duration) (*Registry, error) {
-	if window <= 0 {
-		return nil, fmt.Errorf("window %v, want > 0", window)
-	}
-	return &Registry{
-		window:   window,
-		series:   make(map[string]*Windowed),
-		counters: make(map[string]*Counter),
-	}, nil
-}
-
-// Window returns the registry's bucket duration.
-func (r *Registry) Window() time.Duration { return r.window }
-
-// Series returns (creating on demand) the named windowed series.
-func (r *Registry) Series(name string) *Windowed {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s, ok := r.series[name]
-	if !ok {
-		s = &Windowed{window: r.window}
-		r.series[name] = s
-	}
-	return s
-}
-
-// Counter returns (creating on demand) the named counter.
-func (r *Registry) Counter(name string) *Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.counters[name]
-	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
-	}
-	return c
-}
-
-// SeriesNames returns the registered series names, sorted.
-func (r *Registry) SeriesNames() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.series))
-	for name := range r.series {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
 }
 
 // SumSeries adds series elementwise, zero-extending shorter inputs.

@@ -74,31 +74,23 @@ func TestNewWindowedRejectsBadWindow(t *testing.T) {
 	}
 }
 
-func TestRegistry(t *testing.T) {
-	r, err := NewRegistry(10 * time.Second)
-	if err != nil {
-		t.Fatalf("NewRegistry: %v", err)
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 1000
+	done := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < per; j++ {
+				c.Add(1)
+			}
+		}()
 	}
-	if r.Window() != 10*time.Second {
-		t.Error("window lost")
+	for i := 0; i < workers; i++ {
+		<-done
 	}
-	s1 := r.Series("topo/sink/0")
-	s2 := r.Series("topo/sink/0")
-	if s1 != s2 {
-		t.Error("Series not idempotent")
-	}
-	r.Series("topo/sink/1")
-	names := r.SeriesNames()
-	if len(names) != 2 || names[0] != "topo/sink/0" || names[1] != "topo/sink/1" {
-		t.Errorf("SeriesNames = %v", names)
-	}
-	c1 := r.Counter("emitted")
-	c1.Add(2)
-	if r.Counter("emitted").Value() != 2 {
-		t.Error("Counter not idempotent")
-	}
-	if _, err := NewRegistry(0); err == nil {
-		t.Error("zero registry window accepted")
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("Value = %d, want %d", got, workers*per)
 	}
 }
 

@@ -2,11 +2,13 @@ package nimbus
 
 import (
 	"encoding/json"
+	"fmt"
 	"sort"
 
 	"rstorm/internal/cluster"
 	"rstorm/internal/core"
 	"rstorm/internal/resource"
+	"rstorm/internal/trace"
 )
 
 // The heartbeat failure detector closes the loop DetectFailures leaves
@@ -247,6 +249,7 @@ func (n *Nimbus) HeartbeatTick() []cluster.NodeID {
 				h.missed = 0
 				h.healthy = 0
 				newlyDead = append(newlyDead, id)
+				n.journalRecord(trace.CodeNodeDead, "", string(id), "session-expired")
 			}
 		case h.state == HealthDead || h.state == HealthRecovering:
 			if seq != h.lastSeq {
@@ -276,7 +279,13 @@ func (n *Nimbus) HeartbeatTick() []cluster.NodeID {
 					h.state = HealthDead
 					h.healthy = 0
 					newlyDead = append(newlyDead, id)
+					n.journalRecord(trace.CodeNodeDead, "", string(id),
+						fmt.Sprintf("missed=%d", h.missed))
 				} else if h.missed >= d.cfg.SuspectAfter {
+					if h.state != HealthSuspect {
+						n.journalRecord(trace.CodeNodeSuspect, "", string(id),
+							fmt.Sprintf("missed=%d", h.missed))
+					}
 					h.state = HealthSuspect
 				}
 			}
@@ -293,6 +302,8 @@ func (n *Nimbus) HeartbeatTick() []cluster.NodeID {
 		n.alive[id] = true
 		n.logf("node %s passed flap damping (%d fresh beats); capacity restored",
 			id, d.cfg.FlapDamping)
+		n.journalRecord(trace.CodeNodeRejoin, "", string(id),
+			fmt.Sprintf("beats=%d", d.cfg.FlapDamping))
 	}
 	return newlyDead
 }
@@ -349,6 +360,8 @@ func (n *Nimbus) failoverNodeLocked(id cluster.NodeID) {
 				Node: string(id), Topology: name, Requeued: true, Tick: d.ticks,
 			})
 			n.logf("failover of %q off %s infeasible; requeued for full reschedule", name, id)
+			n.journalRecord(trace.CodeFailoverRound, name, string(id),
+				fmt.Sprintf("tick=%d requeued", d.ticks))
 		}
 		if !isRAS {
 			// Resource-blind schedulers have no incremental pass: legacy
@@ -386,6 +399,8 @@ func (n *Nimbus) failoverNodeLocked(id cluster.NodeID) {
 			Node: string(id), Topology: name, Moves: len(moves), Tick: d.ticks,
 		})
 		n.logf("failover of %q: restarted %d tasks off %s", name, len(moves), id)
+		n.journalRecord(trace.CodeFailoverRound, name, string(id),
+			fmt.Sprintf("tick=%d moves=%d", d.ticks, len(moves)))
 	}
 	// Remove re-credits each topology's reservation to availability —
 	// including the share that sat on the dead node. Release again so the

@@ -28,6 +28,8 @@ package simulator
 import (
 	"fmt"
 	"time"
+
+	"rstorm/internal/trace"
 )
 
 // Config controls a simulation run.
@@ -85,6 +87,26 @@ type Config struct {
 	// Off by default: with the model unset, runs are byte-identical to
 	// the memory-blind simulator.
 	MemoryModel bool
+	// LatencyHistograms enables per-sink-task log-bucketed latency
+	// histograms (DESIGN.md §8): complete-tree spout-to-sink latency is
+	// recorded on the hot path (integer adds, no allocation), window
+	// summaries land in TaskSample.Latency, and per-topology
+	// p50/p95/p99 roll up into the Result. Off by default: with
+	// histograms unset, runs are byte-identical to the unmeasured
+	// simulator.
+	LatencyHistograms bool
+	// TraceSampleEvery samples every Nth spout root emission into the
+	// tuple tracer (DESIGN.md §8): the sampled tree carries a trace
+	// context through ack-tree propagation and every hop records a
+	// queue-wait/service/network span. Sampling is a deterministic
+	// counter, not the RNG, so traced runs stay byte-identical to
+	// untraced ones everywhere outside the tracer itself. Zero (the
+	// default) disables tracing.
+	TraceSampleEvery int
+	// TraceMaxSpans bounds the tracer's span ring; the oldest spans are
+	// overwritten when it fills. Default trace.DefaultMaxSpans when
+	// tracing is enabled.
+	TraceMaxSpans int
 }
 
 // NoWarmup is the WarmupWindows sentinel for "drop nothing": the mean
@@ -128,6 +150,9 @@ func (c Config) withDefaults() Config {
 			c.ReplayBackoff = 50 * time.Millisecond
 		}
 	}
+	if c.TraceSampleEvery > 0 && c.TraceMaxSpans == 0 {
+		c.TraceMaxSpans = trace.DefaultMaxSpans
+	}
 	return c
 }
 
@@ -166,6 +191,12 @@ func (c Config) validate() error {
 		if c.ReplayBackoff <= 0 {
 			return fmt.Errorf("replay backoff %v, want > 0", c.ReplayBackoff)
 		}
+	}
+	if c.TraceSampleEvery < 0 {
+		return fmt.Errorf("trace sample every %d, want >= 0", c.TraceSampleEvery)
+	}
+	if c.TraceMaxSpans < 0 {
+		return fmt.Errorf("trace max spans %d, want >= 0", c.TraceMaxSpans)
 	}
 	return nil
 }

@@ -187,6 +187,7 @@ func (s *Simulation) newTree(spout *simTask) *tree {
 		tr.failed = false
 		tr.key = 0
 		tr.attempt = 0
+		tr.trace = 0
 		return tr
 	}
 	return &tree{spout: spout}

@@ -6,6 +6,7 @@ import (
 
 	"rstorm/internal/cluster"
 	"rstorm/internal/faults"
+	"rstorm/internal/trace"
 )
 
 // Fault injection (DESIGN.md §7): the simulator consumes the declarative
@@ -95,7 +96,9 @@ func (s *Simulation) applyFault(f faults.Fault) {
 	default:
 		return
 	}
-	s.faultLog = append(s.faultLog, FaultRecord{Kind: f.Kind, Node: f.Node, At: s.engine.Now()})
+	fr := FaultRecord{Kind: f.Kind, Node: f.Node, At: s.engine.Now()}
+	s.faultLog = append(s.faultLog, fr)
+	s.journalRecord(trace.CodeFaultInjected, "", string(f.Node), -1, fr.String())
 }
 
 // recoverNode brings a node back: capacity returns, its NIC revives (the

@@ -1,5 +1,7 @@
 package simulator
 
+import "rstorm/internal/trace"
+
 // Runtime memory model (DESIGN.md §4). When Config.MemoryModel is set, each
 // task's resident memory is accounted online:
 //
@@ -108,6 +110,8 @@ func (s *Simulation) worstOffender(n *simNode) *simTask {
 func (s *Simulation) oomKill(t *simTask) {
 	t.dead = true
 	s.oomKilled++
+	s.journalRecord(trace.CodeOOMKill, t.run.topo.Name(), string(t.node.id),
+		t.task.ID, t.comp.Name)
 	tuples, unblocked := t.queue.drain()
 	for _, tup := range tuples {
 		s.dropTuple(tup)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rstorm/internal/cluster"
+	"rstorm/internal/trace"
 )
 
 // TaskSample is one task's runtime measurements over one metrics window —
@@ -72,6 +73,13 @@ type TaskSample struct {
 	// included: the controller wants the truth, not the SLA view).
 	LatencySum time.Duration
 	LatencyN   int64
+
+	// Latency is the window's complete-tree latency distribution digest
+	// for sink tasks under Config.LatencyHistograms — the percentile
+	// substrate SLO-aware scheduling reads. Zero-valued (Count == 0)
+	// with histograms off or for non-sink tasks. A value copy: safe to
+	// keep even though the sample slice itself is reused.
+	Latency trace.Summary
 
 	// Edges are this task's outgoing per-edge tuple counts for the window
 	// — the measured traffic the paper's network-distance heuristic is a
@@ -152,9 +160,10 @@ func (s *Simulation) windowFlush() {
 // flush, if any — the tail window Finish must not silently drop when the
 // duration is not a multiple of the metrics window, and the pre-migration
 // slice of a window when Reassign lands mid-window. A no-op at an exact
-// window boundary (nothing has accumulated) and without an observer.
+// window boundary (nothing has accumulated) and when neither an observer
+// nor latency histograms consume flushes.
 func (s *Simulation) flushPartialWindow() {
-	if s.observer == nil {
+	if s.observer == nil && !s.cfg.LatencyHistograms {
 		return
 	}
 	if now := s.engine.Now(); now > s.lastFlush {
@@ -162,15 +171,21 @@ func (s *Simulation) flushPartialWindow() {
 	}
 }
 
-// flushWindow materializes the window [s.lastFlush, now) for the observer.
+// flushWindow materializes the window [s.lastFlush, now): samples for the
+// observer (if attached), and the latency-histogram roll-up — per-task
+// window digests into the samples, task histograms merged into the run's
+// window and cumulative histograms, and the per-window p99 series closed
+// at full window boundaries (partial flushes accumulate without closing,
+// so the series stays aligned with the throughput series).
 func (s *Simulation) flushWindow(now time.Duration) {
-	if s.observer != nil {
-		buf := s.sampleBuf[:0]
-		start := s.lastFlush
-		memModel := s.cfg.MemoryModel
-		for _, run := range s.runs {
-			name := run.topo.Name()
-			for _, st := range run.ordered {
+	observed := s.observer != nil
+	buf := s.sampleBuf[:0]
+	start := s.lastFlush
+	memModel := s.cfg.MemoryModel
+	for _, run := range s.runs {
+		name := run.topo.Name()
+		for _, st := range run.ordered {
+			if observed {
 				sample := TaskSample{
 					Topology:        name,
 					Component:       st.comp.Name,
@@ -199,13 +214,30 @@ func (s *Simulation) flushWindow(now time.Duration) {
 					sample.ResidentMemMB = s.residentMemMB(st)
 					sample.NodeMemCapacityMB = st.node.spec.Capacity.MemoryMB
 				}
+				if st.hist != nil {
+					sample.Latency = st.hist.Summarize()
+				}
 				if len(st.edges) > 0 {
 					sample.Edges = st.materializeEdges()
 				}
 				buf = append(buf, sample)
-				st.resetWindow()
+			}
+			if st.hist != nil {
+				run.winHist.Merge(st.hist)
+				run.cumHist.Merge(st.hist)
+				st.hist.Reset()
+			}
+			st.resetWindow()
+		}
+		if run.winHist != nil {
+			for time.Duration(len(run.latP99)+1)*s.cfg.MetricsWindow <= now {
+				run.latP99 = append(run.latP99,
+					float64(run.winHist.Quantile(0.99))/float64(time.Millisecond))
+				run.winHist.Reset()
 			}
 		}
+	}
+	if observed {
 		s.sampleBuf = buf
 		s.observer.OnWindow(buf)
 	}

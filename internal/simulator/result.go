@@ -38,6 +38,19 @@ type TopologyResult struct {
 	TuplesSentRemote int64
 	// MeanLatency is the mean spout-to-sink latency of delivered tuples.
 	MeanLatency time.Duration
+	// LatencyP50/P95/P99/Max are the complete-tree latency percentiles
+	// over the whole run under Config.LatencyHistograms (expired
+	// arrivals included), quantized by the histogram's 6.25% buckets.
+	// All zero with histograms off.
+	LatencyP50 time.Duration
+	LatencyP95 time.Duration
+	LatencyP99 time.Duration
+	LatencyMax time.Duration
+	// LatencyP99Series is the per-metrics-window p99 in milliseconds,
+	// aligned with SinkSeries (trailing partial window excluded) — the
+	// series that exposes a failover latency spike and its recovery.
+	// Nil with histograms off.
+	LatencyP99Series []float64
 	// NodesUsed is the number of distinct nodes hosting tasks.
 	NodesUsed int
 	// RecoveryTime measures time-to-recover after the run's first node
@@ -193,6 +206,15 @@ func (s *Simulation) buildResult() *Result {
 		}
 		if run.latencyN > 0 {
 			tr.MeanLatency = run.latencySum / time.Duration(run.latencyN)
+		}
+		if run.cumHist != nil {
+			sum := run.cumHist.Summarize()
+			tr.LatencyP50 = sum.P50
+			tr.LatencyP95 = sum.P95
+			tr.LatencyP99 = sum.P99
+			tr.LatencyMax = sum.Max
+			tr.LatencyP99Series = make([]float64, len(run.latP99))
+			copy(tr.LatencyP99Series, run.latP99)
 		}
 		if firstCrash >= 0 {
 			tr.RecoveryTime = recoveryTime(tr.SinkSeries, firstCrash,

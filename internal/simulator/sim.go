@@ -11,6 +11,7 @@ import (
 	"rstorm/internal/faults"
 	"rstorm/internal/metrics"
 	"rstorm/internal/topology"
+	"rstorm/internal/trace"
 )
 
 // simNode is a worker machine at runtime.
@@ -104,6 +105,13 @@ type simTask struct {
 	winLatSum    time.Duration
 	winLatN      int64
 
+	// hist is the task's complete-tree latency histogram, allocated only
+	// for sink tasks under Config.LatencyHistograms (recordSink is the
+	// sole observation point) and nil otherwise — the hot path pays one
+	// nil check. Merged into the run's window/cumulative histograms and
+	// reset at each window flush.
+	hist *trace.Histogram
+
 	// edges are this task's outgoing traffic counters in wire-creation
 	// order (outgoing streams, then consumer tasks — deterministic and
 	// placement-independent). Allocated on the first buildRouters pass and
@@ -168,6 +176,15 @@ type topoRun struct {
 	latencySum time.Duration
 	latencyN   int64
 
+	// winHist / cumHist aggregate the run's sink-task histograms per
+	// window and over the whole run (Config.LatencyHistograms); latP99
+	// is the per-window p99 series in milliseconds, closed at full
+	// window boundaries like the throughput series. All nil/empty with
+	// histograms off.
+	winHist *trace.Histogram
+	cumHist *trace.Histogram
+	latP99  []float64
+
 	// sent / sentRemote count tuple deliveries entering the wire path over
 	// the whole run, and the subset that crossed the network (inter-node or
 	// inter-rack) — the denominator and numerator of the run's inter-node
@@ -208,6 +225,11 @@ type Simulation struct {
 	windowIdx int
 	lastFlush time.Duration
 
+	// Observability attach points (trace.go). tracer exists iff
+	// Config.TraceSampleEvery > 0; journal is attached via SetJournal.
+	tracer  *trace.Tracer
+	journal *trace.Journal
+
 	// Free lists (see events.go). Single-threaded LIFO stacks.
 	eventPool []*simEvent
 	tuplePool []*tuple
@@ -228,6 +250,9 @@ func New(c *cluster.Cluster, cfg Config) (*Simulation, error) {
 		nodes:   make(map[cluster.NodeID]*simNode, c.Size()),
 		order:   c.NodeIDs(),
 		uplinks: make(map[cluster.RackID]*link, len(c.Racks())),
+	}
+	if cfg.TraceSampleEvery > 0 {
+		s.tracer = trace.NewTracer(cfg.TraceSampleEvery, cfg.TraceMaxSpans)
 	}
 	for _, n := range c.Nodes() {
 		sn := &simNode{id: n.ID, rack: n.Rack, spec: n.Spec, slowdown: 1, slowFactor: 1}
@@ -284,6 +309,10 @@ func (s *Simulation) addRun(topo *topology.Topology, a *core.Assignment) (*topoR
 	if run.maxPending <= 0 {
 		run.maxPending = s.cfg.MaxSpoutPending
 	}
+	if s.cfg.LatencyHistograms {
+		run.winHist = trace.NewHistogram()
+		run.cumHist = trace.NewHistogram()
+	}
 	sinkSet := make(map[string]bool)
 	for _, c := range topo.Sinks() {
 		sinkSet[c.Name] = true
@@ -306,6 +335,9 @@ func (s *Simulation) addRun(topo *topology.Topology, a *core.Assignment) (*topoR
 		}
 		if comp.Kind == topology.KindSpout {
 			st.isSpout = 1
+		}
+		if s.cfg.LatencyHistograms && st.isSink {
+			st.hist = trace.NewHistogram()
 		}
 		node.tasks = append(node.tasks, st)
 		node.cpuDemand += comp.EffectiveCPUPoints()
@@ -412,7 +444,10 @@ func (s *Simulation) Start() error {
 			}
 		}
 	}
-	if s.observer != nil && s.cfg.MetricsWindow <= s.cfg.Duration {
+	// Latency histograms ride the same flush cadence as the observer:
+	// window boundaries close each topology's per-window percentile
+	// sample whether or not anyone taps the samples.
+	if (s.observer != nil || s.cfg.LatencyHistograms) && s.cfg.MetricsWindow <= s.cfg.Duration {
 		s.scheduleTask(s.cfg.MetricsWindow, evWindowFlush, nil)
 	}
 	// OOM enforcement shares the window cadence but not the observer: the
@@ -541,6 +576,14 @@ func (s *Simulation) spoutFire(t *simTask) {
 	tr := s.newTree(t)
 	tr.key = key
 	tr.attempt = attempt
+	if s.tracer != nil {
+		if id := s.tracer.SampleRoot(); id != 0 {
+			tr.trace = id
+			s.tracer.Record(trace.Span{Trace: id, Kind: trace.SpanRoot,
+				Topology: t.run.topo.Name(), Component: t.comp.Name,
+				Task: t.task.ID, From: -1, At: now})
+		}
+	}
 	outs := s.routeOutputs(t, key, now, tr, true)
 	t.run.emitted++
 	if t.isSink {
@@ -603,6 +646,19 @@ func (s *Simulation) boltFire(t *simTask, tup *tuple) {
 		t.procWin = t.run.procWinFor(t.comp.Name, s.cfg.MetricsWindow)
 	}
 	t.procWin.Record(now, 1)
+	if id := s.traceOf(tup); id != 0 {
+		wait := now - t.service - tup.arrivedAt
+		if wait < 0 {
+			// A mid-service refreeze can stretch t.service past the value
+			// this execution was scheduled with; clamp rather than report
+			// a negative queue wait.
+			wait = 0
+		}
+		s.tracer.Record(trace.Span{Trace: id, Kind: trace.SpanHop,
+			Topology: t.run.topo.Name(), Component: t.comp.Name,
+			Task: t.task.ID, From: int(tup.fromTask), At: now,
+			Wait: wait, Service: t.service, Net: tup.arrivedAt - tup.sentAt})
+	}
 	if t.isSink {
 		s.recordSink(t, now, tup.created)
 	}
@@ -718,7 +774,16 @@ func (s *Simulation) deliver(from *simTask, ob outbound, comp completion) {
 	if ob.dest.node != from.node {
 		from.run.sentRemote++
 	}
+	if id := s.traceOf(ob.tup); id != 0 {
+		ob.tup.sentAt = s.engine.Now()
+		ob.tup.fromTask = int32(from.task.ID)
+	}
 	if ob.dest.dead || ob.dest.node.dead {
+		if id := s.traceOf(ob.tup); id != 0 {
+			s.tracer.Record(trace.Span{Trace: id, Kind: trace.SpanDrop,
+				Topology: from.run.topo.Name(), Component: ob.dest.comp.Name,
+				Task: ob.dest.task.ID, From: from.task.ID, At: s.engine.Now()})
+		}
 		s.dropTuple(ob.tup)
 		s.scheduleComplete(0, comp)
 		return
@@ -741,9 +806,19 @@ func (s *Simulation) deliver(from *simTask, ob outbound, comp completion) {
 // completion when full.
 func (s *Simulation) enqueueAt(dest *simTask, tup *tuple, comp completion) {
 	if dest.dead || dest.node.dead {
+		if id := s.traceOf(tup); id != 0 {
+			s.tracer.Record(trace.Span{Trace: id, Kind: trace.SpanDrop,
+				Topology: dest.run.topo.Name(), Component: dest.comp.Name,
+				Task: dest.task.ID, From: int(tup.fromTask), At: s.engine.Now()})
+		}
 		s.dropTuple(tup)
 		s.scheduleComplete(0, comp)
 		return
+	}
+	if id := s.traceOf(tup); id != 0 {
+		// Arrival at the queue, including any time about to be spent
+		// parked as a waiter: queue wait measures from here.
+		tup.arrivedAt = s.engine.Now()
 	}
 	if dest.queue.tryEnqueue(tup) {
 		s.scheduleComplete(0, comp)
@@ -762,6 +837,11 @@ func (s *Simulation) recordSink(t *simTask, now, created time.Duration) {
 	age := now - created
 	t.winLatSum += age
 	t.winLatN++
+	if t.hist != nil {
+		// Expired arrivals included: like winLatSum, the histogram
+		// reports the truth, not the SLA view.
+		t.hist.Observe(age)
+	}
 	if s.cfg.TupleTimeout > 0 && age > s.cfg.TupleTimeout {
 		t.run.expired++
 		return

@@ -6,6 +6,7 @@ import (
 
 	"rstorm/internal/core"
 	"rstorm/internal/topology"
+	"rstorm/internal/trace"
 )
 
 // Runtime tenancy epochs (DESIGN.md §6): the multi-tenant control plane
@@ -73,6 +74,7 @@ func (s *Simulation) SubmitTopology(topo *topology.Topology, a *core.Assignment)
 			s.scheduleTask(0, evSpoutCycle, st)
 		}
 	}
+	s.journalRecord(trace.CodeTopologySubmitted, topo.Name(), "", -1, "")
 	return nil
 }
 
@@ -135,6 +137,7 @@ func (s *Simulation) KillTopology(name string) error {
 		affected[st.node] = true
 	}
 	s.refreeze(affected)
+	s.journalRecord(trace.CodeTopologyKilled, name, "", -1, "")
 	return nil
 }
 
@@ -196,6 +199,7 @@ func (s *Simulation) revive(run *topoRun, a *core.Assignment) error {
 			s.scheduleTask(0, evSpoutCycle, st)
 		}
 	}
+	s.journalRecord(trace.CodeTopologySubmitted, name, "", -1, "revived")
 	return nil
 }
 

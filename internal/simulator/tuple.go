@@ -18,6 +18,11 @@ type tree struct {
 	// how many times this tree already ran (0 = original emission).
 	key     uint64
 	attempt int
+	// trace is the sampled-tracing context (Config.TraceSampleEvery):
+	// nonzero on a traced tree, inherited by every descendant tuple via
+	// this pointer — ack-tree propagation is the trace propagation. Zero
+	// on unsampled trees and whenever tracing is off.
+	trace uint64
 }
 
 // tuple is one in-flight tuple instance. Tuples are pooled (see events.go).
@@ -26,6 +31,12 @@ type tuple struct {
 	key     uint64
 	created time.Duration // spout emit time of the root, for latency
 	tree    *tree
+	// sentAt/arrivedAt/fromTask are span timestamps, written and read
+	// only on the traced paths (tree.trace != 0), so untraced tuples —
+	// including pooled reuses — never touch them.
+	sentAt    time.Duration
+	arrivedAt time.Duration
+	fromTask  int32
 }
 
 // hashKey maps a key to a consumer index for fields grouping. It is FNV-1a

@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SpanKind classifies one hop of a traced tuple tree.
+type SpanKind uint8
+
+const (
+	// SpanRoot is the spout emission that started the trace.
+	SpanRoot SpanKind = iota
+	// SpanHop is a downstream task processing one tuple of the tree.
+	SpanHop
+	// SpanDrop is a tuple of the tree discarded before processing
+	// (dead destination node).
+	SpanDrop
+)
+
+func (k SpanKind) String() string {
+	switch k {
+	case SpanRoot:
+		return "emit"
+	case SpanHop:
+		return "hop"
+	case SpanDrop:
+		return "drop"
+	}
+	return "?"
+}
+
+// Span is one recorded hop. From is the upstream task that sent the
+// tuple (-1 for the root). Wait is queue wait at the receiving task,
+// Service its processing time, Net the wire transfer time — the three
+// components of per-hop latency the windowed averages can't separate.
+type Span struct {
+	Trace     uint64        `json:"trace"`
+	Kind      SpanKind      `json:"kind"`
+	Topology  string        `json:"topology"`
+	Component string        `json:"component"`
+	Task      int           `json:"task"`
+	From      int           `json:"from"`
+	At        time.Duration `json:"at"`
+	Wait      time.Duration `json:"wait"`
+	Service   time.Duration `json:"service"`
+	Net       time.Duration `json:"net"`
+}
+
+// Tracer samples every Nth root emission deterministically (a plain
+// counter, no RNG — the same seed and sample rate always pick the same
+// tuples, which is what lets the golden-diff harness cover tracing) and
+// records spans into a bounded preallocated ring. Not safe for
+// concurrent use: owned by the single-threaded simulator loop.
+type Tracer struct {
+	every    uint64
+	emits    uint64
+	nextID   uint64
+	spans    []Span
+	head     int
+	full     bool
+	recorded uint64
+}
+
+// DefaultMaxSpans bounds a tracer nobody sized explicitly.
+const DefaultMaxSpans = 8192
+
+// NewTracer samples one of every `every` root emissions (minimum 1) into
+// a ring of at most maxSpans spans (DefaultMaxSpans if <= 0). The ring
+// is allocated up front so recording never allocates.
+func NewTracer(every int, maxSpans int) *Tracer {
+	if every < 1 {
+		every = 1
+	}
+	if maxSpans <= 0 {
+		maxSpans = DefaultMaxSpans
+	}
+	return &Tracer{every: uint64(every), spans: make([]Span, 0, maxSpans)}
+}
+
+// SampleRoot decides whether the next root emission is traced. Returns
+// the assigned trace ID (> 0) when sampled, 0 otherwise. Call exactly
+// once per root emission to keep sampling deterministic.
+func (t *Tracer) SampleRoot() uint64 {
+	t.emits++
+	if t.emits%t.every != 0 {
+		return 0
+	}
+	t.nextID++
+	return t.nextID
+}
+
+// Record appends a span, overwriting the oldest when the ring is full.
+func (t *Tracer) Record(s Span) {
+	t.recorded++
+	if len(t.spans) < cap(t.spans) {
+		t.spans = append(t.spans, s)
+		return
+	}
+	t.spans[t.head] = s
+	t.head = (t.head + 1) % cap(t.spans)
+	t.full = true
+}
+
+// Recorded returns the total spans recorded, including any overwritten.
+func (t *Tracer) Recorded() uint64 { return t.recorded }
+
+// Spans returns the retained spans in record order.
+func (t *Tracer) Spans() []Span {
+	out := make([]Span, 0, len(t.spans))
+	if t.full {
+		out = append(out, t.spans[t.head:]...)
+		out = append(out, t.spans[:t.head]...)
+		return out
+	}
+	return append(out, t.spans...)
+}
+
+// SpanTree is one reconstructed trace: the root emission plus its
+// downstream hops in causal order.
+type SpanTree struct {
+	Trace uint64
+	Spans []Span // root first, then hops ordered by (At, Task)
+}
+
+// Trees groups the retained spans into per-trace trees, ordered by trace
+// ID. Traces whose root span was overwritten in the ring are dropped —
+// a partial tree with no anchor renders misleadingly.
+func (t *Tracer) Trees() []SpanTree {
+	byTrace := make(map[uint64][]Span)
+	for _, s := range t.Spans() {
+		byTrace[s.Trace] = append(byTrace[s.Trace], s)
+	}
+	ids := make([]uint64, 0, len(byTrace))
+	for id, spans := range byTrace {
+		hasRoot := false
+		for _, s := range spans {
+			if s.Kind == SpanRoot {
+				hasRoot = true
+				break
+			}
+		}
+		if hasRoot {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	trees := make([]SpanTree, 0, len(ids))
+	for _, id := range ids {
+		spans := byTrace[id]
+		sort.SliceStable(spans, func(i, j int) bool {
+			si, sj := spans[i], spans[j]
+			if (si.Kind == SpanRoot) != (sj.Kind == SpanRoot) {
+				return si.Kind == SpanRoot
+			}
+			if si.At != sj.At {
+				return si.At < sj.At
+			}
+			return si.Task < sj.Task
+		})
+		trees = append(trees, SpanTree{Trace: id, Spans: spans})
+	}
+	return trees
+}
+
+// RenderTrees renders the trees as an indented text diagram — hops
+// indent under the span that sent them their tuple, so a fan-out tree
+// reads as a tree. The output is deterministic for a deterministic
+// span stream (the -trace CLI section and determinism tests rely on
+// byte-identity).
+func RenderTrees(trees []SpanTree) string {
+	var b strings.Builder
+	for _, tree := range trees {
+		renderTree(&b, tree)
+	}
+	return b.String()
+}
+
+func renderTree(b *strings.Builder, tree SpanTree) {
+	depth := make(map[int]int) // task -> indent depth of its span
+	for i, s := range tree.Spans {
+		d := 0
+		if s.Kind != SpanRoot {
+			if pd, ok := depth[s.From]; ok {
+				d = pd + 1
+			} else {
+				d = 1
+			}
+		}
+		depth[s.Task] = d
+		if i == 0 {
+			fmt.Fprintf(b, "trace %d %s @%v\n", tree.Trace, s.Topology, s.At)
+		}
+		b.WriteString(strings.Repeat("  ", d+1))
+		switch s.Kind {
+		case SpanRoot:
+			fmt.Fprintf(b, "%s/%d emit @%v\n", s.Component, s.Task, s.At)
+		case SpanHop:
+			fmt.Fprintf(b, "%s/%d <- %d wait=%v service=%v net=%v @%v\n",
+				s.Component, s.Task, s.From, s.Wait, s.Service, s.Net, s.At)
+		case SpanDrop:
+			fmt.Fprintf(b, "%s/%d <- %d dropped @%v\n", s.Component, s.Task, s.From, s.At)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerSamplingDeterministic(t *testing.T) {
+	tr := NewTracer(3, 64)
+	var ids []uint64
+	for i := 0; i < 10; i++ {
+		ids = append(ids, tr.SampleRoot())
+	}
+	want := []uint64{0, 0, 1, 0, 0, 2, 0, 0, 3, 0}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("emission %d: id %d, want %d", i, ids[i], want[i])
+		}
+	}
+	// A second tracer with the same rate must sample identically.
+	tr2 := NewTracer(3, 64)
+	for i := 0; i < 10; i++ {
+		if tr2.SampleRoot() != ids[i] {
+			t.Fatalf("tracers diverge at emission %d", i)
+		}
+	}
+}
+
+func TestTracerEveryOneAndClamp(t *testing.T) {
+	tr := NewTracer(0, 4) // clamps to every=1
+	for i := 1; i <= 3; i++ {
+		if id := tr.SampleRoot(); id != uint64(i) {
+			t.Fatalf("every=1 emission %d: id %d", i, id)
+		}
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(1, 3)
+	for i := 0; i < 5; i++ {
+		tr.Record(Span{Trace: uint64(i + 1), Kind: SpanRoot, Task: i})
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("retained %d", len(spans))
+	}
+	for i, s := range spans {
+		if want := uint64(i + 3); s.Trace != want {
+			t.Fatalf("span %d: trace %d, want %d", i, s.Trace, want)
+		}
+	}
+	if tr.Recorded() != 5 {
+		t.Fatalf("Recorded = %d", tr.Recorded())
+	}
+}
+
+func traced(tr *Tracer) {
+	id := uint64(1)
+	tr.Record(Span{Trace: id, Kind: SpanRoot, Topology: "chain", Component: "s", Task: 0, From: -1, At: time.Second})
+	tr.Record(Span{Trace: id, Kind: SpanHop, Topology: "chain", Component: "work", Task: 2, From: 0,
+		At: time.Second + 400*time.Microsecond, Wait: 50 * time.Microsecond, Service: 300 * time.Microsecond, Net: 50 * time.Microsecond})
+	tr.Record(Span{Trace: id, Kind: SpanHop, Topology: "chain", Component: "z", Task: 6, From: 2,
+		At: time.Second + 900*time.Microsecond, Wait: 100 * time.Microsecond, Service: 100 * time.Microsecond})
+	tr.Record(Span{Trace: id, Kind: SpanDrop, Topology: "chain", Component: "z", Task: 7, From: 2,
+		At: time.Second + 950*time.Microsecond})
+}
+
+func TestTreesReconstruction(t *testing.T) {
+	tr := NewTracer(1, 64)
+	traced(tr)
+	// A second trace interleaved out of order.
+	tr.Record(Span{Trace: 2, Kind: SpanRoot, Topology: "chain", Component: "s", Task: 1, From: -1, At: 2 * time.Second})
+	trees := tr.Trees()
+	if len(trees) != 2 {
+		t.Fatalf("trees = %d", len(trees))
+	}
+	if trees[0].Trace != 1 || trees[1].Trace != 2 {
+		t.Fatalf("tree order: %d, %d", trees[0].Trace, trees[1].Trace)
+	}
+	spans := trees[0].Spans
+	if spans[0].Kind != SpanRoot {
+		t.Fatal("root not first")
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].At < spans[i-1].At {
+			t.Fatalf("hops not time-ordered at %d", i)
+		}
+	}
+}
+
+func TestTreesDropRootlessTraces(t *testing.T) {
+	tr := NewTracer(1, 64)
+	tr.Record(Span{Trace: 9, Kind: SpanHop, Component: "work", Task: 3, From: 0})
+	if trees := tr.Trees(); len(trees) != 0 {
+		t.Fatalf("rootless trace retained: %d trees", len(trees))
+	}
+}
+
+func TestRenderTreesDeterministicAndShaped(t *testing.T) {
+	tr1, tr2 := NewTracer(1, 64), NewTracer(1, 64)
+	traced(tr1)
+	traced(tr2)
+	r1 := RenderTrees(tr1.Trees())
+	r2 := RenderTrees(tr2.Trees())
+	if r1 != r2 {
+		t.Fatal("identical span streams rendered differently")
+	}
+	// Structural checks: hop under root indents deeper, drop marked.
+	lines := strings.Split(strings.TrimRight(r1, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), r1)
+	}
+	if !strings.HasPrefix(lines[0], "trace 1 chain @1s") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "s/0 emit") {
+		t.Fatalf("root line: %q", lines[1])
+	}
+	rootIndent := len(lines[1]) - len(strings.TrimLeft(lines[1], " "))
+	hopIndent := len(lines[2]) - len(strings.TrimLeft(lines[2], " "))
+	leafIndent := len(lines[3]) - len(strings.TrimLeft(lines[3], " "))
+	if hopIndent <= rootIndent || leafIndent <= hopIndent {
+		t.Fatalf("indentation not tree-shaped:\n%s", r1)
+	}
+	if !strings.Contains(lines[2], "wait=50µs") || !strings.Contains(lines[2], "service=300µs") {
+		t.Fatalf("hop spans missing: %q", lines[2])
+	}
+	if !strings.Contains(lines[4], "dropped") {
+		t.Fatalf("drop not rendered: %q", lines[4])
+	}
+}
+
+func TestSpanKindString(t *testing.T) {
+	if SpanRoot.String() != "emit" || SpanHop.String() != "hop" || SpanDrop.String() != "drop" {
+		t.Fatal("SpanKind strings")
+	}
+	if SpanKind(99).String() != "?" {
+		t.Fatal("unknown kind")
+	}
+}
+
+func BenchmarkTracerRecord(b *testing.B) {
+	tr := NewTracer(1, 8192)
+	s := Span{Trace: 1, Kind: SpanHop, Topology: "chain", Component: "work", Task: 2, From: 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(s)
+	}
+}

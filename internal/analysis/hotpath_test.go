@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestHotpathGolden(t *testing.T) {
+	RunGolden(t, []*Analyzer{NewHotpath()}, "hotpath")
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Dir   string
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+}
+
+// goList runs the go command in dir and decodes its JSON package stream.
+func goList(dir string, args ...string) ([]listedPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			msg = strings.TrimSpace(string(ee.Stderr))
+		}
+		return nil, fmt.Errorf("go %s: %s", strings.Join(args, " "), msg)
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go %s: decoding output: %w", strings.Join(args, " "), err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportData builds (via the go build cache) and maps export data for the
+// given patterns and their full dependency closure: import path → export
+// file. The gc importer reads these files directly, so type-checking a
+// package never re-checks its dependencies from source.
+func exportData(dir string, patterns []string) (map[string]string, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, patterns...)
+	pkgs, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// exportImporter returns a types.Importer resolving imports through an
+// export-data map, with importMap translating source-level paths to
+// canonical ones (the vet.cfg ImportMap; nil outside vettool mode).
+func exportImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// typeCheck parses and type-checks one package's files.
+func typeCheck(fset *token.FileSet, importPath, dir string, goFiles []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Fset: fset, Files: files, Types: pkg, Info: info, Dir: dir}, nil
+}
+
+// loadPatterns loads and type-checks every package matched by patterns
+// (non-test files, like the golden runs the invariants guard), in `go
+// list` order.
+func loadPatterns(dir string, patterns []string) ([]*Package, error) {
+	exports, err := exportData(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	targets, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports, nil)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typeCheck(fset, t.ImportPath, t.Dir, t.GoFiles, imp)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

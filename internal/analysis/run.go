@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunPatterns loads every package matched by the go-list patterns
+// (relative to dir), runs the analyzer suite over each, then runs each
+// analyzer's whole-program Finish. Diagnostics are written to w in
+// file/line order per package; the returned count is the number of
+// findings (0 means the tree is clean).
+func RunPatterns(w io.Writer, dir string, patterns []string, analyzers []*Analyzer) (int, error) {
+	pkgs, err := loadPatterns(dir, patterns)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, pkg := range pkgs {
+		diags, err := runAnalyzers(pkg, analyzers)
+		if err != nil {
+			return count, err
+		}
+		for _, d := range diags {
+			fmt.Fprintln(w, d)
+			count++
+		}
+	}
+	var finish []Diagnostic
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			a.Finish(func(d Diagnostic) { finish = append(finish, d) })
+		}
+	}
+	sortDiagnostics(finish)
+	for _, d := range finish {
+		fmt.Fprintln(w, d)
+		count++
+	}
+	return count, nil
+}

@@ -1,0 +1,33 @@
+package analysis
+
+import "testing"
+
+func TestStatserverGolden(t *testing.T) {
+	RunGolden(t, []*Analyzer{NewStatserver()}, "statserver")
+}
+
+func TestStatserverSkipsPackagesWithoutTheType(t *testing.T) {
+	// The hotpath testdata package has HandleFunc-free code and no
+	// StatisticServer: the analyzer must not touch it.
+	a := NewStatserver()
+	ti := newTestImporter("testdata/src")
+	pkg, err := ti.load("hotpath")
+	if err != nil {
+		t.Fatalf("loading testdata package: %v", err)
+	}
+	var raw []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		report:   func(d Diagnostic) { raw = append(raw, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 0 {
+		t.Errorf("package without StatisticServer produced %d diagnostics: %v", len(raw), raw)
+	}
+}

@@ -1,0 +1,195 @@
+// Package determinism is the golden suite for the determinism analyzer:
+// flagged and clean map ranges, wall-clock and global-rand calls, and
+// the //rstorm:unordered-ok / //rstorm:wallclock-ok escape hatches.
+package determinism
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// appendNoSort is the canonical finding: output order follows map
+// traversal.
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to "out" in map-iteration order without a later sort`
+	}
+	return out
+}
+
+// appendThenSort is the sanctioned shape: collect, then sort.
+func appendThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// appendSortSlice also counts: any sort/slices call mentioning the slice.
+func appendSortSlice(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// appendLocal appends to a per-iteration slice: order-local, clean.
+func appendLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// writeInRange streams records in traversal order.
+func writeInRange(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside a map range writes records in iteration order`
+	}
+}
+
+// floatAccumulate sums floats in traversal order: the low bits differ
+// run to run.
+func floatAccumulate(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `floating-point accumulation in map-iteration order`
+	}
+	return total
+}
+
+// intAccumulate is commutative and exact: clean.
+func intAccumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+type vec struct{ cpu, mem float64 }
+
+func (v vec) add(o vec) vec { return vec{v.cpu + o.cpu, v.mem + o.mem} }
+
+// vectorAccumulate is the UsedPerNode shape: read-modify-write of
+// float-bearing storage keyed off the iteration.
+func vectorAccumulate(demand map[int]vec, nodeOf map[int]string) map[string]vec {
+	out := make(map[string]vec)
+	for id, d := range demand {
+		n := nodeOf[id]
+		out[n] = out[n].add(d) // want `floating-point accumulation in map-iteration order`
+	}
+	return out
+}
+
+// pickBest selects a winner by ordered comparison over traversal: ties
+// depend on iteration order.
+func pickBest(scores map[string]float64) string {
+	best := ""
+	bestScore := -1.0
+	for node, s := range scores {
+		if s > bestScore { // want `best-candidate selection over map iteration`
+			best, bestScore = node, s
+		}
+	}
+	return best
+}
+
+// pickSuppressed carries the escape hatch with a reason: clean.
+func pickSuppressed(scores map[string]float64) string {
+	best := ""
+	bestScore := -1.0
+	for node, s := range scores {
+		//rstorm:unordered-ok keys are distinct by construction, strict > breaks ties on first win only
+		if s > bestScore {
+			best, bestScore = node, s
+		}
+	}
+	return best
+}
+
+// suppressionNeedsReason: a bare suppression is itself a finding.
+func suppressionNeedsReason(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//rstorm:unordered-ok // want `suppression missing a reason`
+		out = append(out, k)
+	}
+	return out
+}
+
+// staleSuppression suppresses nothing and must be deleted.
+func staleSuppression(m map[string]int) int {
+	n := 0
+	for range m {
+		//rstorm:unordered-ok this loop only counts // want `suppresses nothing`
+		n++
+	}
+	return n
+}
+
+// wallClock reads real time in a deterministic package.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in a deterministic package`
+}
+
+// wallClockSuppressed documents why the clock is acceptable.
+func wallClockSuppressed() int64 {
+	//rstorm:wallclock-ok operator-facing uptime label, never feeds scheduling
+	return time.Now().UnixNano()
+}
+
+// globalRand draws from the unseeded process-global source.
+func globalRand(n int) int {
+	return rand.Intn(n) // want `global math/rand.Intn is unseeded`
+}
+
+// seededRand is the sanctioned plumbing: clean.
+func seededRand(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// perKeyWrite updates float-bearing storage keyed by the range key
+// itself: map keys are unique, so each slot is written exactly once per
+// traversal and order cannot compound. Clean.
+func perKeyWrite(reserved map[string]vec, avail map[string]vec) {
+	for node, used := range reserved {
+		avail[node] = avail[node].add(used)
+	}
+}
+
+// perKeyAugAssign is the same exemption for augmented assignment.
+func perKeyAugAssign(weights map[string]float64, totals map[string]float64) {
+	for k, w := range weights {
+		totals[k] += w
+	}
+}
+
+// derivedKeyWrite accumulates into storage keyed off the range VALUE:
+// distinct iterations may collide on one slot, so order compounds.
+func derivedKeyWrite(weights map[string]float64, byGroup map[string]float64, groupOf map[string]string) {
+	for k, w := range weights {
+		byGroup[groupOf[k]] += w // want `floating-point accumulation in map-iteration order`
+	}
+}
+
+// mapWrites builds another map: order-independent, clean.
+func mapWrites(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+// Package hotpath is the golden suite for the hot-path allocation
+// analyzer: annotated functions with each forbidden construct, the
+// pointer-boxing exemption, and the //rstorm:alloc-ok escape hatch.
+package hotpath
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+type sink interface{ accept() }
+
+type record struct{ n int }
+
+func (r *record) accept() {}
+
+type payload struct{ n int }
+
+func (p payload) accept() {}
+
+func consume(s sink)      {}
+func consumeAny(v any)    {}
+func variadic(vs ...any)  {}
+func take(r *record)      {}
+func takeValue(p payload) {}
+func helper(f func() int) {}
+func observe(d int64)     { _ = d }
+
+// deliver is annotated and clean: integer adds, struct values, pointer
+// into interface.
+//
+//rstorm:hotpath
+func deliver(r *record, counts []int64) {
+	counts[0]++
+	take(r)
+	consume(r) // pointer boxing is free: clean
+	observe(int64(counts[0]))
+}
+
+// fire exhibits every forbidden construct.
+//
+//rstorm:hotpath
+func fire(r *record, p payload) {
+	defer take(r)                   // want `defer in hot path fire`
+	go take(r)                      // want `go statement in hot path fire`
+	f := func() int { return r.n }  // want `closure in hot path fire`
+	helper(func() int { return 1 }) // want `closure in hot path fire`
+	_ = fmt.Sprintf("%d", r.n)      // want `fmt.Sprintf in hot path fire: known-allocating call` `concrete int converted to any in hot path fire: boxing`
+	m := map[string]int{"a": 1}     // want `map literal in hot path fire`
+	mm := make(map[int]int)         // want `make\(map\) in hot path fire`
+	_ = errors.New("boom")          // want `errors.New in hot path fire: known-allocating call`
+	sort.Slice(nil, nil)            // want `sort.Slice in hot path fire: known-allocating call`
+	consume(p)                      // want `concrete payload converted to sink in hot path fire: boxing`
+	consumeAny(r.n)                 // want `concrete int converted to any in hot path fire: boxing`
+	variadic(r.n, r)                // want `concrete int converted to any in hot path fire: boxing`
+	_ = sink(p)                     // want `concrete payload converted to sink in hot path fire: boxing`
+	_, _, _ = f, m, mm
+}
+
+// record90 is annotated with a suppressed, documented exception.
+//
+//rstorm:hotpath
+func record90(p payload) {
+	//rstorm:alloc-ok cold error path, taken at most once per run
+	_ = fmt.Sprintf("%d", p.n)
+}
+
+// cold is NOT annotated: anything goes.
+func cold(p payload) {
+	defer takeValue(p)
+	_ = fmt.Sprintf("%d", p.n)
+	consumeAny(p)
+}
+
+// annotatedAbove uses the line-above placement instead of a doc group.
+//
+//rstorm:hotpath
+func annotatedAbove(r *record) {
+	_ = fmt.Sprint(r.n) // want `fmt.Sprint in hot path annotatedAbove: known-allocating call` `concrete int converted to any in hot path annotatedAbove: boxing`
+}

@@ -1,0 +1,54 @@
+// Package app switches over the sibling taxonomy: one exhaustive
+// switch (clean), one missing codes (flagged), one suppressed, and one
+// below the two-code threshold.
+package app
+
+import "journalcodes/codes"
+
+func exhaustive(c string) int {
+	switch c {
+	case codes.CodeA:
+		return 1
+	case codes.CodeB:
+		return 2
+	case codes.CodeC:
+		return 3
+	case codes.CodeD:
+		return 4
+	}
+	return 0
+}
+
+func incomplete(c string) int {
+	switch c { // want `switch over journal codes is not exhaustive: missing CodeC, CodeD`
+	case codes.CodeA:
+		return 1
+	case codes.CodeB, "other":
+		return 2
+	default:
+		return 0 // a default clause does not excuse missing codes
+	}
+}
+
+func suppressed(c string) bool {
+	//rstorm:journal-ok only the failure-shaped codes matter here, the rest fall through by design
+	switch c {
+	case codes.CodeA:
+		return true
+	case codes.CodeB:
+		return true
+	}
+	return false
+}
+
+func singleCode(c string) bool {
+	// One code plus arbitrary strings is a membership test, not a
+	// taxonomy switch: below the threshold, clean.
+	switch c {
+	case codes.CodeA:
+		return true
+	case "unrelated":
+		return false
+	}
+	return false
+}

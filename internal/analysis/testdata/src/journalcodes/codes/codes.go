@@ -1,0 +1,17 @@
+// Package codes declares a journal reason-code taxonomy for the
+// exhaustive-switch golden suite; every code here is referenced by the
+// sibling app package.
+package codes
+
+const (
+	CodeA = "a"
+	CodeB = "b"
+	CodeC = "c"
+	CodeD = "d"
+)
+
+// NotACode is not a reason code: wrong prefix.
+const NotACode = "x"
+
+// CodeNumeric is not a reason code: not a string.
+const CodeNumeric = 7

@@ -1,0 +1,51 @@
+// Package statserver is the golden suite for the route-discipline
+// analyzer: wrapped and Content-Type-setting routes are clean, bare or
+// type-less routes are flagged, third-party handlers are suppressed.
+package statserver
+
+import "net/http"
+
+// StatisticServer triggers the analyzer in this package.
+type StatisticServer struct {
+	mux *http.ServeMux
+}
+
+func get(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+}
+
+func thirdPartyIndex(w http.ResponseWriter, r *http.Request) {}
+
+func (s *StatisticServer) routes() {
+	s.mux.HandleFunc("/summary", get(s.handleSummary))
+	s.mux.HandleFunc("/bare", s.handleBare)        // want `route "/bare" registered without a method-guard wrapper`
+	s.mux.HandleFunc("/plain", get(s.handlePlain)) // want `handler handlePlain for route "/plain" never sets a Content-Type`
+	//rstorm:route-ok pprof handlers manage their own methods and content types
+	s.mux.HandleFunc("/debug/pprof/", thirdPartyIndex)
+	s.mux.HandleFunc("/lit", get(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+	}))
+}
+
+func (s *StatisticServer) handleSummary(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]int{})
+}
+
+func (s *StatisticServer) handleBare(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, nil)
+}
+
+func (s *StatisticServer) handlePlain(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("ok"))
+}

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the invariant the CI step enforces: the standalone
+// suite (whole-program checks included) reports nothing over the whole
+// repository. Every accepted finding must carry a reasoned suppression.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds export data for the whole repository")
+	}
+	var buf bytes.Buffer
+	count, err := RunPatterns(&buf, "../..", []string{"./..."}, Suite())
+	if err != nil {
+		t.Fatalf("running suite over repository: %v", err)
+	}
+	if count != 0 {
+		t.Errorf("rstorm-lint over ./... reported %d finding(s):\n%s", count, buf.String())
+	}
+}
+
+// TestStandaloneCleanPackage drives run's standalone path over this
+// package (out of determinism scope, no annotations: clean).
+func TestStandaloneCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds export data")
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"."}, &out, &errw); code != 0 {
+		t.Errorf("run(.) = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-V=full"}, &out, &errw); code != 0 {
+		t.Fatalf("run(-V=full) = %d, want 0; stderr: %s", code, errw.String())
+	}
+	got := out.String()
+	if !strings.HasPrefix(got, "rstorm-lint version devel ") || !strings.Contains(got, "buildID=") {
+		t.Errorf("version line %q does not match cmd/go's vettool handshake format", got)
+	}
+}
+
+// TestFlagsHandshake covers cmd/go's second probe: -flags must print a
+// JSON array describing every registered flag.
+func TestFlagsHandshake(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-flags"}, &out, &errw); code != 0 {
+		t.Fatalf("run(-flags) = %d, want 0; stderr: %s", code, errw.String())
+	}
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out.Bytes(), &flags); err != nil {
+		t.Fatalf("-flags output is not JSON: %v\n%s", err, out.String())
+	}
+	found := map[string]bool{}
+	for _, f := range flags {
+		found[f.Name] = true
+	}
+	for _, want := range []string{"V", "determinism.scope", "journal.codepkg", "statserver.type"} {
+		if !found[want] {
+			t.Errorf("-flags output missing %q: %v", want, found)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errw); code != 2 {
+		t.Errorf("run(-no-such-flag) = %d, want 2", code)
+	}
+}
+
+// writeUnitCfg assembles a vet.cfg for one real repository package the
+// way cmd/go would: export data for the dependency closure, source file
+// list, vetx output path.
+func writeUnitCfg(t *testing.T, importPath string, mutate func(*vetConfig)) string {
+	t.Helper()
+	pkgs, err := goList("../..", "list", "-export", "-deps", "-json=ImportPath,Export,Dir,GoFiles", importPath)
+	if err != nil {
+		t.Fatalf("listing %s: %v", importPath, err)
+	}
+	exports := make(map[string]string, len(pkgs))
+	cfg := vetConfig{ID: importPath, Compiler: "gc", ImportMap: map[string]string{}}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.ImportPath == importPath {
+			cfg.Dir = p.Dir
+			cfg.GoFiles = p.GoFiles
+		}
+	}
+	cfg.PackageFile = exports
+	cfg.VetxOutput = filepath.Join(t.TempDir(), "unit.vetx")
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "vet.cfg")
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestUnitCheckCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds export data")
+	}
+	var out, errw bytes.Buffer
+	var vetx string
+	cfg := writeUnitCfg(t, "rstorm/internal/trace", func(c *vetConfig) { vetx = c.VetxOutput })
+	if code := run([]string{cfg}, &out, &errw); code != 0 {
+		t.Errorf("unit check of internal/trace = %d, want 0; stderr:\n%s", code, errw.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("vetx output not written: %v", err)
+	}
+}
+
+func TestUnitCheckVetxOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds export data")
+	}
+	var out, errw bytes.Buffer
+	// VetxOnly units must succeed without type-checking: poison the file
+	// list to prove analysis is skipped.
+	cfg := writeUnitCfg(t, "rstorm/internal/trace", func(c *vetConfig) {
+		c.VetxOnly = true
+		c.GoFiles = []string{"does-not-exist.go"}
+	})
+	if code := run([]string{cfg}, &out, &errw); code != 0 {
+		t.Errorf("VetxOnly unit = %d, want 0; stderr: %s", code, errw.String())
+	}
+}
+
+func TestUnitCheckTypecheckFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds export data")
+	}
+	var out, errw bytes.Buffer
+	cfg := writeUnitCfg(t, "rstorm/internal/trace", func(c *vetConfig) {
+		c.GoFiles = []string{"does-not-exist.go"}
+	})
+	if code := run([]string{cfg}, &out, &errw); code != 1 {
+		t.Errorf("broken unit = %d, want 1", code)
+	}
+	var out2, errw2 bytes.Buffer
+	cfg2 := writeUnitCfg(t, "rstorm/internal/trace", func(c *vetConfig) {
+		c.GoFiles = []string{"does-not-exist.go"}
+		c.SucceedOnTypecheckFailure = true
+	})
+	if code := run([]string{cfg2}, &out2, &errw2); code != 0 {
+		t.Errorf("broken unit with SucceedOnTypecheckFailure = %d, want 0; stderr: %s", code, errw2.String())
+	}
+}
+
+func TestUnitCheckBadConfig(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"no-such-file.cfg"}, &out, &errw); code != 2 {
+		t.Errorf("missing cfg = %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.cfg")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var out2, errw2 bytes.Buffer
+	if code := run([]string{bad}, &out2, &errw2); code != 2 {
+		t.Errorf("malformed cfg = %d, want 2", code)
+	}
+}
+
+// TestUnitCheckFlagsPropagate narrows the determinism scope via the
+// command line and unit-checks a package that would otherwise be in
+// scope, proving -analyzer.flag reconfiguration reaches the analyzers.
+func TestUnitCheckFlagsPropagate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds export data")
+	}
+	var out, errw bytes.Buffer
+	cfg := writeUnitCfg(t, "rstorm/internal/core", nil)
+	code := run([]string{"-determinism.scope=no/such/package", cfg}, &out, &errw)
+	if code != 0 && !strings.Contains(errw.String(), "determinism") {
+		// Core may legitimately carry suppressed findings from other
+		// analyzers; what must not appear is a determinism finding.
+		return
+	}
+	if strings.Contains(errw.String(), "determinism:") {
+		t.Errorf("determinism findings survived a scope override:\n%s", errw.String())
+	}
+}

@@ -103,15 +103,14 @@ func (a *Assignment) TasksOnNode(n cluster.NodeID) []int {
 	return out
 }
 
-// UsedPerNode sums the demand of the tasks placed on each node.
+// UsedPerNode sums the demand of the tasks placed on each node. It
+// iterates tasks in topology order, not placement-map order: per-node
+// sums are floating-point accumulations, and a map-order walk would let
+// the low bits differ between otherwise identical runs.
 func (a *Assignment) UsedPerNode(topo *topology.Topology) map[cluster.NodeID]resource.Vector {
-	byID := make(map[int]topology.Task, topo.TotalTasks())
-	for _, task := range topo.Tasks() {
-		byID[task.ID] = task
-	}
 	out := make(map[cluster.NodeID]resource.Vector)
-	for id, p := range a.Placements {
-		task, ok := byID[id]
+	for _, task := range topo.Tasks() {
+		p, ok := a.Placements[task.ID]
 		if !ok {
 			continue
 		}
@@ -148,11 +147,20 @@ func (a *Assignment) Validate(topo *topology.Topology, c *cluster.Cluster, class
 				id, p.Slot, p.Node, n.Spec.Slots)
 		}
 	}
-	for nodeID, used := range a.UsedPerNode(topo) {
+	// Check nodes in sorted order so the first-reported violation (and
+	// therefore the error text) is the same on every run.
+	used := a.UsedPerNode(topo)
+	nodes := make([]cluster.NodeID, 0, len(used))
+	for nodeID := range used {
+		nodes = append(nodes, nodeID)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, nodeID := range nodes {
+		u := used[nodeID]
 		capa := c.Node(nodeID).Spec.Capacity
-		if !resource.SatisfiesHard(capa, used, classes) {
+		if !resource.SatisfiesHard(capa, u, classes) {
 			return fmt.Errorf("node %q hard constraint violated: used %v of %v",
-				nodeID, used, capa)
+				nodeID, u, capa)
 		}
 	}
 	return nil

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"rstorm/internal/cluster"
+	"rstorm/internal/resource"
+	"rstorm/internal/topology"
+)
+
+// Regression tests for the rstorm-lint determinism findings (PR 8): FP
+// accumulations and first-error selection that used to run in
+// map-iteration order. Each test repeats the operation enough times that
+// Go's per-range map-order randomization would have produced at least
+// one divergent result under the old code.
+
+// fpTopo builds a 3-component chain whose CPU loads (0.1, 0.2, 0.3) sum
+// non-associatively in float64: (0.1+0.2)+0.3 != 0.1+(0.2+0.3).
+func fpTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	b := topology.NewBuilder("fp")
+	b.SetSpout("s", 1).SetCPULoad(0.1).SetMemoryLoad(64)
+	b.SetBolt("a", 1).ShuffleGrouping("s").SetCPULoad(0.2).SetMemoryLoad(64)
+	b.SetBolt("z", 1).ShuffleGrouping("a").SetCPULoad(0.3).SetMemoryLoad(64)
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return topo
+}
+
+func TestUsedPerNodeBitStable(t *testing.T) {
+	topo := fpTopo(t)
+	a := NewAssignment("fp", "test")
+	for _, task := range topo.Tasks() {
+		a.Place(task.ID, Placement{Node: "n1", Slot: 0})
+	}
+	// The reference is the task-order sum — the only order UsedPerNode
+	// is allowed to use.
+	var want resource.Vector
+	for _, task := range topo.Tasks() {
+		want = want.Add(topo.TaskDemand(task))
+	}
+	for i := 0; i < 100; i++ {
+		got := a.UsedPerNode(topo)["n1"]
+		if got != want {
+			t.Fatalf("call %d: UsedPerNode = %+v, want bit-identical %+v", i, got, want)
+		}
+	}
+}
+
+func TestValidateReportsSameNodeEveryTime(t *testing.T) {
+	// A resource-blind even spread of monstrous memory demand overloads
+	// every node; the reported violation must name the same (sorted
+	// first) node on every call, not a map-order-dependent one.
+	topo := linearTopo(t, 6, 10, 100000)
+	c := emulab12(t)
+	a, err := EvenScheduler{}.Schedule(topo, c, NewGlobalState(c))
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	first := a.Validate(topo, c, resource.DefaultClasses())
+	if first == nil {
+		t.Fatal("expected a hard-constraint violation")
+	}
+	for i := 0; i < 100; i++ {
+		err := a.Validate(topo, c, resource.DefaultClasses())
+		if err == nil || err.Error() != first.Error() {
+			t.Fatalf("call %d: error %q, want stable %q", i, err, first)
+		}
+	}
+}
+
+func TestExactSchedulerRunToRunIdentical(t *testing.T) {
+	// The branch-and-bound prunes on a float bound; with the bound summed
+	// in a fixed order, two runs over identical fresh inputs must pick
+	// identical placements even when candidate costs tie.
+	topo := tinyTopo(t, 30, 512)
+	var ref *Assignment
+	for i := 0; i < 5; i++ {
+		c, err := cluster.TwoRack(2, 2, cluster.EmulabNodeSpec())
+		if err != nil {
+			t.Fatalf("TwoRack: %v", err)
+		}
+		a, err := NewExactScheduler().Schedule(topo, c, NewGlobalState(c))
+		if err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+		if ref == nil {
+			ref = a
+			continue
+		}
+		for _, task := range topo.Tasks() {
+			want, _ := ref.PlacementOf(task.ID)
+			got, _ := a.PlacementOf(task.ID)
+			if got != want {
+				t.Fatalf("run %d: task %d placed at %+v, want %+v", i, task.ID, got, want)
+			}
+		}
+	}
+}
+
+func TestTrafficTotalMatchesPairOrder(t *testing.T) {
+	// Total must sum in first-set order: with the adversarial values
+	// below, any other order changes the low bits.
+	m := NewTrafficMatrix()
+	vals := []float64{1e16, 1, -1e16}
+	m.Set("a", "b", vals[0])
+	m.Set("b", "c", vals[1])
+	m.Set("c", "d", vals[2])
+	// Runtime float64 sum in first-set order (a constant expression
+	// would be folded at arbitrary precision and not match).
+	want := 0.0
+	for _, v := range vals {
+		want += v
+	}
+	for i := 0; i < 100; i++ {
+		if got := m.Total(); got != want {
+			t.Fatalf("call %d: Total = %v, want bit-identical %v", i, got, want)
+		}
+	}
+}

@@ -98,24 +98,28 @@ func (s *ExactScheduler) Schedule(
 	// partialCost returns the network cost of pairs fully placed so far
 	// plus the current CPU overload penalty — both monotone
 	// non-decreasing as tasks are added, so they are a valid bound.
+	// Both sums run in a fixed order (the pairs slice, the eligible node
+	// list): the bound is compared against bestCost with <, so map-order
+	// float accumulation could flip pruning decisions on near-ties.
 	partialCost := func() float64 {
 		var cost float64
 		seen := make(map[pair]bool)
-		for id, node := range assigned {
-			for _, p := range pairsByTask[id] {
-				if seen[p] {
-					continue
-				}
-				na, aOK := assigned[p.a]
-				nb, bOK := assigned[p.b]
-				if aOK && bOK {
-					seen[p] = true
-					cost += c.NetworkDistance(na, nb)
-				}
+		for _, p := range pairs {
+			if seen[p] {
+				continue
 			}
-			_ = node
+			na, aOK := assigned[p.a]
+			nb, bOK := assigned[p.b]
+			if aOK && bOK {
+				seen[p] = true
+				cost += c.NetworkDistance(na, nb)
+			}
 		}
-		for nodeID, u := range used {
+		for _, nodeID := range eligible {
+			u, ok := used[nodeID]
+			if !ok {
+				continue
+			}
 			if over := u.CPU - availBase[nodeID].CPU; over > 0 {
 				cost += s.OverloadPenalty * over / 100
 			}

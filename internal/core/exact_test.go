@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"sort"
 	"strings"
 	"testing"
 
@@ -88,8 +89,14 @@ func objectiveCost(a *Assignment, topo *topology.Topology, c *cluster.Cluster) f
 			}
 		}
 	}
-	for node, used := range a.UsedPerNode(topo) {
-		if over := used.CPU - c.Node(node).Spec.Capacity.CPU; over > 0 {
+	used := a.UsedPerNode(topo)
+	nodes := make([]cluster.NodeID, 0, len(used))
+	for node := range used {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, node := range nodes {
+		if over := used[node].CPU - c.Node(node).Spec.Capacity.CPU; over > 0 {
 			cost += 10 * over / 100
 		}
 	}

@@ -60,9 +60,11 @@ func (m *TrafficMatrix) Total() float64 {
 	if m == nil {
 		return 0
 	}
+	// Sum in first-set order (m.order), not map order: Total feeds
+	// reports and thresholds, so its bits must not vary run to run.
 	var sum float64
-	for _, r := range m.rates {
-		sum += r
+	for _, k := range m.order {
+		sum += m.rates[k]
 	}
 	return sum
 }

@@ -64,6 +64,8 @@ func (e *Engine) ScheduleAt(at time.Duration, fn func()) {
 // ScheduleEvent queues a typed event after delay. Negative delays are
 // clamped to zero. The Engine holds only the interface value; callers own
 // the event's storage and may pool it once Fire has run.
+//
+//rstorm:hotpath
 func (e *Engine) ScheduleEvent(delay time.Duration, ev Event) {
 	if delay < 0 {
 		delay = 0
@@ -73,6 +75,8 @@ func (e *Engine) ScheduleEvent(delay time.Duration, ev Event) {
 
 // ScheduleEventAt queues a typed event at an absolute virtual time. Times
 // in the past are clamped to the current time.
+//
+//rstorm:hotpath
 func (e *Engine) ScheduleEventAt(at time.Duration, ev Event) {
 	if at < e.now {
 		at = e.now
@@ -83,6 +87,8 @@ func (e *Engine) ScheduleEventAt(at time.Duration, ev Event) {
 
 // Step runs the earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event ran.
+//
+//rstorm:hotpath
 func (e *Engine) Step() bool {
 	if len(e.queue.events) == 0 {
 		return false
@@ -133,6 +139,8 @@ type event struct {
 // before reports strict heap order. seq strictly increases across
 // Schedule* calls, so (at, seq) is a total order and equal-timestamp
 // events pop in exact FIFO scheduling order regardless of heap shape.
+//
+//rstorm:hotpath
 func (a *event) before(b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -147,11 +155,13 @@ type eventQueue struct {
 	events []event
 }
 
+//rstorm:hotpath
 func (q *eventQueue) push(ev event) {
 	q.events = append(q.events, ev)
 	q.siftUp(len(q.events) - 1)
 }
 
+//rstorm:hotpath
 func (q *eventQueue) pop() event {
 	es := q.events
 	top := es[0]
@@ -165,6 +175,7 @@ func (q *eventQueue) pop() event {
 	return top
 }
 
+//rstorm:hotpath
 func (q *eventQueue) siftUp(i int) {
 	es := q.events
 	ev := es[i]
@@ -179,6 +190,7 @@ func (q *eventQueue) siftUp(i int) {
 	es[i] = ev
 }
 
+//rstorm:hotpath
 func (q *eventQueue) siftDown(i int) {
 	es := q.events
 	n := len(es)

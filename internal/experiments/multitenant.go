@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"rstorm/internal/core"
@@ -103,12 +104,19 @@ func runMultiTenant(o Options) (*Report, error) {
 	fifoSteady := steadyMean(fifoSeries)
 	prioSteady := steadyMean(prioSeries)
 
+	// Sum batch tenants in sorted name order: the report quotes this
+	// float, so its bits must not depend on map traversal.
 	batchSteady := func(r *tenantRun) float64 {
-		var sum float64
-		for name, tr := range r.result.Topologies {
+		names := make([]string, 0, len(r.result.Topologies))
+		for name := range r.result.Topologies {
 			if name != "prod" {
-				sum += steadyMean(tr.SinkSeries)
+				names = append(names, name)
 			}
+		}
+		sort.Strings(names)
+		var sum float64
+		for _, name := range names {
+			sum += steadyMean(r.result.Topologies[name].SinkSeries)
 		}
 		return sum
 	}

@@ -18,6 +18,8 @@ type Counter struct {
 }
 
 // Add increments the counter by n.
+//
+//rstorm:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current tally.
@@ -42,6 +44,8 @@ func NewWindowed(window time.Duration) (*Windowed, error) {
 }
 
 // Record adds v into the bucket containing virtual time at.
+//
+//rstorm:hotpath
 func (w *Windowed) Record(at time.Duration, v float64) {
 	if at < 0 {
 		at = 0

@@ -269,13 +269,21 @@ func (n *Nimbus) RunSchedulingRound() []string {
 		n.pending = nil
 		return nil
 	}
+	// Build the active-tenant list in sorted name order: it feeds
+	// eviction-victim selection inside ClusterSchedule, so map-iteration
+	// order here would make placement decisions run-dependent.
+	names := make([]string, 0, len(n.topologies))
+	for name := range n.topologies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var active []core.Tenant
-	for name, topo := range n.topologies {
+	for _, name := range names {
 		if n.state.Assignment(name) == nil {
 			continue
 		}
 		active = append(active, core.Tenant{
-			Topo:     topo,
+			Topo:     n.topologies[name],
 			Priority: n.priorities[name],
 			Seq:      n.seqs[name],
 		})

@@ -100,11 +100,11 @@ func NewStatisticServer(n *Nimbus, opts ...StatServerOption) *StatisticServer {
 	s.mux.HandleFunc("/journal", get(s.handleJournal))
 	s.mux.HandleFunc("/latency", get(s.handleLatency))
 	if s.pprof {
-		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
-		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)          //rstorm:route-ok net/http/pprof handlers set their own Content-Type and answer GET only by construction
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline) //rstorm:route-ok net/http/pprof handlers set their own Content-Type and answer GET only by construction
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile) //rstorm:route-ok net/http/pprof handlers set their own Content-Type and answer GET only by construction
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)   //rstorm:route-ok pprof symbol lookup accepts POST by design; wrapping it in the GET guard would break the pprof tool
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)     //rstorm:route-ok net/http/pprof handlers set their own Content-Type and answer GET only by construction
 	}
 	return s
 }

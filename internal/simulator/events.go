@@ -66,6 +66,8 @@ type simEvent struct {
 // Fire implements des.Event. It copies what it needs, returns the record
 // to the pool, then dispatches, so handlers may immediately reuse pooled
 // records for the events they schedule.
+//
+//rstorm:hotpath
 func (e *simEvent) Fire() {
 	s := e.s
 	switch e.kind {
@@ -110,6 +112,7 @@ func (e *simEvent) Fire() {
 	}
 }
 
+//rstorm:hotpath
 func (s *Simulation) newEvent(kind uint8) *simEvent {
 	if n := len(s.eventPool); n > 0 {
 		ev := s.eventPool[n-1]
@@ -120,12 +123,15 @@ func (s *Simulation) newEvent(kind uint8) *simEvent {
 	return &simEvent{s: s, kind: kind}
 }
 
+//rstorm:hotpath
 func (s *Simulation) freeEvent(ev *simEvent) {
 	*ev = simEvent{s: ev.s}
 	s.eventPool = append(s.eventPool, ev)
 }
 
 // scheduleTask schedules a task-only event (spout cycle/fire, bolt try).
+//
+//rstorm:hotpath
 func (s *Simulation) scheduleTask(delay time.Duration, kind uint8, t *simTask) {
 	ev := s.newEvent(kind)
 	ev.task = t
@@ -133,6 +139,8 @@ func (s *Simulation) scheduleTask(delay time.Duration, kind uint8, t *simTask) {
 }
 
 // scheduleComplete schedules a completion to fire after delay.
+//
+//rstorm:hotpath
 func (s *Simulation) scheduleComplete(delay time.Duration, comp completion) {
 	ev := s.newEvent(evComplete)
 	ev.comp = comp
@@ -140,6 +148,8 @@ func (s *Simulation) scheduleComplete(delay time.Duration, comp completion) {
 }
 
 // scheduleArrive schedules tup's arrival at dest's input queue.
+//
+//rstorm:hotpath
 func (s *Simulation) scheduleArrive(delay time.Duration, dest *simTask, tup *tuple, comp completion) {
 	ev := s.newEvent(evArrive)
 	ev.dest = dest
@@ -149,6 +159,8 @@ func (s *Simulation) scheduleArrive(delay time.Duration, dest *simTask, tup *tup
 }
 
 // complete fires an acceptance completion.
+//
+//rstorm:hotpath
 func (s *Simulation) complete(c completion) {
 	switch c.kind {
 	case compDeliver:
@@ -160,6 +172,7 @@ func (s *Simulation) complete(c completion) {
 	}
 }
 
+//rstorm:hotpath
 func (s *Simulation) newTuple(bytes int, key uint64, created time.Duration, tr *tree) *tuple {
 	if n := len(s.tuplePool); n > 0 {
 		tup := s.tuplePool[n-1]
@@ -173,11 +186,13 @@ func (s *Simulation) newTuple(bytes int, key uint64, created time.Duration, tr *
 	return &tuple{bytes: bytes, key: key, created: created, tree: tr}
 }
 
+//rstorm:hotpath
 func (s *Simulation) freeTuple(tup *tuple) {
 	tup.tree = nil
 	s.tuplePool = append(s.tuplePool, tup)
 }
 
+//rstorm:hotpath
 func (s *Simulation) newTree(spout *simTask) *tree {
 	if n := len(s.treePool); n > 0 {
 		tr := s.treePool[n-1]
@@ -193,6 +208,7 @@ func (s *Simulation) newTree(spout *simTask) *tree {
 	return &tree{spout: spout}
 }
 
+//rstorm:hotpath
 func (s *Simulation) freeTree(tr *tree) {
 	tr.spout = nil
 	s.treePool = append(s.treePool, tr)

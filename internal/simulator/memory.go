@@ -32,6 +32,8 @@ import "rstorm/internal/trace"
 // residentMemMB returns a task's resident memory in MB under the runtime
 // memory model. Dead tasks hold nothing: their state is freed and their
 // queues were drained at kill time.
+//
+//rstorm:hotpath
 func (s *Simulation) residentMemMB(t *simTask) float64 {
 	if t.dead {
 		return 0
@@ -46,6 +48,8 @@ func (s *Simulation) residentMemMB(t *simTask) float64 {
 }
 
 // nodeResidentMemMB sums the resident memory of a node's live tasks.
+//
+//rstorm:hotpath
 func (s *Simulation) nodeResidentMemMB(n *simNode) float64 {
 	var total float64
 	for _, t := range n.tasks {

@@ -29,12 +29,16 @@ func newBoundedQueue(capacity int) *boundedQueue {
 func (q *boundedQueue) len() int { return q.items.len() }
 
 // residentBytes is the payload currently held in the queue.
+//
+//rstorm:hotpath
 func (q *boundedQueue) residentBytes() int64 { return q.bytes }
 
 func (q *boundedQueue) empty() bool { return q.items.len() == 0 }
 
 // tryEnqueue appends tup if there is space and reports whether it was
 // admitted. When full, the producer must park via addWaiter.
+//
+//rstorm:hotpath
 func (q *boundedQueue) tryEnqueue(tup *tuple) bool {
 	if q.items.len() >= q.capacity {
 		return false
@@ -45,6 +49,8 @@ func (q *boundedQueue) tryEnqueue(tup *tuple) bool {
 }
 
 // addWaiter parks a blocked producer.
+//
+//rstorm:hotpath
 func (q *boundedQueue) addWaiter(tup *tuple, accepted completion) {
 	q.waiters.push(waiter{tup: tup, accepted: accepted})
 }
@@ -54,6 +60,8 @@ func (q *boundedQueue) addWaiter(tup *tuple, accepted completion) {
 // the caller to schedule (the simulator defers completions through the
 // event engine to keep control flow iterative). unblocked.kind is compNone
 // when no producer was waiting.
+//
+//rstorm:hotpath
 func (q *boundedQueue) dequeue() (tup *tuple, unblocked completion, ok bool) {
 	if q.items.len() == 0 {
 		return nil, completion{}, false

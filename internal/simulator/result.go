@@ -120,11 +120,17 @@ func (r *Result) Topology(name string) *TopologyResult {
 	return r.Topologies[name]
 }
 
-// TotalMeanThroughput sums MeanSinkThroughput across topologies.
+// TotalMeanThroughput sums MeanSinkThroughput across topologies, in
+// sorted name order so the float sum is bit-stable across runs.
 func (r *Result) TotalMeanThroughput() float64 {
+	names := make([]string, 0, len(r.Topologies))
+	for n := range r.Topologies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	var sum float64
-	for _, tr := range r.Topologies {
-		sum += tr.MeanSinkThroughput
+	for _, n := range names {
+		sum += r.Topologies[n].MeanSinkThroughput
 	}
 	return sum
 }

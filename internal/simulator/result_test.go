@@ -1,0 +1,24 @@
+package simulator
+
+import "testing"
+
+func TestTotalMeanThroughputBitStable(t *testing.T) {
+	// Sorted-name order is the contract: with these adversarial values
+	// any other summation order changes the low bits (rstorm-lint
+	// determinism finding, PR 8).
+	vals := []float64{1e16, 1, -1e16}
+	r := &Result{Topologies: map[string]*TopologyResult{
+		"a": {MeanSinkThroughput: vals[0]},
+		"b": {MeanSinkThroughput: vals[1]},
+		"c": {MeanSinkThroughput: vals[2]},
+	}}
+	want := 0.0
+	for _, v := range vals {
+		want += v
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.TotalMeanThroughput(); got != want {
+			t.Fatalf("call %d: TotalMeanThroughput = %v, want bit-identical %v", i, got, want)
+		}
+	}
+}

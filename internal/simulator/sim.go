@@ -538,6 +538,8 @@ func (s *Simulation) serviceTime(t *simTask) time.Duration {
 // when the max-pending window is full and is woken by tree completion. A
 // queued replay proceeds regardless of credits: its tree's credit is
 // already held.
+//
+//rstorm:hotpath
 func (s *Simulation) spoutCycle(t *simTask) {
 	if t.dead {
 		return
@@ -551,6 +553,8 @@ func (s *Simulation) spoutCycle(t *simTask) {
 
 // spoutFire runs when a spout's per-tuple service completes: it emits one
 // root tuple tree and starts delivering its fan-out.
+//
+//rstorm:hotpath
 func (s *Simulation) spoutFire(t *simTask) {
 	if t.dead {
 		return
@@ -607,6 +611,8 @@ func (s *Simulation) spoutFire(t *simTask) {
 }
 
 // boltTry starts processing the next queued tuple if the task is idle.
+//
+//rstorm:hotpath
 func (s *Simulation) boltTry(t *simTask) {
 	if t.busy || t.dead || t.queue.empty() {
 		return
@@ -627,6 +633,8 @@ func (s *Simulation) boltTry(t *simTask) {
 
 // boltFire runs when a bolt's service completes: it records the processed
 // tuple and emits (then delivers) its outputs.
+//
+//rstorm:hotpath
 func (s *Simulation) boltFire(t *simTask, tup *tuple) {
 	t.tracker.AddBusy(t.service)
 	if t.dead {
@@ -682,6 +690,8 @@ type outbound struct {
 // routeOutputs materializes the output tuple instances for one processed
 // (or spout-generated) tuple across every outgoing stream, into the task's
 // reusable scratch buffer.
+//
+//rstorm:hotpath
 func (s *Simulation) routeOutputs(
 	t *simTask, key uint64, created time.Duration, tr *tree, fromSpout bool,
 ) []outbound {
@@ -738,6 +748,8 @@ func (s *Simulation) routeOutputs(
 // sequence. Deliveries are strictly one at a time: the next one starts
 // only when the previous is accepted downstream, which is what blocks an
 // emitter on backpressure.
+//
+//rstorm:hotpath
 func (s *Simulation) stepDeliver(t *simTask) {
 	if t.outIdx >= len(t.outBuf) {
 		s.finishDeliver(t)
@@ -748,6 +760,8 @@ func (s *Simulation) stepDeliver(t *simTask) {
 
 // finishDeliver runs after the last outbound of an emission is accepted:
 // spouts loop, bolts go idle and poll their queue.
+//
+//rstorm:hotpath
 func (s *Simulation) finishDeliver(t *simTask) {
 	if t.isSpout == 1 {
 		s.spoutCycle(t)
@@ -760,6 +774,8 @@ func (s *Simulation) finishDeliver(t *simTask) {
 // deliver moves one tuple instance toward its destination: directly (with
 // path latency) for local hand-offs, through the sender's NIC for remote
 // ones. comp fires when the sender may proceed.
+//
+//rstorm:hotpath
 func (s *Simulation) deliver(from *simTask, ob outbound, comp completion) {
 	ob.edge.tuples++
 	from.run.sent++
@@ -804,6 +820,8 @@ func (s *Simulation) deliver(from *simTask, ob outbound, comp completion) {
 
 // enqueueAt admits a tuple to a task's input queue, parking the producer
 // completion when full.
+//
+//rstorm:hotpath
 func (s *Simulation) enqueueAt(dest *simTask, tup *tuple, comp completion) {
 	if dest.dead || dest.node.dead {
 		if id := s.traceOf(tup); id != 0 {
@@ -833,6 +851,8 @@ func (s *Simulation) enqueueAt(dest *simTask, tup *tuple, comp completion) {
 // end-to-end latency. Tuples older than the tuple timeout are expired:
 // real Storm would have failed and replayed them, so they do not count
 // toward throughput.
+//
+//rstorm:hotpath
 func (s *Simulation) recordSink(t *simTask, now, created time.Duration) {
 	age := now - created
 	t.winLatSum += age
@@ -871,6 +891,8 @@ func (s *Simulation) migrateTuple(tup *tuple) {
 
 // failTuple releases a tuple instance and fails its tree so the spout
 // recovers its max-pending credit rather than wedging.
+//
+//rstorm:hotpath
 func (s *Simulation) failTuple(tup *tuple) {
 	tr := tup.tree
 	s.freeTuple(tup)
@@ -888,6 +910,8 @@ func (s *Simulation) failTuple(tup *tuple) {
 // With at-least-once replay on, a failed tree with retries left re-emits
 // from the spout after an exponential backoff instead — its credit stays
 // held until the retry chain completes or is exhausted.
+//
+//rstorm:hotpath
 func (s *Simulation) completeTree(tr *tree) {
 	sp := tr.spout
 	if tr.failed && s.cfg.Replay && sp != nil {

@@ -33,6 +33,8 @@ const (
 // bucketOf maps a non-negative nanosecond value to its bucket index.
 // Monotonic and contiguous: small values (< 2^(subBits+1)) are exact,
 // larger ones land in [value, value*(1+1/subBuckets)).
+//
+//rstorm:hotpath
 func bucketOf(v int64) int {
 	u := uint64(v)
 	if u < 2*subBuckets {
@@ -69,6 +71,8 @@ type Histogram struct {
 func NewHistogram() *Histogram { return &Histogram{} }
 
 // Observe records one duration. Negative values clamp to zero.
+//
+//rstorm:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	v := int64(d)
 	if v < 0 {

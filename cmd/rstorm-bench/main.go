@@ -73,7 +73,10 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Println(report.Render())
-		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+		// Progress note, not report content: wall time goes to stderr so
+		// stdout stays byte-identical run to run (and diffable against a
+		// matrix run's cells, which never embed wall-clock durations).
+		fmt.Fprintf(os.Stderr, "(%s wall time %.1fs)\n", e.ID, time.Since(start).Seconds())
 	}
 	return nil
 }

@@ -10,6 +10,7 @@
 //	           [-adaptive] [-control-interval 1s] [-memory] [-traffic] \
 //	           [-multitenant] [-chaos] \
 //	           [-percentiles] [-trace N] [-journal]
+//	rstorm-sim -matrix "spec" [-workers N] [-duration 60s] [-window 10s] [-seed 1]
 //
 // -fail takes a comma-separated chaos schedule (internal/faults): each
 // event is [crash:|recover:|slow:]node@time[:factor], the bare node@time
@@ -46,6 +47,18 @@
 // the adaptive loop's failover trigger, reporting recovery ratio and
 // time-to-recover.
 //
+// With -matrix the scenario orchestrator (DESIGN.md §10) runs an
+// experiment matrix instead of a single simulation: the spec grammar is
+//
+//	<ids|all> [× seeds=<n..m|n,m,...>] [× duration=<d,...>] [× window=<d,...>]
+//
+// e.g. "failover,consolidate × seeds=1..16". Cells run across a bounded
+// pool of -workers goroutines (default: all CPUs), each on a fully
+// isolated simulator instance; -duration, -window and -seed supply the
+// defaults for knobs the spec leaves unset. Output is merged in matrix
+// order and is byte-identical for any worker count. -matrix composes
+// with no other mode flag.
+//
 // The observability flags (DESIGN.md §8) are independent of the mode
 // flags and off by default — leaving them off keeps every mode's output
 // byte-identical to the uninstrumented simulator. -percentiles turns on
@@ -59,6 +72,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -71,6 +85,7 @@ import (
 	"rstorm/internal/core"
 	"rstorm/internal/experiments"
 	"rstorm/internal/faults"
+	"rstorm/internal/orchestra"
 	"rstorm/internal/simulator"
 	"rstorm/internal/topology"
 	"rstorm/internal/trace"
@@ -106,12 +121,29 @@ func run(w io.Writer, args []string) error {
 		percentiles = fs.Bool("percentiles", false, "latency histograms: print complete-tree latency percentiles and the per-window p99 timeline (with -chaos, add the failover latency-spike rows)")
 		traceEvery  = fs.Int("trace", 0, "sample every Nth spout emission into a tuple trace and print the reconstructed span trees (0 = off)")
 		journalOn   = fs.Bool("journal", false, "record control-plane decisions (faults, OOM kills, triggers, rebalances) and print them as JSONL")
+		matrixSpec  = fs.String("matrix", "", `run an experiment matrix across the worker pool, e.g. "failover,consolidate × seeds=1..16" (see the package comment for the grammar)`)
+		workers     = fs.Int("workers", 0, "worker goroutines for -matrix (0 = all CPUs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *traceEvery < 0 {
 		return fmt.Errorf("-trace %d is negative", *traceEvery)
+	}
+	if *matrixSpec != "" {
+		if *topoPath != "" || *multitenant || *chaos || *adaptiveOn || *failSpec != "" ||
+			*traceEvery > 0 || *journalOn || *memoryOn || *trafficOn || *replayOn {
+			return fmt.Errorf("-matrix runs registered experiments and composes with no other mode flag")
+		}
+		return runMatrix(w, *matrixSpec, *workers, experiments.Options{
+			Duration:      *duration,
+			MetricsWindow: *window,
+			Seed:          *seed,
+			Percentiles:   *percentiles,
+		})
+	}
+	if *workers != 0 {
+		return fmt.Errorf("-workers only applies to -matrix runs")
 	}
 	if (*multitenant || *chaos) && (*traceEvery > 0 || *journalOn) {
 		// The experiment modes run their own pre-wired simulations;
@@ -239,6 +271,29 @@ func run(w io.Writer, args []string) error {
 	}
 	if *journalOn {
 		printJournal(w, journal)
+	}
+	return nil
+}
+
+// runMatrix parses a matrix spec, resolves it against the experiment
+// registry, and evaluates it across the orchestrator's worker pool. The
+// merged output is deterministic: byte-identical for any -workers value.
+func runMatrix(w io.Writer, spec string, workers int, base experiments.Options) error {
+	parsed, err := orchestra.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	cells, err := experiments.MatrixCells(parsed, base)
+	if err != nil {
+		return err
+	}
+	results, err := orchestra.Run(context.Background(), cells, orchestra.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, results.Render())
+	if failed := results.Failed(); failed > 0 {
+		return fmt.Errorf("%d of %d matrix cells failed", failed, len(results.Cells))
 	}
 	return nil
 }

@@ -382,6 +382,66 @@ func TestRunChaosMode(t *testing.T) {
 	}
 }
 
+// TestRunMatrixMode drives -matrix end to end: a seed matrix over two
+// experiments renders every cell under its key, and the merged output is
+// byte-identical whether one worker or four run the pool.
+func TestRunMatrixMode(t *testing.T) {
+	args := func(workers string) []string {
+		return []string{
+			"-matrix", "fig9b,consolidate x seeds=1..2",
+			"-workers", workers,
+			"-duration", "6s", "-window", "2s",
+		}
+	}
+	var serial bytes.Buffer
+	if err := run(&serial, args("1")); err != nil {
+		t.Fatalf("run -matrix -workers 1: %v", err)
+	}
+	s := serial.String()
+	for _, want := range []string{
+		"--- cell fig9b seed=1 ---",
+		"--- cell fig9b seed=2 ---",
+		"--- cell consolidate seed=1 ---",
+		"--- cell consolidate seed=2 ---",
+		"matrix: 4 cells, 0 failed",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("matrix output missing %q:\n%s", want, s)
+		}
+	}
+	var pooled bytes.Buffer
+	if err := run(&pooled, args("4")); err != nil {
+		t.Fatalf("run -matrix -workers 4: %v", err)
+	}
+	if pooled.String() != s {
+		t.Errorf("-workers 4 output diverged from -workers 1:\n--- got ---\n%s\n--- want ---\n%s",
+			pooled.String(), s)
+	}
+}
+
+// TestRunMatrixRejectsBadSpecs: the matrix flag surface fails cleanly on
+// grammar errors, unknown experiments, flag composition, and stray
+// -workers.
+func TestRunMatrixRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-matrix", "fig9b × seeds="}, "matrix spec"},
+		{[]string{"-matrix", "fig99 × seeds=1"}, `unknown experiment "fig99"`},
+		{[]string{"-matrix", "fig9b", "-adaptive"}, "composes with no other mode flag"},
+		{[]string{"-matrix", "fig9b", "-chaos"}, "composes with no other mode flag"},
+		{[]string{"-matrix", "fig9b", "-fail", "node-0-0@1s"}, "composes with no other mode flag"},
+		{[]string{"-workers", "4", "-duration", "1s"}, "-workers only applies to -matrix"},
+	}
+	for _, c := range cases {
+		err := run(&bytes.Buffer{}, c.args)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("run(%v) err = %v, want %q", c.args, err, c.want)
+		}
+	}
+}
+
 func TestRunMultiTenantMode(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(&out, []string{"-multitenant", "-duration", "6s"}); err != nil {

@@ -25,6 +25,7 @@
 //	//rstorm:wallclock-ok reason   time.Now / global rand accepted
 //	//rstorm:alloc-ok reason       hot-path allocation accepted
 //	//rstorm:route-ok reason       route-discipline finding accepted
+//	//rstorm:global-ok reason      package-level var accepted
 //
 // A suppression with no reason is itself a diagnostic.
 package analysis
@@ -262,9 +263,10 @@ var analyzerCategories = map[string][]string{
 	"hotpath":     {"alloc-ok"},
 	"journal":     {"journal-ok"},
 	"statserver":  {"route-ok"},
+	"globalvar":   {"global-ok"},
 }
 
-// Suite returns fresh instances of all four analyzers. Instances carry
+// Suite returns fresh instances of all five analyzers. Instances carry
 // per-run state (the journal analyzer accumulates cross-package usage),
 // so each invocation needs its own.
 func Suite() []*Analyzer {
@@ -273,5 +275,6 @@ func Suite() []*Analyzer {
 		NewHotpath(),
 		NewJournal(),
 		NewStatserver(),
+		NewGlobalvar(),
 	}
 }

@@ -1,0 +1,69 @@
+// Package globalvar is the golden suite for the globalvar analyzer:
+// package-level mutable state reachable from orchestrated runs.
+package globalvar
+
+import "errors"
+
+// Plain package-level state in every shape a run could share.
+var hits int // want `package-level var "hits" is mutable state`
+
+var lookup = map[string]bool{"a": true} // want `package-level var "lookup" is mutable state`
+
+var freelist []*node // want `package-level var "freelist" is mutable state`
+
+var marks = []rune{'*', 'o'} // want `package-level var "marks" is mutable state`
+
+// Grouped declarations are checked name by name.
+var ( // each name below is its own finding
+	buf   []byte  // want `package-level var "buf" is mutable state`
+	ratio float64 // want `package-level var "ratio" is mutable state`
+)
+
+// A multi-name spec flags every name.
+var a, b = 1, 2 // want `package-level var "a" is mutable state` `package-level var "b" is mutable state`
+
+// Error sentinels are conventionally immutable: exempt.
+var ErrNotFound = errors.New("not found")
+
+// A custom type implementing error is a sentinel too.
+var errSentinel = errString("boom")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+// Blank assertions exist only for the type checker: exempt.
+var _ interface{ Error() string } = errSentinel
+
+// A reasoned suppression is honoured.
+//
+//rstorm:global-ok write-once registry guarded by sync.Once, read-only afterwards
+var registry map[string]int
+
+// A reasonless suppression is itself a finding.
+//
+//rstorm:global-ok // want `suppression missing a reason`
+var cache map[string]int
+
+type node struct{ next *node }
+
+// Locals are not package-level state: clean.
+func useLocals() int {
+	var n int
+	var m = map[string]bool{}
+	if m["x"] {
+		n++
+	}
+	_ = freelist
+	_ = buf
+	_ = ratio
+	_ = a + b + hits
+	_ = ratio
+	_ = lookup
+	_ = marks
+	_ = registry
+	_ = cache
+	_ = ErrNotFound
+	_ = errSentinel
+	return n
+}

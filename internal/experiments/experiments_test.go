@@ -52,6 +52,30 @@ func TestByID(t *testing.T) {
 	}
 }
 
+// TestByIDDoesNotRebuildRegistry pins the registry fix: a ByID lookup
+// must be an indexed read, not a reconstruction of the whole catalogue
+// (which allocated the All() slice plus every Experiment on every call).
+// A map hit and a map miss both allocate nothing.
+func TestByIDDoesNotRebuildRegistry(t *testing.T) {
+	ensureRegistry()
+	for _, id := range []string{"fig8a", "observability", "no-such-experiment"} {
+		if allocs := testing.AllocsPerRun(100, func() { ByID(id) }); allocs != 0 {
+			t.Errorf("ByID(%q) allocates %.0f objects per lookup, want 0 (registry rebuilt?)", id, allocs)
+		}
+	}
+}
+
+// TestAllReturnsACopy: callers may sort or truncate the slice All hands
+// out without corrupting the registry's paper ordering.
+func TestAllReturnsACopy(t *testing.T) {
+	a := All()
+	a[0], a[1] = a[1], a[0]
+	b := All()
+	if b[0].ID != "fig8a" || b[1].ID != "fig8b" {
+		t.Errorf("mutating All()'s result leaked into the registry: got %s, %s", b[0].ID, b[1].ID)
+	}
+}
+
 func TestFig9aShortRun(t *testing.T) {
 	// Compute-bound experiments are cheap enough to smoke-test: the
 	// headline property (equal throughput, half the nodes) must hold

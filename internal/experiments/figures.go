@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"rstorm/internal/cluster"
@@ -12,35 +13,61 @@ import (
 	"rstorm/internal/workloads"
 )
 
-// All returns every figure experiment in paper order, followed by the
-// ablations from DESIGN.md and the adaptive-scheduling elasticity figure.
-func All() []Experiment {
-	return []Experiment{
-		Fig8a(), Fig8b(), Fig8c(),
-		Fig9a(), Fig9b(), Fig9c(),
-		Fig10(),
-		Fig12a(), Fig12b(),
-		Fig13(),
-		AblationTaskOrdering(),
-		AblationGreedyVsExact(),
-		AblationWeights(),
-		Elasticity(),
-		MemoryStress(),
-		Consolidate(),
-		MultiTenant(),
-		Failover(),
-		Observability(),
-	}
+// registry is the experiment catalogue, built exactly once: the slice
+// keeps paper order (figures, then ablations, then the post-paper
+// scenario experiments) and the map indexes it by ID. Constructing every
+// experiment on each ByID lookup — what the pre-registry code did — made
+// a lookup O(catalogue) in time and allocations, which the parallel
+// orchestrator would pay once per matrix cell.
+//
+//rstorm:global-ok sync.Once-guarded: written once before first read, immutable afterwards
+var registry struct {
+	once sync.Once
+	all  []Experiment
+	byID map[string]Experiment
 }
 
-// ByID returns the experiment with the given ID.
-func ByID(id string) (Experiment, bool) {
-	for _, e := range All() {
-		if e.ID == id {
-			return e, true
+func ensureRegistry() {
+	registry.once.Do(func() {
+		registry.all = []Experiment{
+			Fig8a(), Fig8b(), Fig8c(),
+			Fig9a(), Fig9b(), Fig9c(),
+			Fig10(),
+			Fig12a(), Fig12b(),
+			Fig13(),
+			AblationTaskOrdering(),
+			AblationGreedyVsExact(),
+			AblationWeights(),
+			Elasticity(),
+			MemoryStress(),
+			Consolidate(),
+			MultiTenant(),
+			Failover(),
+			Observability(),
 		}
-	}
-	return Experiment{}, false
+		registry.byID = make(map[string]Experiment, len(registry.all))
+		for _, e := range registry.all {
+			registry.byID[e.ID] = e
+		}
+	})
+}
+
+// All returns every figure experiment in paper order, followed by the
+// ablations from DESIGN.md and the adaptive-scheduling elasticity figure.
+// The returned slice is a fresh copy; callers may reorder it freely.
+func All() []Experiment {
+	ensureRegistry()
+	out := make([]Experiment, len(registry.all))
+	copy(out, registry.all)
+	return out
+}
+
+// ByID returns the experiment with the given ID in O(1), without
+// rebuilding the catalogue.
+func ByID(id string) (Experiment, bool) {
+	ensureRegistry()
+	e, ok := registry.byID[id]
+	return e, ok
 }
 
 func microCfg(o Options) simulator.Config {

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"rstorm/internal/orchestra"
+)
+
+// matrixRender parses and runs a matrix spec at the given worker count,
+// returning the merged rendered bytes.
+func matrixRender(t *testing.T, spec string, workers int, base Options) string {
+	t.Helper()
+	parsed, err := orchestra.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", spec, err)
+	}
+	cells, err := MatrixCells(parsed, base)
+	if err != nil {
+		t.Fatalf("MatrixCells: %v", err)
+	}
+	res, err := orchestra.Run(context.Background(), cells, orchestra.Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("Run(workers=%d): %v", workers, err)
+	}
+	if res.Failed() != 0 {
+		t.Fatalf("workers=%d: %d cells failed:\n%s", workers, res.Failed(), res.Render())
+	}
+	return res.Render()
+}
+
+// TestMatrixGoldenAcrossWorkerCounts extends the golden-diff harness to
+// the orchestrator (the tentpole acceptance criterion): a seed matrix
+// over experiments with adaptive control decisions, evictions and chaos
+// must render byte-identically at workers ∈ {1, 4, NumCPU}.
+func TestMatrixGoldenAcrossWorkerCounts(t *testing.T) {
+	const spec = "fig9b,consolidate,failover × seeds=1..2"
+	base := goldenOpts()
+	want := matrixRender(t, spec, 1, base)
+	if !strings.Contains(want, "matrix: 6 cells, 0 failed") {
+		t.Fatalf("unexpected serial baseline:\n%s", want)
+	}
+	counts := []int{4, runtime.NumCPU()}
+	for _, workers := range counts {
+		if got := matrixRender(t, spec, workers, base); got != want {
+			t.Errorf("workers=%d output diverged from serial run:\n--- got ---\n%s\n--- want ---\n%s",
+				workers, got, want)
+		}
+	}
+}
+
+// TestRunAllEightWorkers is the race sweep's entry point: the full
+// registered suite — every simulator epoch, the adaptive loop, Nimbus
+// arbitration, chaos injection, OOM kills — runs concurrently across at
+// least 8 workers. Under `go test -race` (the CI race job runs this by
+// name) any shared rand source, report buffer, counter registry or pool
+// freelist between cells is a hard failure; without -race it still pins
+// result completeness and paper ordering.
+func TestRunAllEightWorkers(t *testing.T) {
+	opts := Options{
+		Duration:      2 * time.Second,
+		MetricsWindow: 1 * time.Second,
+		Seed:          1,
+	}
+	results, err := RunAll(context.Background(), 8, opts)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	all := All()
+	if len(results) != len(all) {
+		t.Fatalf("results = %d, want %d", len(results), len(all))
+	}
+	for i, r := range results {
+		if r.ID != all[i].ID {
+			t.Errorf("result %d = %s, want %s (paper order)", i, r.ID, all[i].ID)
+		}
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.ID, r.Err)
+		}
+		if r.Report == nil {
+			t.Errorf("%s: nil report", r.ID)
+		}
+	}
+}
+
+// TestRunAllCancelled: a pre-cancelled context skips every cell and
+// surfaces the cancellation both per-result and from RunAll itself.
+func TestRunAllCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := RunAll(ctx, 4, goldenOpts())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, r := range results {
+		if r.Report != nil {
+			// A cell the pool had already dispatched before noticing the
+			// cancellation may legitimately finish; none should here with
+			// a context cancelled before Run was called, but the hard
+			// requirement is that unfinished cells carry the error.
+			continue
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", r.ID, r.Err)
+		}
+	}
+}
+
+// TestMatrixCellsUnknownID: resolution rejects IDs the registry does not
+// know, naming the offender.
+func TestMatrixCellsUnknownID(t *testing.T) {
+	spec, err := orchestra.ParseSpec("fig8a,fig99 × seeds=1..2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = MatrixCells(spec, goldenOpts())
+	if err == nil || !strings.Contains(err.Error(), `unknown experiment "fig99"`) {
+		t.Errorf("err = %v, want unknown experiment fig99", err)
+	}
+}
+
+// TestMatrixCellsAllExpandsRegistry: "all" multiplies the catalogue in
+// paper order by the rest of the matrix.
+func TestMatrixCellsAllExpandsRegistry(t *testing.T) {
+	spec, err := orchestra.ParseSpec("all × seeds=1..2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := MatrixCells(spec, goldenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := All()
+	if len(cells) != 2*len(all) {
+		t.Fatalf("cells = %d, want %d", len(cells), 2*len(all))
+	}
+	if cells[0].Key != all[0].ID+" seed=1" || cells[1].Key != all[0].ID+" seed=2" {
+		t.Errorf("first cells = %q, %q: seeds must vary faster than experiments", cells[0].Key, cells[1].Key)
+	}
+	if last := cells[len(cells)-1].Key; last != all[len(all)-1].ID+" seed=2" {
+		t.Errorf("last cell = %q", last)
+	}
+}
+
+// TestMatrixKnobsOverrideBase: a knob the spec sets replaces the base
+// option for that cell; unset knobs inherit it.
+func TestMatrixKnobsOverrideBase(t *testing.T) {
+	spec, err := orchestra.ParseSpec("fig9b × seeds=7 × duration=4s × window=2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{Duration: time.Hour, MetricsWindow: time.Minute, Seed: 1}
+	cells, err := MatrixCells(spec, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(cells))
+	}
+	if cells[0].Key != "fig9b seed=7 duration=4s window=2s" {
+		t.Errorf("key = %q", cells[0].Key)
+	}
+	out, err := cells[0].Run(context.Background())
+	if err != nil {
+		t.Fatalf("cell run: %v", err)
+	}
+	// The 2s window shows up in the report's throughput label — proof the
+	// spec's knobs (not base's hour-long run) reached the simulator.
+	if !strings.Contains(out, "throughput (tuples/2s)") {
+		t.Errorf("cell output not produced under the spec's window:\n%s", out)
+	}
+}

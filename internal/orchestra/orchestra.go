@@ -1,0 +1,174 @@
+// Package orchestra is the embarrassingly parallel scenario orchestrator
+// (DESIGN.md §10): it evaluates experiment matrices — {experiments ×
+// seeds × policy knobs} — across a bounded pool of worker goroutines and
+// merges the results deterministically.
+//
+// The package is deliberately generic: a Cell is any function producing
+// rendered output, so the pool knows nothing about the experiment
+// registry (internal/experiments adapts its catalogue onto cells; the
+// import points from experiments to orchestra, never back). Three
+// invariants make massed runs safe and reproducible:
+//
+//   - Isolation: a cell owns everything it touches. Every simulator
+//     instance, RNG, freelist, profiler, journal and report buffer is
+//     constructed inside the cell's Run and never escapes it. Package
+//     orchestra itself holds no mutable package-level state (enforced
+//     statically by rstorm-lint's globalvar check).
+//   - Deterministic merge: results land in a slice indexed by matrix
+//     position, so Render output is byte-identical regardless of worker
+//     count or completion order. Nothing in a result may depend on wall
+//     time or on which worker ran it.
+//   - Failure containment: a cell that returns an error or panics fails
+//     that cell alone; the rest of the matrix still runs. Cancelling the
+//     context stops dispatch — in-flight cells finish, undispatched
+//     cells are marked skipped.
+package orchestra
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Cell is one unit of work in a matrix: a key naming the cell in the
+// results and a function producing its rendered output. Run must be
+// self-contained (see the isolation invariant above) and deterministic
+// in its output bytes.
+type Cell struct {
+	Key string
+	Run func(ctx context.Context) (string, error)
+}
+
+// Options tunes a matrix run.
+type Options struct {
+	// Workers bounds the goroutine pool. <= 0 means runtime.NumCPU().
+	Workers int
+}
+
+// CellResult is one cell's outcome, stored at the cell's matrix position.
+type CellResult struct {
+	Key    string
+	Output string
+	Err    error
+	// Skipped marks a cell that was never dispatched because the context
+	// was cancelled first; Err then carries the context's error.
+	Skipped bool
+}
+
+// Results is the deterministic results store: Cells is in matrix order,
+// independent of worker count and completion order.
+type Results struct {
+	Cells []CellResult
+}
+
+// Run evaluates the cells across a pool of at most opts.Workers
+// goroutines. It returns results for every cell, in input order; the
+// error is non-nil only when ctx was cancelled (per-cell failures are
+// reported in the results, not here).
+func Run(ctx context.Context, cells []Cell, opts Options) (*Results, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	res := &Results{Cells: make([]CellResult, len(cells))}
+	if len(cells) == 0 {
+		return res, ctx.Err()
+	}
+
+	// Workers pull cell indices from the channel and write their result
+	// into the slot the index names — the only write to that slot, and
+	// the WaitGroup join below publishes it before Run returns.
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res.Cells[i] = runCell(ctx, cells[i])
+			}
+		}()
+	}
+
+	// Dispatch in matrix order, stopping at cancellation. The order cells
+	// *start* in is irrelevant to the output — only the slot they land in
+	// matters — but in-order dispatch keeps worker=1 runs identical to a
+	// serial loop.
+	next := 0
+dispatch:
+	for ; next < len(cells); next++ {
+		select {
+		case idx <- next:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	for i := next; i < len(cells); i++ {
+		res.Cells[i] = CellResult{Key: cells[i].Key, Err: ctx.Err(), Skipped: true}
+	}
+	return res, ctx.Err()
+}
+
+// runCell executes one cell, converting a panic into that cell's error:
+// one bad cell must not take down the suite (or the process).
+func runCell(ctx context.Context, c Cell) (r CellResult) {
+	r.Key = c.Key
+	defer func() {
+		if p := recover(); p != nil {
+			// The panic value alone, no stack: goroutine IDs in a stack
+			// trace would vary with worker count and break the
+			// byte-identical merge.
+			r.Err = fmt.Errorf("cell panicked: %v", p)
+		}
+	}()
+	r.Output, r.Err = c.Run(ctx)
+	return r
+}
+
+// Failed counts cells that errored (skipped cells included: they carry
+// the cancellation error).
+func (r *Results) Failed() int {
+	n := 0
+	for _, c := range r.Cells {
+		if c.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Render formats the merged results in matrix order: each cell's output
+// under a banner naming it, then a summary line. The bytes depend only
+// on the cells' outputs — never on worker count, completion order, or
+// wall time.
+func (r *Results) Render() string {
+	var b strings.Builder
+	skipped := 0
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "--- cell %s ---\n", c.Key)
+		switch {
+		case c.Skipped:
+			fmt.Fprintf(&b, "skipped: %v\n", c.Err)
+			skipped++
+		case c.Err != nil:
+			fmt.Fprintf(&b, "error: %v\n", c.Err)
+		default:
+			b.WriteString(c.Output)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "matrix: %d cells, %d failed", len(r.Cells), r.Failed()-skipped)
+	if skipped > 0 {
+		fmt.Fprintf(&b, ", %d skipped", skipped)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

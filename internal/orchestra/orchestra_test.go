@@ -1,0 +1,236 @@
+package orchestra
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolBoundsWorkers pins the bounded-pool invariant: with Workers=4,
+// at most 4 cells are ever in flight at once, and every cell still runs.
+func TestPoolBoundsWorkers(t *testing.T) {
+	const cells, workers = 32, 4
+	var inFlight, peak, ran atomic.Int64
+	in := make([]Cell, cells)
+	for i := range in {
+		in[i] = Cell{
+			Key: fmt.Sprintf("cell-%d", i),
+			Run: func(context.Context) (string, error) {
+				n := inFlight.Add(1)
+				defer inFlight.Add(-1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				ran.Add(1)
+				return "ok", nil
+			},
+		}
+	}
+	res, err := Run(context.Background(), in, Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := ran.Load(); got != cells {
+		t.Errorf("ran %d cells, want %d", got, cells)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak in-flight cells = %d, want <= %d", p, workers)
+	}
+	if res.Failed() != 0 {
+		t.Errorf("Failed() = %d, want 0", res.Failed())
+	}
+}
+
+// TestWorkersDefaultAndClamp: Workers<=0 falls back to NumCPU, and a
+// pool larger than the matrix still runs every cell exactly once.
+func TestWorkersDefaultAndClamp(t *testing.T) {
+	for _, workers := range []int{0, -3, 100} {
+		var ran atomic.Int64
+		in := make([]Cell, 5)
+		for i := range in {
+			in[i] = Cell{Key: fmt.Sprintf("c%d", i), Run: func(context.Context) (string, error) {
+				ran.Add(1)
+				return "", nil
+			}}
+		}
+		if _, err := Run(context.Background(), in, Options{Workers: workers}); err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		if got := ran.Load(); got != 5 {
+			t.Errorf("Workers=%d: ran %d cells, want 5", workers, got)
+		}
+	}
+}
+
+// TestCancellationMidMatrix: cancelling the context stops dispatch —
+// in-flight cells finish, never-dispatched cells come back skipped with
+// the context's error, and Run reports the cancellation.
+func TestCancellationMidMatrix(t *testing.T) {
+	const cells, workers = 8, 2
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, cells)
+	release := make(chan struct{})
+	in := make([]Cell, cells)
+	for i := range in {
+		in[i] = Cell{
+			Key: fmt.Sprintf("cell-%d", i),
+			Run: func(context.Context) (string, error) {
+				started <- struct{}{}
+				<-release
+				return "done", nil
+			},
+		}
+	}
+	var (
+		res *Results
+		err error
+		wg  sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, err = Run(ctx, in, Options{Workers: workers})
+	}()
+	// Let both workers pick up a cell, then cancel and release them.
+	<-started
+	<-started
+	cancel()
+	close(release)
+	wg.Wait()
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+	var finished, skipped int
+	for _, c := range res.Cells {
+		switch {
+		case c.Skipped:
+			skipped++
+			if !errors.Is(c.Err, context.Canceled) {
+				t.Errorf("skipped cell %s carries %v, want context.Canceled", c.Key, c.Err)
+			}
+		case c.Err == nil && c.Output == "done":
+			finished++
+		default:
+			t.Errorf("cell %s in impossible state: %+v", c.Key, c)
+		}
+	}
+	if finished == 0 || skipped == 0 {
+		t.Errorf("finished=%d skipped=%d, want both nonzero (cancellation mid-matrix)", finished, skipped)
+	}
+	if res.Failed() != skipped {
+		t.Errorf("Failed() = %d, want %d (skipped cells carry the cancellation error)", res.Failed(), skipped)
+	}
+}
+
+// TestPanicIsolation: a panicking cell fails that cell, not the suite.
+func TestPanicIsolation(t *testing.T) {
+	in := []Cell{
+		{Key: "good-1", Run: func(context.Context) (string, error) { return "one", nil }},
+		{Key: "bad", Run: func(context.Context) (string, error) { panic("index out of range [12]") }},
+		{Key: "good-2", Run: func(context.Context) (string, error) { return "two", nil }},
+	}
+	res, err := Run(context.Background(), in, Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Cells[0].Err != nil || res.Cells[0].Output != "one" {
+		t.Errorf("good-1: %+v", res.Cells[0])
+	}
+	if res.Cells[2].Err != nil || res.Cells[2].Output != "two" {
+		t.Errorf("good-2: %+v", res.Cells[2])
+	}
+	if res.Cells[1].Err == nil || !strings.Contains(res.Cells[1].Err.Error(), "cell panicked: index out of range [12]") {
+		t.Errorf("bad cell error = %v, want the recovered panic value", res.Cells[1].Err)
+	}
+	if res.Failed() != 1 {
+		t.Errorf("Failed() = %d, want 1", res.Failed())
+	}
+	out := res.Render()
+	if !strings.Contains(out, "error: cell panicked") || !strings.Contains(out, "matrix: 3 cells, 1 failed") {
+		t.Errorf("Render missing failure report:\n%s", out)
+	}
+}
+
+// jitterCells builds a matrix whose cells finish in scrambled order —
+// each sleeps a seeded pseudo-random time — so completion order differs
+// from matrix order whenever workers > 1.
+func jitterCells(n int) []Cell {
+	cells := make([]Cell, n)
+	for i := range cells {
+		cells[i] = Cell{
+			Key: fmt.Sprintf("cell-%03d", i),
+			Run: func(context.Context) (string, error) {
+				rng := rand.New(rand.NewSource(int64(i) * 7919))
+				time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+				if i%7 == 3 {
+					return "", fmt.Errorf("seeded failure in cell %03d", i)
+				}
+				return fmt.Sprintf("output of cell %03d: %d\n", i, rng.Int63()), nil
+			},
+		}
+	}
+	return cells
+}
+
+// TestDeterministicMergeAcrossWorkerCounts is the orchestrator's own
+// golden-diff property: the rendered results must be byte-identical for
+// workers ∈ {1, 4, 16} even though completion order is scrambled.
+func TestDeterministicMergeAcrossWorkerCounts(t *testing.T) {
+	base, err := Run(context.Background(), jitterCells(40), Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	want := base.Render()
+	if !strings.Contains(want, "matrix: 40 cells, 6 failed") {
+		t.Fatalf("unexpected baseline summary:\n%s", want)
+	}
+	for _, workers := range []int{4, 16} {
+		res, err := Run(context.Background(), jitterCells(40), Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := res.Render(); got != want {
+			t.Errorf("workers=%d render diverged from workers=1:\n--- got ---\n%s\n--- want ---\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestEmptyMatrix: no cells is a valid (empty) run, not a hang.
+func TestEmptyMatrix(t *testing.T) {
+	res, err := Run(context.Background(), nil, Options{Workers: 8})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Cells) != 0 || res.Failed() != 0 {
+		t.Errorf("empty matrix: %+v", res)
+	}
+	if got := res.Render(); !strings.Contains(got, "matrix: 0 cells, 0 failed") {
+		t.Errorf("Render = %q", got)
+	}
+}
+
+// TestRenderSkipped: skipped cells render distinctly from failed ones
+// and are counted separately in the summary.
+func TestRenderSkipped(t *testing.T) {
+	res := &Results{Cells: []CellResult{
+		{Key: "a", Output: "ran\n"},
+		{Key: "b", Err: context.Canceled, Skipped: true},
+	}}
+	out := res.Render()
+	for _, want := range []string{"--- cell a ---", "ran", "--- cell b ---", "skipped: context canceled", "matrix: 2 cells, 0 failed, 1 skipped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -53,8 +53,12 @@ func (a Axis) String() string {
 	}
 }
 
-// Axes lists every axis in canonical order.
-var Axes = []Axis{AxisCPU, AxisMemory, AxisBandwidth}
+// Axes lists every axis in canonical order. It returns a fixed-size
+// array by value — no shared backing slice a caller could mutate, no
+// heap allocation in the scheduler inner loops that range over it.
+func Axes() [3]Axis {
+	return [...]Axis{AxisCPU, AxisMemory, AxisBandwidth}
+}
 
 // Component extracts the named axis from v.
 func Component(v Vector, a Axis) float64 {
@@ -88,7 +92,7 @@ func DefaultClasses() Classes {
 // HardAxes returns the axes classified as hard, in canonical order.
 func (c Classes) HardAxes() []Axis {
 	var out []Axis
-	for _, a := range Axes {
+	for _, a := range Axes() {
 		if c[a] == Hard {
 			out = append(out, a)
 		}
@@ -99,7 +103,7 @@ func (c Classes) HardAxes() []Axis {
 // SoftAxes returns the axes classified as soft, in canonical order.
 func (c Classes) SoftAxes() []Axis {
 	var out []Axis
-	for _, a := range Axes {
+	for _, a := range Axes() {
 		if c[a] == Soft {
 			out = append(out, a)
 		}
@@ -112,7 +116,7 @@ func (c Classes) Validate() error {
 	if len(c) == 0 {
 		return errors.New("constraint classes are empty")
 	}
-	for _, a := range Axes {
+	for _, a := range Axes() {
 		cl, ok := c[a]
 		if !ok {
 			return fmt.Errorf("axis %s has no constraint class", a)
@@ -130,7 +134,7 @@ func (c Classes) Validate() error {
 // (every candidate node, every task), so it filters axes in place rather
 // than materializing a HardAxes slice per call.
 func SatisfiesHard(avail, demand Vector, classes Classes) bool {
-	for _, a := range Axes {
+	for _, a := range Axes() {
 		if classes[a] == Hard && Component(avail, a) < Component(demand, a) {
 			return false
 		}

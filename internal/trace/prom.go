@@ -115,8 +115,14 @@ type PromFamily struct {
 	Samples []PromSample
 }
 
-var promTypes = map[string]bool{
-	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+// validPromType reports whether typ is a legal TYPE value in the text
+// exposition format.
+func validPromType(typ string) bool {
+	switch typ {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+		return true
+	}
+	return false
 }
 
 // ParseExposition parses and validates a text exposition: metric and
@@ -151,7 +157,7 @@ func ParseExposition(r io.Reader) ([]PromFamily, error) {
 		if strings.HasPrefix(line, "# TYPE ") {
 			rest := strings.TrimPrefix(line, "# TYPE ")
 			name, typ, ok := strings.Cut(rest, " ")
-			if !ok || !validMetricName(name) || !promTypes[typ] {
+			if !ok || !validMetricName(name) || !validPromType(typ) {
 				return nil, fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
 			}
 			if pendingHelpName != "" && pendingHelpName != name {

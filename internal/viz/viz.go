@@ -15,8 +15,9 @@ type Series struct {
 	Values []float64
 }
 
-// seriesMarks are the glyphs assigned to series in order.
-var seriesMarks = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+// seriesMarks are the glyphs assigned to series in order (all ASCII, so
+// byte indexing is safe).
+const seriesMarks = "*o+x#@%&"
 
 // LineChart renders the series into a width x height ASCII plot with a
 // y-axis scale and a legend. Series longer than width are downsampled.
@@ -56,7 +57,7 @@ func LineChart(title string, series []Series, width, height int) string {
 		}
 	}
 	for si, s := range series {
-		mark := seriesMarks[si%len(seriesMarks)]
+		mark := rune(seriesMarks[si%len(seriesMarks)])
 		for x := 0; x < width; x++ {
 			// Map column to series index (downsample or stretch).
 			idx := x * maxLen / width

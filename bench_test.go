@@ -159,18 +159,16 @@ func benchSimulatorThroughputObserved(b *testing.B, memoryModel, observed bool) 
 	benchSimulatorThroughputFull(b, memoryModel, observed, false)
 }
 
-func benchSimulatorThroughputFull(b *testing.B, memoryModel, observed, histograms bool) {
+// benchEngineTopology builds the three-stage pipeline every simulator
+// throughput benchmark shares — spout → mid → sink, shuffle-grouped, at
+// the given per-component parallelism. With the memory model on, the
+// bolts also carry a growing working set, exercising the resident-memory
+// accounting. The footprints stay well under capacity (8 tasks x 160 MB
+// on a 2048 MB node): those benchmarks measure the accounting, not the
+// kills — a single OOM would change the workload and make the comparison
+// meaningless.
+func benchEngineTopology(b *testing.B, name string, par int, memoryModel bool) *rstorm.Topology {
 	b.Helper()
-	b.ReportAllocs()
-	c, err := cluster.Emulab12()
-	if err != nil {
-		b.Fatal(err)
-	}
-	// With the memory model on, the bolts also carry a growing working
-	// set, exercising the resident-memory accounting. The footprints stay
-	// well under capacity (8 tasks x 160 MB on a 2048 MB node): this
-	// benchmark measures the accounting, not the kills — a single OOM
-	// would change the workload and make the comparison meaningless.
 	profile := func(memMB float64) rstorm.ExecProfile {
 		p := rstorm.ExecProfile{CPUPerTuple: 100 * time.Microsecond, TupleBytes: 256}
 		if memoryModel {
@@ -179,18 +177,28 @@ func benchSimulatorThroughputFull(b *testing.B, memoryModel, observed, histogram
 		}
 		return p
 	}
-	tb := rstorm.NewTopologyBuilder("enginebench")
-	tb.SetSpout("s", 4).SetCPULoad(10).SetMemoryLoad(256).
+	tb := rstorm.NewTopologyBuilder(name)
+	tb.SetSpout("s", par).SetCPULoad(10).SetMemoryLoad(256).
 		SetProfile(profile(0))
-	tb.SetBolt("m", 4).ShuffleGrouping("s").SetCPULoad(10).SetMemoryLoad(256).
+	tb.SetBolt("m", par).ShuffleGrouping("s").SetCPULoad(10).SetMemoryLoad(256).
 		SetProfile(profile(160))
-	tb.SetBolt("z", 4).ShuffleGrouping("m").SetCPULoad(10).SetMemoryLoad(256).
+	tb.SetBolt("z", par).ShuffleGrouping("m").SetCPULoad(10).SetMemoryLoad(256).
 		SetProfile(profile(160))
 	topo, err := tb.Build()
 	if err != nil {
 		b.Fatal(err)
 	}
+	return topo
+}
 
+func benchSimulatorThroughputFull(b *testing.B, memoryModel, observed, histograms bool) {
+	b.Helper()
+	b.ReportAllocs()
+	c, err := cluster.Emulab12()
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo := benchEngineTopology(b, "enginebench", 4, memoryModel)
 	sched := rstorm.NewResourceAwareScheduler()
 	var processed int64
 	b.ResetTimer()
@@ -258,6 +266,47 @@ func BenchmarkSimulatorThroughputTraffic(b *testing.B) {
 // stay allocation-free.
 func BenchmarkSimulatorThroughputObservability(b *testing.B) {
 	benchSimulatorThroughputFull(b, false, false, true)
+}
+
+// BenchmarkSimulatorThroughputSharded is the many-core speedup benchmark
+// (DESIGN.md §11): a 400-node, 8-rack cluster running a 96-task pipeline
+// spread evenly across racks, under the legacy kernel (shards=0) and the
+// sharded conservative-parallel kernel at 1 and 4 workers. tuples/s is
+// the comparison metric; on multi-core hardware shards=4 should exceed
+// shards=0 by ≥2×, while shards=1 measures the sharded kernel's window
+// and handoff overhead without any parallelism. Results for shards>=1
+// are byte-identical at every worker count, so the variants differ only
+// in wall-clock.
+func BenchmarkSimulatorThroughputSharded(b *testing.B) {
+	c, err := cluster.TwoRack(8, 50, cluster.EmulabNodeSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo := benchEngineTopology(b, "shardbench", 32, false)
+	// Even spreading (not resource-aware packing) keeps every rack's lane
+	// busy — the placement a speedup measurement needs, not the one a
+	// network-cost minimizer would pick.
+	sched := rstorm.NewEvenScheduler()
+	for _, shards := range []int{0, 1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			var processed int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := rstorm.SimConfig{Duration: 2 * time.Second,
+					MetricsWindow: time.Second, Shards: shards}
+				result, err := rstorm.ScheduleAndSimulate(c, cfg, sched, topo)
+				if err != nil {
+					b.Fatal(err)
+				}
+				processed += result.Topology("shardbench").TuplesProcessed
+			}
+			b.StopTimer()
+			if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+				b.ReportMetric(float64(processed)/elapsed, "tuples/s")
+			}
+		})
+	}
 }
 
 // Multi-tenant control plane: cost of one Nimbus scheduling round on a

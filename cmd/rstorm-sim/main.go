@@ -8,9 +8,9 @@
 //	           [-scheduler r-storm|default-even|offline-linear] \
 //	           [-duration 60s] [-fail schedule] [-replay] \
 //	           [-adaptive] [-control-interval 1s] [-memory] [-traffic] \
-//	           [-multitenant] [-chaos] \
+//	           [-multitenant] [-chaos] [-shards N] \
 //	           [-percentiles] [-trace N] [-journal]
-//	rstorm-sim -matrix "spec" [-workers N] [-duration 60s] [-window 10s] [-seed 1]
+//	rstorm-sim -matrix "spec" [-workers N] [-shards N] [-duration 60s] [-window 10s] [-seed 1]
 //
 // -fail takes a comma-separated chaos schedule (internal/faults): each
 // event is [crash:|recover:|slow:]node@time[:factor], the bare node@time
@@ -58,6 +58,15 @@
 // defaults for knobs the spec leaves unset. Output is merged in matrix
 // order and is byte-identical for any worker count. -matrix composes
 // with no other mode flag.
+//
+// -shards N selects the simulation kernel (DESIGN.md §11): 0 (the
+// default) runs the legacy single-threaded event loop; N >= 1 runs the
+// sharded conservative-parallel kernel, partitioning the cluster into
+// one lane per rack and advancing lanes on up to N workers in lookahead
+// windows. Sharded results are deterministic and identical for every
+// N >= 1 — the flag trades wall-clock time only, never output. It
+// composes with every mode flag except the single-ordered-loop
+// observability paths: -trace and -journal require -shards 0.
 //
 // The observability flags (DESIGN.md §8) are independent of the mode
 // flags and off by default — leaving them off keeps every mode's output
@@ -123,12 +132,19 @@ func run(w io.Writer, args []string) error {
 		journalOn   = fs.Bool("journal", false, "record control-plane decisions (faults, OOM kills, triggers, rebalances) and print them as JSONL")
 		matrixSpec  = fs.String("matrix", "", `run an experiment matrix across the worker pool, e.g. "failover,consolidate × seeds=1..16" (see the package comment for the grammar)`)
 		workers     = fs.Int("workers", 0, "worker goroutines for -matrix (0 = all CPUs)")
+		shards      = fs.Int("shards", 0, "simulation kernel: 0 = legacy single-threaded loop, N >= 1 = sharded conservative-parallel kernel on up to N workers (output identical for every N >= 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *traceEvery < 0 {
 		return fmt.Errorf("-trace %d is negative", *traceEvery)
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards %d is negative", *shards)
+	}
+	if *shards > 0 && (*traceEvery > 0 || *journalOn) {
+		return fmt.Errorf("-trace and -journal require the single-threaded kernel (-shards 0)")
 	}
 	if *matrixSpec != "" {
 		if *topoPath != "" || *multitenant || *chaos || *adaptiveOn || *failSpec != "" ||
@@ -140,6 +156,7 @@ func run(w io.Writer, args []string) error {
 			MetricsWindow: *window,
 			Seed:          *seed,
 			Percentiles:   *percentiles,
+			Shards:        *shards,
 		})
 	}
 	if *workers != 0 {
@@ -151,10 +168,10 @@ func run(w io.Writer, args []string) error {
 		return fmt.Errorf("-trace and -journal apply to direct simulation runs, not -multitenant/-chaos (use -percentiles there)")
 	}
 	if *multitenant {
-		return runExperiment(w, "multitenant", *duration, *seed, *percentiles)
+		return runExperiment(w, "multitenant", *duration, *seed, *percentiles, *shards)
 	}
 	if *chaos {
-		return runExperiment(w, "failover", *duration, *seed, *percentiles)
+		return runExperiment(w, "failover", *duration, *seed, *percentiles, *shards)
 	}
 
 	c, err := loadCluster(*clusterPath)
@@ -190,6 +207,7 @@ func run(w io.Writer, args []string) error {
 		Replay:            *replayOn,
 		LatencyHistograms: *percentiles,
 		TraceSampleEvery:  *traceEvery,
+		Shards:            *shards,
 	})
 	if err != nil {
 		return err
@@ -302,7 +320,7 @@ func runMatrix(w io.Writer, spec string, workers int, base experiments.Options) 
 // (internal/experiments) and renders its report: "multitenant" (FIFO vs
 // priority-aware admission) or "failover" (scripted chaos vs the adaptive
 // failover trigger).
-func runExperiment(w io.Writer, id string, duration time.Duration, seed int64, percentiles bool) error {
+func runExperiment(w io.Writer, id string, duration time.Duration, seed int64, percentiles bool, shards int) error {
 	e, ok := experiments.ByID(id)
 	if !ok {
 		return fmt.Errorf("%s experiment not registered", id)
@@ -311,6 +329,7 @@ func runExperiment(w io.Writer, id string, duration time.Duration, seed int64, p
 		Duration:    duration,
 		Seed:        seed,
 		Percentiles: percentiles,
+		Shards:      shards,
 	})
 	if err != nil {
 		return err

@@ -464,3 +464,60 @@ func TestRunMultiTenantMode(t *testing.T) {
 		t.Error("1s multitenant run accepted")
 	}
 }
+
+// TestRunShardedMode pins the -shards contract end to end: the sharded
+// kernel's CLI output is byte-identical for every worker count, composes
+// with the mode flags (-chaos shown here), and the single-ordered-loop
+// observability paths reject it.
+func TestRunShardedMode(t *testing.T) {
+	direct := func(shards string) string {
+		var out bytes.Buffer
+		if err := run(&out, []string{"-shards", shards, "-duration", "6s", "-window", "2s"}); err != nil {
+			t.Fatalf("run -shards %s: %v", shards, err)
+		}
+		return out.String()
+	}
+	base := direct("1")
+	if !strings.Contains(base, "throughput") {
+		t.Fatalf("sharded run produced no report:\n%s", base)
+	}
+	for _, shards := range []string{"2", "4"} {
+		if got := direct(shards); got != base {
+			t.Errorf("-shards %s output diverged from -shards 1:\n--- got ---\n%s\n--- want ---\n%s",
+				shards, got, base)
+		}
+	}
+
+	chaos := func(shards string) string {
+		var out bytes.Buffer
+		args := []string{"-chaos", "-duration", "6s"}
+		if shards != "" {
+			args = append(args, "-shards", shards)
+		}
+		if err := run(&out, args); err != nil {
+			t.Fatalf("run -chaos -shards %q: %v", shards, err)
+		}
+		return out.String()
+	}
+	chaosBase := chaos("1")
+	if !strings.Contains(chaosBase, "failover") {
+		t.Fatalf("chaos run produced no report:\n%s", chaosBase)
+	}
+	if got := chaos("4"); got != chaosBase {
+		t.Errorf("-chaos -shards 4 output diverged from -shards 1")
+	}
+
+	for _, c := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-shards", "-1"}, "-shards -1 is negative"},
+		{[]string{"-shards", "2", "-trace", "10"}, "single-threaded kernel"},
+		{[]string{"-shards", "2", "-journal"}, "single-threaded kernel"},
+	} {
+		err := run(&bytes.Buffer{}, c.args)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("run(%v) err = %v, want %q", c.args, err, c.want)
+		}
+	}
+}

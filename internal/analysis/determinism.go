@@ -28,7 +28,7 @@ import (
 // <reason> for clock/rand findings.
 func NewDeterminism() *Analyzer {
 	scope := "rstorm/internal/core,rstorm/internal/nimbus,rstorm/internal/adaptive," +
-		"rstorm/internal/simulator,rstorm/internal/experiments"
+		"rstorm/internal/simulator,rstorm/internal/experiments,rstorm/internal/pardes"
 	a := &Analyzer{
 		Name:  "determinism",
 		Doc:   "flag map-iteration-order and wall-clock dependence in scheduling and control-plane packages",

@@ -128,6 +128,61 @@ func (e *Engine) Drain() int {
 	return processed
 }
 
+// PeekTime returns the timestamp of the earliest pending event without
+// firing it, and whether any event is pending. A conservative parallel
+// loop uses it to pick the next safe window without disturbing the queue.
+//
+//rstorm:hotpath
+func (e *Engine) PeekTime() (time.Duration, bool) {
+	if len(e.queue.events) == 0 {
+		return 0, false
+	}
+	return e.queue.events[0].at, true
+}
+
+// AdvanceTo processes events with timestamps strictly before horizon, then
+// advances the clock to horizon. It is the half-open-window complement of
+// RunUntil (which is inclusive): a sharded engine advancing all shards
+// through the safe window [now, horizon) leaves events at exactly horizon
+// pending, so cross-shard messages timestamped at the window boundary are
+// merged before any shard processes past it. Events scheduled during
+// processing are processed too if they fall inside the window. Returns the
+// number of events processed. A horizon at or before the current clock
+// processes nothing and leaves the clock unchanged.
+func (e *Engine) AdvanceTo(horizon time.Duration) int {
+	processed := 0
+	for len(e.queue.events) > 0 && e.queue.events[0].at < horizon {
+		e.Step()
+		processed++
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return processed
+}
+
+// PendingEvent is one queued event surrendered by TakePending. Exactly one
+// of Ev and Fn is set, mirroring the two scheduling paths.
+type PendingEvent struct {
+	At time.Duration
+	Ev Event
+	Fn func()
+}
+
+// TakePending removes and returns every queued event in (time, scheduling)
+// order, leaving the queue empty and the clock unchanged. A sharded
+// simulator uses it between epochs to re-home pending events after task
+// placements change; rescheduling the returned events in slice order onto
+// any Engine preserves their relative firing order.
+func (e *Engine) TakePending() []PendingEvent {
+	out := make([]PendingEvent, 0, len(e.queue.events))
+	for len(e.queue.events) > 0 {
+		ev := e.queue.pop()
+		out = append(out, PendingEvent{At: ev.at, Ev: ev.ev, Fn: ev.fn})
+	}
+	return out
+}
+
 // event is one scheduled callback or typed event, stored by value.
 type event struct {
 	at  time.Duration

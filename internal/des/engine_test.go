@@ -206,6 +206,147 @@ type eventFunc func()
 
 func (f eventFunc) Fire() { f() }
 
+func TestPeekTime(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.PeekTime(); ok {
+		t.Fatal("PeekTime on empty queue reported an event")
+	}
+	e.Schedule(3*time.Second, func() {})
+	e.Schedule(time.Second, func() {})
+	if at, ok := e.PeekTime(); !ok || at != time.Second {
+		t.Fatalf("PeekTime = %v, %v, want 1s, true", at, ok)
+	}
+	// Peeking must not disturb the queue.
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d after peek, want 2", e.Pending())
+	}
+	e.Drain()
+	if _, ok := e.PeekTime(); ok {
+		t.Fatal("PeekTime after drain reported an event")
+	}
+}
+
+func TestAdvanceToExcludesHorizonEvents(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	for _, at := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		at := at
+		e.ScheduleAt(at, func() { fired = append(fired, at) })
+	}
+	if n := e.AdvanceTo(2 * time.Second); n != 1 {
+		t.Fatalf("processed %d events, want 1 (event at the horizon must stay pending)", n)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	// The boundary event fires in the next window.
+	if n := e.AdvanceTo(4 * time.Second); n != 2 {
+		t.Fatalf("second window processed %d, want 2", n)
+	}
+	if len(fired) != 3 || fired[0] != time.Second || fired[1] != 2*time.Second {
+		t.Fatalf("fired = %v", fired)
+	}
+	// A horizon in the past is a no-op that leaves the clock alone.
+	if n := e.AdvanceTo(time.Second); n != 0 || e.Now() != 4*time.Second {
+		t.Fatalf("past horizon: processed %d, Now %v", n, e.Now())
+	}
+}
+
+// TestQuickAdvanceToWindowsMatchRunUntil is the FIFO-preservation property
+// for the sharded loop's primitive: chopping a schedule into half-open
+// AdvanceTo windows (plus a final inclusive RunUntil at the horizon) must
+// fire exactly the same events in exactly the same order as one monolithic
+// RunUntil, including equal-timestamp collisions.
+func TestQuickAdvanceToWindowsMatchRunUntil(t *testing.T) {
+	f := func(raw []uint8, windowRaw uint8) bool {
+		horizon := 200 * time.Millisecond
+		build := func() (*Engine, *[]int) {
+			e := NewEngine()
+			var order []int
+			for i, r := range raw {
+				// Few distinct timestamps -> many FIFO collisions.
+				at := time.Duration(r%16) * 10 * time.Millisecond
+				i := i
+				e.ScheduleAt(at, func() { order = append(order, i) })
+			}
+			return e, &order
+		}
+		mono, monoOrder := build()
+		mono.RunUntil(horizon)
+
+		window := time.Duration(windowRaw%32+1) * 7 * time.Millisecond
+		sharded, shardedOrder := build()
+		for sharded.Now() < horizon {
+			h := sharded.Now() + window
+			if h > horizon {
+				h = horizon
+			}
+			sharded.AdvanceTo(h)
+		}
+		sharded.RunUntil(horizon) // boundary events at the final horizon
+		if len(*monoOrder) != len(*shardedOrder) {
+			return false
+		}
+		for i := range *monoOrder {
+			if (*monoOrder)[i] != (*shardedOrder)[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTakePendingPreservesOrder: TakePending surrenders events in (time,
+// scheduling) order, so replaying them in slice order onto a fresh engine
+// reproduces the original firing order — the re-homing invariant the
+// sharded simulator relies on between epochs.
+func TestTakePendingPreservesOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 20; i++ {
+		i := i
+		at := time.Duration(i%4) * time.Second // heavy timestamp collisions
+		if i%2 == 0 {
+			e.ScheduleAt(at, func() { order = append(order, i) })
+		} else {
+			e.ScheduleEventAt(at, eventFunc(func() { order = append(order, i) }))
+		}
+	}
+	taken := e.TakePending()
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after TakePending", e.Pending())
+	}
+	if len(taken) != 20 {
+		t.Fatalf("took %d events, want 20", len(taken))
+	}
+	for i := 1; i < len(taken); i++ {
+		if taken[i].At < taken[i-1].At {
+			t.Fatalf("TakePending out of time order at %d: %v after %v", i, taken[i].At, taken[i-1].At)
+		}
+	}
+	fresh := NewEngine()
+	for _, pe := range taken {
+		if pe.Ev != nil {
+			fresh.ScheduleEventAt(pe.At, pe.Ev)
+		} else {
+			fresh.ScheduleAt(pe.At, pe.Fn)
+		}
+	}
+	fresh.Drain()
+	want := []int{0, 4, 8, 12, 16, 1, 5, 9, 13, 17, 2, 6, 10, 14, 18, 3, 7, 11, 15, 19}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("replayed order = %v, want %v", order, want)
+		}
+	}
+}
+
 func TestQuickClockNeverGoesBackwards(t *testing.T) {
 	f := func(delays []int16) bool {
 		e := NewEngine()

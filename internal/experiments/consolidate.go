@@ -47,6 +47,7 @@ func runConsolidate(o Options) (*Report, error) {
 		Duration:      o.Duration,
 		MetricsWindow: consolidateWindow,
 		Seed:          o.Seed,
+		Shards:        o.Shards,
 	}
 	loopCfg := adaptive.LoopConfig{
 		Controller: adaptive.ControllerConfig{TrafficObjective: true},

@@ -58,6 +58,7 @@ func runElasticity(o Options) (*Report, error) {
 		Duration:      o.Duration,
 		MetricsWindow: elasticityWindow,
 		Seed:          o.Seed,
+		Shards:        o.Shards,
 	}
 
 	honest, err := workloads.ElasticChain(true)

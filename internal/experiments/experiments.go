@@ -32,6 +32,14 @@ type Options struct {
 	// leaving it off keeps every report byte-identical to before the
 	// observability layer existed.
 	Percentiles bool
+	// Shards selects the simulator kernel (simulator.Config.Shards): 0
+	// runs the legacy single-threaded kernel; >= 1 runs the sharded
+	// conservative-parallel kernel on that many workers. Sharded results
+	// are identical for every Shards >= 1, so reports vary only between
+	// the two kernels, never across worker counts. Experiments that
+	// require the single-ordered-loop observability path (the journal)
+	// ignore it.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {

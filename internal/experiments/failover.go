@@ -88,6 +88,7 @@ func runFailover(o Options) (*Report, error) {
 		Seed:              o.Seed,
 		Replay:            true,
 		LatencyHistograms: o.Percentiles,
+		Shards:            o.Shards,
 	}
 
 	// Both runs schedule identically (same scheduler, same declarations),

@@ -76,6 +76,7 @@ func microCfg(o Options) simulator.Config {
 		Duration:      o.Duration,
 		MetricsWindow: o.MetricsWindow,
 		Seed:          o.Seed,
+		Shards:        o.Shards,
 	}
 }
 
@@ -310,6 +311,7 @@ func Fig13() Experiment {
 				MetricsWindow: o.MetricsWindow,
 				Seed:          o.Seed,
 				TupleTimeout:  2 * time.Second,
+				Shards:        o.Shards,
 			}
 			build := func() ([]*topology.Topology, error) {
 				pl, err := workloads.PageLoadTopology()

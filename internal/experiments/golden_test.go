@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"fmt"
 	"reflect"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -22,10 +24,26 @@ func goldenOpts() Options {
 // TestGoldenDiffAllExperiments is the repository's determinism harness:
 // every registered experiment — adaptive control decisions, OOM kills,
 // migrations and all — must produce byte-identical reports when run twice
-// with the same options. It subsumes the per-experiment ad-hoc
-// determinism checks; a new experiment is covered the moment it is
-// registered in All().
+// with the same options, under both kernels. The legacy kernel
+// (Shards = 0) is checked run-to-run; the sharded kernel is additionally
+// checked across worker counts {1, 2, NumCPU}, which must all agree —
+// Shards >= 1 is pure parallelism, never a result knob (DESIGN.md §11).
+// It subsumes the per-experiment ad-hoc determinism checks; a new
+// experiment is covered the moment it is registered in All().
 func TestGoldenDiffAllExperiments(t *testing.T) {
+	compare := func(t *testing.T, label string, want, got *Report) {
+		t.Helper()
+		// Structural equality first (catches NaN-free numeric drift in
+		// fields a rendering might round away) …
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: reports diverged structurally:\nwant: %+v\ngot:  %+v", label, want, got)
+		}
+		// … then the rendered bytes, which is what the acceptance
+		// criterion is stated in.
+		if a, b := want.Render(), got.Render(); a != b {
+			t.Errorf("%s: rendered reports differ:\n--- want ---\n%s\n--- got ---\n%s", label, a, b)
+		}
+	}
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
@@ -38,15 +56,22 @@ func TestGoldenDiffAllExperiments(t *testing.T) {
 			if err != nil {
 				t.Fatalf("second run: %v", err)
 			}
-			// Structural equality first (catches NaN-free numeric drift in
-			// fields a rendering might round away) …
-			if !reflect.DeepEqual(first, second) {
-				t.Errorf("reports diverged structurally:\nfirst:  %+v\nsecond: %+v", first, second)
+			compare(t, "legacy run-to-run", first, second)
+
+			shardedOpts := goldenOpts()
+			shardedOpts.Shards = 1
+			sharded, err := e.Run(shardedOpts)
+			if err != nil {
+				t.Fatalf("sharded run (shards=1): %v", err)
 			}
-			// … then the rendered bytes, which is what the acceptance
-			// criterion is stated in.
-			if a, b := first.Render(), second.Render(); a != b {
-				t.Errorf("rendered reports differ:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+			for _, shards := range []int{2, runtime.NumCPU()} {
+				opts := goldenOpts()
+				opts.Shards = shards
+				got, err := e.Run(opts)
+				if err != nil {
+					t.Fatalf("sharded run (shards=%d): %v", shards, err)
+				}
+				compare(t, fmt.Sprintf("shards=%d vs shards=1", shards), sharded, got)
 			}
 		})
 	}

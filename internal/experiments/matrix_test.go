@@ -53,6 +53,28 @@ func TestMatrixGoldenAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestMatrixGoldenAcrossShardCounts extends the matrix golden to the
+// sharded simulation kernel: the same seed matrix must render
+// byte-identically at shards ∈ {1, 2, NumCPU}, pool workers held fixed —
+// the kernel's worker count is pure parallelism, never a result knob
+// (DESIGN.md §11).
+func TestMatrixGoldenAcrossShardCounts(t *testing.T) {
+	const spec = "fig9b,consolidate,failover × seeds=1..2"
+	opts := goldenOpts()
+	opts.Shards = 1
+	want := matrixRender(t, spec, 2, opts)
+	if !strings.Contains(want, "matrix: 6 cells, 0 failed") {
+		t.Fatalf("unexpected shards=1 baseline:\n%s", want)
+	}
+	for _, shards := range []int{2, runtime.NumCPU()} {
+		opts.Shards = shards
+		if got := matrixRender(t, spec, 2, opts); got != want {
+			t.Errorf("shards=%d output diverged from shards=1:\n--- got ---\n%s\n--- want ---\n%s",
+				shards, got, want)
+		}
+	}
+}
+
 // TestRunAllEightWorkers is the race sweep's entry point: the full
 // registered suite — every simulator epoch, the adaptive loop, Nimbus
 // arbitration, chaos injection, OOM kills — runs concurrently across at

@@ -53,6 +53,7 @@ func runMemoryStress(o Options) (*Report, error) {
 		MetricsWindow: memStressWindow,
 		Seed:          o.Seed,
 		MemoryModel:   true,
+		Shards:        o.Shards,
 	}
 	// The adaptive loop projects measured memory growth far forward (the
 	// working sets ramp for many windows), triggers well under the OOM

@@ -56,6 +56,7 @@ func runMultiTenant(o Options) (*Report, error) {
 		Duration:      o.Duration,
 		MetricsWindow: multitenantWindow,
 		Seed:          o.Seed,
+		Shards:        o.Shards,
 	}
 	// Epoch boundaries: the burst arrives a third in, a batch tenant
 	// finishes two thirds in. Both snap to window boundaries.

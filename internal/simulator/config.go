@@ -107,6 +107,19 @@ type Config struct {
 	// overwritten when it fills. Default trace.DefaultMaxSpans when
 	// tracing is enabled.
 	TraceMaxSpans int
+	// Shards selects the execution kernel (DESIGN.md §11). Zero (the
+	// default) runs the legacy single-threaded kernel, byte-identical to
+	// the pre-sharding simulator. Any value >= 1 runs the sharded
+	// conservative-parallel kernel — one event-loop lane per rack,
+	// advanced in inter-rack-latency lookahead windows — on min(Shards,
+	// racks) worker goroutines. The sharded kernel's results are
+	// byte-identical for every Shards value (the lane partition depends
+	// only on the cluster), but differ slightly from the legacy kernel's:
+	// cross-rack ack hand-offs pay the inter-rack latency, and spout keys
+	// come from per-task streams instead of one shared RNG. Incompatible
+	// with TraceSampleEvery and with an attached decision journal, which
+	// assume a single globally-ordered event loop.
+	Shards int
 }
 
 // NoWarmup is the WarmupWindows sentinel for "drop nothing": the mean
@@ -197,6 +210,12 @@ func (c Config) validate() error {
 	}
 	if c.TraceMaxSpans < 0 {
 		return fmt.Errorf("trace max spans %d, want >= 0", c.TraceMaxSpans)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("shards %d, want >= 0", c.Shards)
+	}
+	if c.Shards > 0 && c.TraceSampleEvery > 0 {
+		return fmt.Errorf("tuple tracing requires the single-threaded kernel (shards = 0)")
 	}
 	return nil
 }

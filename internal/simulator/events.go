@@ -9,7 +9,7 @@ import (
 // and the recursive continuation chains (deliverSeq's next(i+1) closures)
 // made steady-state GC pressure proportional to delivered tuples. Event
 // records, tuples, and tuple trees are recycled on single-threaded free
-// lists owned by the Simulation, so after warm-up the event loop allocates
+// lists owned by each lane, so after warm-up the event loop allocates
 // nothing. The lists are plain LIFO stacks — deterministic, no sync.Pool
 // nondeterminism — and recycling never affects simulation behaviour because
 // no logic depends on object identity.
@@ -26,6 +26,7 @@ const (
 	evWindowFlush              // metrics-window boundary: feed the observer
 	evOOMCheck                 // memory-model boundary: enforce the hard axis
 	evSpoutReplay              // replay backoff expired: queue a re-emission
+	evTreeAck                  // cross-lane tuple-tree delta landing at home
 )
 
 // Completion kinds: what to do when a transfer/enqueue is accepted.
@@ -46,9 +47,10 @@ type completion struct {
 
 // simEvent is one pooled, typed event record. A single struct with a kind
 // tag (rather than one type per kind) keeps the free list trivially shared
-// across all event kinds.
+// across all event kinds. ln is the lane whose engine fires the event; a
+// record crossing lanes (via rehomeEvents) is re-tagged before scheduling.
 type simEvent struct {
-	s    *Simulation
+	ln   *simLane
 	kind uint8
 	task *simTask   // spout/bolt the event concerns
 	tup  *tuple     // evBoltFire, evArrive
@@ -61,6 +63,11 @@ type simEvent struct {
 	// attempt number of the coming re-emission.
 	key     uint64
 	attempt int
+
+	// Tree-ack payload (evTreeAck): see simLane.ackTree.
+	tree   *tree
+	delta  int32
+	failed bool
 }
 
 // Fire implements des.Event. It copies what it needs, returns the record
@@ -69,114 +76,153 @@ type simEvent struct {
 //
 //rstorm:hotpath
 func (e *simEvent) Fire() {
-	s := e.s
+	ln := e.ln
 	switch e.kind {
 	case evSpoutCycle:
 		t := e.task
-		s.freeEvent(e)
-		s.spoutCycle(t)
+		ln.freeEvent(e)
+		ln.spoutCycle(t)
 	case evSpoutFire:
 		t := e.task
-		s.freeEvent(e)
-		s.spoutFire(t)
+		ln.freeEvent(e)
+		ln.spoutFire(t)
 	case evBoltTry:
 		t := e.task
-		s.freeEvent(e)
-		s.boltTry(t)
+		ln.freeEvent(e)
+		ln.boltTry(t)
 	case evBoltFire:
 		t, tup := e.task, e.tup
-		s.freeEvent(e)
-		s.boltFire(t, tup)
+		ln.freeEvent(e)
+		ln.boltFire(t, tup)
 	case evArrive:
 		dest, tup, comp := e.dest, e.tup, e.comp
-		s.freeEvent(e)
-		s.enqueueAt(dest, tup, comp)
+		ln.freeEvent(e)
+		ln.enqueueAt(dest, tup, comp)
 	case evLinkDone:
 		n, tr := e.link, e.tr
-		s.freeEvent(e)
-		s.linkDone(n, tr)
+		ln.freeEvent(e)
+		ln.linkDone(n, tr)
 	case evComplete:
 		comp := e.comp
-		s.freeEvent(e)
-		s.complete(comp)
+		ln.freeEvent(e)
+		ln.complete(comp)
 	case evWindowFlush:
-		s.freeEvent(e)
-		s.windowFlush()
+		ln.freeEvent(e)
+		ln.sim.windowFlush()
 	case evOOMCheck:
-		s.freeEvent(e)
-		s.oomCheck()
+		ln.freeEvent(e)
+		ln.oomCheck()
 	case evSpoutReplay:
 		t, key, attempt := e.task, e.key, e.attempt
-		s.freeEvent(e)
-		s.handleSpoutReplay(t, key, attempt)
+		ln.freeEvent(e)
+		ln.handleSpoutReplay(t, key, attempt)
+	case evTreeAck:
+		tr, delta, failed := e.tree, e.delta, e.failed
+		ln.freeEvent(e)
+		ln.applyAck(tr, int(delta), failed)
 	}
 }
 
 //rstorm:hotpath
-func (s *Simulation) newEvent(kind uint8) *simEvent {
-	if n := len(s.eventPool); n > 0 {
-		ev := s.eventPool[n-1]
-		s.eventPool = s.eventPool[:n-1]
+func (ln *simLane) newEvent(kind uint8) *simEvent {
+	if n := len(ln.eventPool); n > 0 {
+		ev := ln.eventPool[n-1]
+		ln.eventPool = ln.eventPool[:n-1]
 		ev.kind = kind
 		return ev
 	}
-	return &simEvent{s: s, kind: kind}
+	return &simEvent{ln: ln, kind: kind}
 }
 
 //rstorm:hotpath
-func (s *Simulation) freeEvent(ev *simEvent) {
-	*ev = simEvent{s: ev.s}
-	s.eventPool = append(s.eventPool, ev)
+func (ln *simLane) freeEvent(ev *simEvent) {
+	*ev = simEvent{ln: ln}
+	ln.eventPool = append(ln.eventPool, ev)
 }
 
-// scheduleTask schedules a task-only event (spout cycle/fire, bolt try).
+// scheduleTask schedules a task-only event (spout cycle/fire, bolt try) on
+// this lane. Task events are always scheduled by the task's own lane.
 //
 //rstorm:hotpath
-func (s *Simulation) scheduleTask(delay time.Duration, kind uint8, t *simTask) {
-	ev := s.newEvent(kind)
+func (ln *simLane) scheduleTask(delay time.Duration, kind uint8, t *simTask) {
+	ev := ln.newEvent(kind)
 	ev.task = t
-	s.engine.ScheduleEvent(delay, ev)
+	ln.eng.ScheduleEvent(delay, ev)
 }
 
-// scheduleComplete schedules a completion to fire after delay.
+// scheduleComplete schedules a completion to fire after delay on the
+// completion's home lane. A cross-lane completion is the back-channel of a
+// tuple hand-off — the "ack" returning a link window slot or advancing the
+// emitter's delivery sequence — so it pays the return network hop: one
+// lookahead on top of delay. Same-lane completions (always, in legacy
+// mode) fire locally with no added latency.
 //
 //rstorm:hotpath
-func (s *Simulation) scheduleComplete(delay time.Duration, comp completion) {
-	ev := s.newEvent(evComplete)
-	ev.comp = comp
-	s.engine.ScheduleEvent(delay, ev)
+func (ln *simLane) scheduleComplete(delay time.Duration, comp completion) {
+	home := ln.compHome(comp)
+	if home == ln {
+		ev := ln.newEvent(evComplete)
+		ev.comp = comp
+		ln.eng.ScheduleEvent(delay, ev)
+		return
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	ln.out[home.idx].Push(laneMsg{
+		at:   ln.eng.Now() + delay + ln.sim.lookahead,
+		kind: msgComplete,
+		comp: comp,
+	})
 }
 
-// scheduleArrive schedules tup's arrival at dest's input queue.
+// scheduleArrive schedules tup's arrival at dest's input queue. delay is
+// the network latency of the hop; when dest lives on another lane the
+// route necessarily crossed racks, so delay is at least the lookahead and
+// the arrival rides the outbox to land beyond the current window.
 //
 //rstorm:hotpath
-func (s *Simulation) scheduleArrive(delay time.Duration, dest *simTask, tup *tuple, comp completion) {
-	ev := s.newEvent(evArrive)
-	ev.dest = dest
-	ev.tup = tup
-	ev.comp = comp
-	s.engine.ScheduleEvent(delay, ev)
+func (ln *simLane) scheduleArrive(delay time.Duration, dest *simTask, tup *tuple, comp completion) {
+	home := dest.node.lane
+	if home == ln {
+		ev := ln.newEvent(evArrive)
+		ev.dest = dest
+		ev.tup = tup
+		ev.comp = comp
+		ln.eng.ScheduleEvent(delay, ev)
+		return
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	ln.out[home.idx].Push(laneMsg{
+		at:   ln.eng.Now() + delay,
+		kind: msgArrive,
+		dest: dest,
+		tup:  tup,
+		comp: comp,
+	})
 }
 
 // complete fires an acceptance completion.
 //
 //rstorm:hotpath
-func (s *Simulation) complete(c completion) {
+func (ln *simLane) complete(c completion) {
 	switch c.kind {
 	case compDeliver:
 		c.task.outIdx++
-		s.stepDeliver(c.task)
+		ln.stepDeliver(c.task)
 	case compRelease:
 		c.link.inFlight--
-		c.link.startServe(s)
+		c.link.startServe(ln)
 	}
 }
 
 //rstorm:hotpath
-func (s *Simulation) newTuple(bytes int, key uint64, created time.Duration, tr *tree) *tuple {
-	if n := len(s.tuplePool); n > 0 {
-		tup := s.tuplePool[n-1]
-		s.tuplePool = s.tuplePool[:n-1]
+func (ln *simLane) newTuple(bytes int, key uint64, created time.Duration, tr *tree) *tuple {
+	if n := len(ln.tuplePool); n > 0 {
+		tup := ln.tuplePool[n-1]
+		ln.tuplePool = ln.tuplePool[:n-1]
 		tup.bytes = bytes
 		tup.key = key
 		tup.created = created
@@ -187,16 +233,16 @@ func (s *Simulation) newTuple(bytes int, key uint64, created time.Duration, tr *
 }
 
 //rstorm:hotpath
-func (s *Simulation) freeTuple(tup *tuple) {
+func (ln *simLane) freeTuple(tup *tuple) {
 	tup.tree = nil
-	s.tuplePool = append(s.tuplePool, tup)
+	ln.tuplePool = append(ln.tuplePool, tup)
 }
 
 //rstorm:hotpath
-func (s *Simulation) newTree(spout *simTask) *tree {
-	if n := len(s.treePool); n > 0 {
-		tr := s.treePool[n-1]
-		s.treePool = s.treePool[:n-1]
+func (ln *simLane) newTree(spout *simTask) *tree {
+	if n := len(ln.treePool); n > 0 {
+		tr := ln.treePool[n-1]
+		ln.treePool = ln.treePool[:n-1]
 		tr.spout = spout
 		tr.pending = 0
 		tr.failed = false
@@ -209,7 +255,7 @@ func (s *Simulation) newTree(spout *simTask) *tree {
 }
 
 //rstorm:hotpath
-func (s *Simulation) freeTree(tr *tree) {
+func (ln *simLane) freeTree(tr *tree) {
 	tr.spout = nil
-	s.treePool = append(s.treePool, tr)
+	ln.treePool = append(ln.treePool, tr)
 }

@@ -61,18 +61,24 @@ func (s *Simulation) InjectFault(f faults.Fault) error {
 	if s.finished {
 		return fmt.Errorf("simulation already finished")
 	}
-	now := s.engine.Now()
+	now := s.now()
 	if f.At < now {
 		return fmt.Errorf("fault %s is in the past (now %v)", f, now)
 	}
-	s.engine.Schedule(f.At-now, func() { s.applyFault(f) })
+	// The fault fires on the faulted node's lane: it mutates that lane's
+	// node, tasks, and links, so it must run inside that lane's loop.
+	ln := s.nodes[f.Node].lane
+	ln.eng.Schedule(f.At-now, func() { ln.applyFault(f) })
 	return nil
 }
 
-// applyFault dispatches one fault event inside the event loop. Redundant
-// events (crash of a dead node, recover of a healthy one) are ignored
-// rather than logged, so the fault log records state transitions only.
-func (s *Simulation) applyFault(f faults.Fault) {
+// applyFault dispatches one fault event inside the faulted node's lane.
+// Redundant events (crash of a dead node, recover of a healthy one) are
+// ignored rather than logged, so the fault log records state transitions
+// only. Sharded lanes buffer their records (mergeLaneFaults folds them
+// into the shared log at barriers); the legacy lane appends directly.
+func (ln *simLane) applyFault(f faults.Fault) {
+	s := ln.sim
 	n := s.nodes[f.Node]
 	if n == nil {
 		return
@@ -82,12 +88,12 @@ func (s *Simulation) applyFault(f faults.Fault) {
 		if n.dead {
 			return
 		}
-		s.failNode(f.Node)
+		ln.failNode(f.Node)
 	case faults.Recover:
 		if !n.dead && n.slowFactor == 1 {
 			return
 		}
-		s.recoverNode(n)
+		ln.recoverNode(n)
 	case faults.Slow:
 		if n.dead {
 			return
@@ -96,8 +102,12 @@ func (s *Simulation) applyFault(f faults.Fault) {
 	default:
 		return
 	}
-	fr := FaultRecord{Kind: f.Kind, Node: f.Node, At: s.engine.Now()}
-	s.faultLog = append(s.faultLog, fr)
+	fr := FaultRecord{Kind: f.Kind, Node: f.Node, At: ln.eng.Now()}
+	if s.sharded {
+		ln.faultBuf = append(ln.faultBuf, fr)
+	} else {
+		s.faultLog = append(s.faultLog, fr)
+	}
 	s.journalRecord(trace.CodeFaultInjected, "", string(f.Node), -1, fr.String())
 }
 
@@ -106,13 +116,13 @@ func (s *Simulation) applyFault(f faults.Fault) {
 // clears, and contention refreezes. The node's executors stay dead — a
 // recovered machine has capacity, not state; re-placing work on it is the
 // control plane's job (ReassignRestarting / the failover round).
-func (s *Simulation) recoverNode(n *simNode) {
+func (ln *simLane) recoverNode(n *simNode) {
 	if n.dead {
 		n.dead = false
-		n.downtime += s.engine.Now() - n.crashedAt
+		n.downtime += ln.eng.Now() - n.crashedAt
 	}
 	n.slowFactor = 1
-	s.freezeNode(n)
+	ln.sim.freezeNode(n)
 }
 
 // slowNode applies transient degradation: every service time on the node
@@ -127,16 +137,16 @@ func (s *Simulation) slowNode(n *simNode, factor float64) {
 // died while the backoff was pending, the tree is abandoned and its held
 // credit returned, so a later restart of the spout starts with honest
 // max-pending accounting.
-func (s *Simulation) handleSpoutReplay(t *simTask, key uint64, attempt int) {
+func (ln *simLane) handleSpoutReplay(t *simTask, key uint64, attempt int) {
 	if t.dead {
 		t.inFlight--
-		s.lostTrees++
+		ln.lostTrees++
 		return
 	}
 	t.replayQ = append(t.replayQ, spoutReplay{key: key, attempt: attempt})
 	if t.parked {
 		t.parked = false
-		s.scheduleTask(0, evSpoutCycle, t)
+		ln.scheduleTask(0, evSpoutCycle, t)
 	}
 }
 

@@ -251,7 +251,7 @@ func TestReassignRestartingRevivesDeadTasks(t *testing.T) {
 	if n != len(restart) {
 		t.Errorf("restarted %d tasks, want %d", n, len(restart))
 	}
-	preDrop := sim.dropped
+	preDrop := sim.lanes[0].dropped
 	if err := sim.RunTo(8 * time.Second); err != nil {
 		t.Fatalf("RunTo: %v", err)
 	}
@@ -265,7 +265,7 @@ func TestReassignRestartingRevivesDeadTasks(t *testing.T) {
 	if lastWin == 0 {
 		t.Errorf("no throughput after restart: series=%v", tr.SinkSeries)
 	}
-	if sim.dropped < preDrop {
+	if sim.lanes[0].dropped < preDrop {
 		t.Errorf("drop counter went backwards")
 	}
 	if tr.RecoveryTime == 0 {

@@ -58,13 +58,15 @@ func (s *Simulation) nodeResidentMemMB(n *simNode) float64 {
 	return total
 }
 
-// oomCheck enforces the memory hard axis on every live node, then
-// schedules the next check. Nodes are visited in cluster declaration order
+// oomCheck enforces the memory hard axis on the lane's live nodes, then
+// schedules the lane's next check. Each lane polices only its own nodes
+// (the legacy single lane holds the whole cluster, preserving the old
+// all-nodes sweep order). Nodes are visited in cluster declaration order
 // and kills pick the strictly-largest resident (first in hosting order on
 // ties), so enforcement is deterministic for a fixed seed.
-func (s *Simulation) oomCheck() {
-	for _, id := range s.order {
-		n := s.nodes[id]
+func (ln *simLane) oomCheck() {
+	s := ln.sim
+	for _, n := range ln.nodes {
 		if n.dead || n.spec.Capacity.MemoryMB <= 0 {
 			continue
 		}
@@ -74,7 +76,7 @@ func (s *Simulation) oomCheck() {
 			if worst == nil {
 				break
 			}
-			s.oomKill(worst)
+			ln.oomKill(worst)
 			killed = true
 		}
 		if killed {
@@ -84,8 +86,8 @@ func (s *Simulation) oomCheck() {
 			s.freezeNode(n)
 		}
 	}
-	if next := s.engine.Now() + s.cfg.MetricsWindow; next <= s.cfg.Duration {
-		s.scheduleTask(s.cfg.MetricsWindow, evOOMCheck, nil)
+	if next := ln.eng.Now() + s.cfg.MetricsWindow; next <= s.cfg.Duration {
+		ln.scheduleTask(s.cfg.MetricsWindow, evOOMCheck, nil)
 	}
 }
 
@@ -111,16 +113,16 @@ func (s *Simulation) worstOffender(n *simNode) *simTask {
 // tuple mid-service fails through boltFire's dead-task path. A killed
 // spout's in-flight trees complete or fail downstream as usual, returning
 // every max-pending credit to the (dead, so never re-firing) spout.
-func (s *Simulation) oomKill(t *simTask) {
+func (ln *simLane) oomKill(t *simTask) {
 	t.dead = true
-	s.oomKilled++
-	s.journalRecord(trace.CodeOOMKill, t.run.topo.Name(), string(t.node.id),
+	ln.oomKilled++
+	ln.sim.journalRecord(trace.CodeOOMKill, t.run.topo.Name(), string(t.node.id),
 		t.task.ID, t.comp.Name)
 	tuples, unblocked := t.queue.drain()
 	for _, tup := range tuples {
-		s.dropTuple(tup)
+		ln.dropTuple(tup)
 	}
 	for _, comp := range unblocked {
-		s.scheduleComplete(0, comp)
+		ln.scheduleComplete(0, comp)
 	}
 }

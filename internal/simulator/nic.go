@@ -24,8 +24,14 @@ type transfer struct {
 // acceptance (approximate TCP windowing). Node NICs and rack uplinks are
 // both links. Saturating a link is what bounds network-bound topologies;
 // the window propagates remote backpressure upstream.
+//
+// A link belongs to one lane — a node's NIC to its node's lane, a rack
+// uplink to its rack's lane — and all its methods run on that lane: senders
+// are tasks hosted on the same rack, and window-slot releases are routed
+// home by scheduleComplete.
 type link struct {
 	alive    func() bool
+	lane     *simLane
 	rateBps  float64 // bytes per second; 0 = infinite
 	capacity int
 	window   int
@@ -47,16 +53,18 @@ func newLink(alive func() bool, mbps float64, capacity, window int) *link {
 }
 
 // send admits tr to the egress queue, or parks the sender when full.
-func (n *link) send(s *Simulation, tr transfer) {
+//
+//rstorm:hotpath
+func (n *link) send(ln *simLane, tr transfer) {
 	if !n.alive() {
-		s.dropTuple(tr.tup)
-		s.scheduleComplete(0, tr.accepted)
+		ln.dropTuple(tr.tup)
+		ln.scheduleComplete(0, tr.accepted)
 		return
 	}
 	if n.queue.len() < n.capacity {
 		n.queue.push(tr)
-		s.scheduleComplete(0, tr.accepted)
-		n.startServe(s)
+		ln.scheduleComplete(0, tr.accepted)
+		n.startServe(ln)
 		return
 	}
 	n.waiters.push(tr)
@@ -64,7 +72,9 @@ func (n *link) send(s *Simulation, tr transfer) {
 
 // startServe begins transmitting the head transfer if the link is idle and
 // the in-flight window has room.
-func (n *link) startServe(s *Simulation) {
+//
+//rstorm:hotpath
+func (n *link) startServe(ln *simLane) {
 	if n.serving || !n.alive() || n.queue.len() == 0 || n.inFlight >= n.window {
 		return
 	}
@@ -73,7 +83,7 @@ func (n *link) startServe(s *Simulation) {
 	if n.waiters.len() > 0 {
 		w := n.waiters.pop()
 		n.queue.push(w)
-		s.scheduleComplete(0, w.accepted)
+		ln.scheduleComplete(0, w.accepted)
 	}
 
 	service := time.Nanosecond
@@ -84,42 +94,45 @@ func (n *link) startServe(s *Simulation) {
 		}
 	}
 	n.busy.AddBusy(service)
-	ev := s.newEvent(evLinkDone)
+	ev := ln.newEvent(evLinkDone)
 	ev.link = n
 	ev.tr = tr
-	s.engine.ScheduleEvent(service, ev)
+	ln.eng.ScheduleEvent(service, ev)
 }
 
 // linkDone runs when the link finishes serializing a transfer: the tuple
 // occupies a window slot while it propagates (through the rack uplink for
 // inter-rack hops) and the slot frees once it is admitted downstream.
-func (s *Simulation) linkDone(n *link, tr transfer) {
+//
+//rstorm:hotpath
+func (ln *simLane) linkDone(n *link, tr transfer) {
 	n.serving = false
 	n.inFlight++
 	release := completion{kind: compRelease, link: n}
 	if up := tr.uplink; up != nil {
-		// Hand off to the rack uplink; the NIC's window slot
-		// frees once the uplink admits the transfer.
-		up.send(s, transfer{
+		// Hand off to the rack uplink; the NIC's window slot frees once
+		// the uplink admits the transfer. The uplink is the NIC's own
+		// rack's, so the hand-off never leaves the lane.
+		up.send(ln, transfer{
 			tup:      tr.tup,
 			dest:     tr.dest,
 			latency:  tr.latency,
 			accepted: release,
 		})
 	} else {
-		s.scheduleArrive(tr.latency, tr.dest, tr.tup, release)
+		ln.scheduleArrive(tr.latency, tr.dest, tr.tup, release)
 	}
-	n.startServe(s)
+	n.startServe(ln)
 }
 
 // fail drops everything queued and unblocks parked senders.
-func (n *link) fail(s *Simulation) {
+func (n *link) fail(ln *simLane) {
 	for n.queue.len() > 0 {
-		s.dropTuple(n.queue.pop().tup)
+		ln.dropTuple(n.queue.pop().tup)
 	}
 	for n.waiters.len() > 0 {
 		tr := n.waiters.pop()
-		s.dropTuple(tr.tup)
-		s.scheduleComplete(0, tr.accepted)
+		ln.dropTuple(tr.tup)
+		ln.scheduleComplete(0, tr.accepted)
 	}
 }

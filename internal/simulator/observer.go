@@ -147,12 +147,14 @@ func (s *Simulation) SetObserver(o Observer) error {
 
 // windowFlush materializes every task's window counters into the reusable
 // sample buffer, hands them to the observer, resets the counters, and
-// schedules the next flush.
+// schedules the next flush. Legacy-kernel only: the sharded kernel flushes
+// at merge barriers (sharded.go), never from inside a lane's event loop,
+// because flushWindow reads task state across every lane.
 func (s *Simulation) windowFlush() {
-	now := s.engine.Now()
+	now := s.now()
 	s.flushWindow(now)
 	if next := now + s.cfg.MetricsWindow; next <= s.cfg.Duration {
-		s.scheduleTask(s.cfg.MetricsWindow, evWindowFlush, nil)
+		s.lanes[0].scheduleTask(s.cfg.MetricsWindow, evWindowFlush, nil)
 	}
 }
 
@@ -166,7 +168,7 @@ func (s *Simulation) flushPartialWindow() {
 	if s.observer == nil && !s.cfg.LatencyHistograms {
 		return
 	}
-	if now := s.engine.Now(); now > s.lastFlush {
+	if now := s.now(); now > s.lastFlush {
 		s.flushWindow(now)
 	}
 }

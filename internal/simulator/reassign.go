@@ -92,14 +92,17 @@ func (s *Simulation) Reassign(topoName string, a *core.Assignment) (int, error) 
 	affected := make(map[*simNode]bool, 2*len(moving))
 	for _, st := range moving {
 		old := st.node
+		oldLane := old.lane
 		next := s.nodes[a.Placements[st.task.ID].Node]
 		// Drain the input queue: the worker restarts empty on the new node.
+		// The drain runs on the departing lane — the failed trees and
+		// released producers belong to the placement the tuples ran under.
 		tuples, unblocked := st.queue.drain()
 		for _, tup := range tuples {
-			s.migrateTuple(tup)
+			oldLane.migrateTuple(tup)
 		}
 		for _, comp := range unblocked {
-			s.scheduleComplete(0, comp)
+			oldLane.scheduleComplete(0, comp)
 		}
 		// Migration is a restart: the in-memory working set does not
 		// travel with the task, so the memory model's state-growth ramp
@@ -127,6 +130,11 @@ func (s *Simulation) Reassign(topoName string, a *core.Assignment) (int, error) 
 		}
 	}
 	s.buildRouters(run)
+	if s.sharded {
+		// Pending events homed by a moved task must follow it to its new
+		// lane before the next window, or two lanes would mutate it.
+		s.rehomeEvents()
+	}
 	return len(moving), nil
 }
 
@@ -208,13 +216,14 @@ func (s *Simulation) ReassignRestarting(topoName string, a *core.Assignment, res
 	affected := make(map[*simNode]bool, 2*(len(moving)+len(restarting)))
 	for _, st := range moving {
 		old := st.node
+		oldLane := old.lane
 		next := s.nodes[a.Placements[st.task.ID].Node]
 		tuples, unblocked := st.queue.drain()
 		for _, tup := range tuples {
-			s.migrateTuple(tup)
+			oldLane.migrateTuple(tup)
 		}
 		for _, comp := range unblocked {
-			s.scheduleComplete(0, comp)
+			oldLane.scheduleComplete(0, comp)
 		}
 		st.handled = 0
 		delta := st.tracker.Busy() - st.creditedBusy
@@ -256,9 +265,12 @@ func (s *Simulation) ReassignRestarting(topoName string, a *core.Assignment, res
 	// may still be dead; dead nodes must not refreeze.
 	s.refreeze(affected)
 	s.buildRouters(run)
+	if s.sharded {
+		s.rehomeEvents()
+	}
 	for _, st := range restarting {
 		if st.isSpout == 1 {
-			s.scheduleTask(0, evSpoutCycle, st)
+			st.node.lane.scheduleTask(0, evSpoutCycle, st)
 		}
 	}
 	return len(moving) + len(restarting), nil

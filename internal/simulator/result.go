@@ -154,7 +154,9 @@ func (r *Result) String() string {
 	return out
 }
 
-// buildResult assembles the Result after the event loop finishes.
+// buildResult assembles the Result after the event loop finishes. All
+// aggregation here sums per-lane and per-task counters: integer sums
+// commute, so the totals are identical however the work was partitioned.
 func (s *Simulation) buildResult() *Result {
 	res := &Result{
 		Duration:        s.cfg.Duration,
@@ -163,11 +165,13 @@ func (s *Simulation) buildResult() *Result {
 		Topologies:      make(map[string]*TopologyResult, len(s.runs)),
 		NodeUtilization: make(map[cluster.NodeID]float64, len(s.order)),
 		NICUtilization:  make(map[cluster.NodeID]float64, len(s.order)),
-		TuplesDropped:   s.dropped,
-		TuplesMigrated:  s.migrated,
-		TasksOOMKilled:  s.oomKilled,
-		TuplesReplayed:  s.replayed,
-		TreesLost:       s.lostTrees,
+	}
+	for _, ln := range s.lanes {
+		res.TuplesDropped += ln.dropped
+		res.TuplesMigrated += ln.migrated
+		res.TasksOOMKilled += ln.oomKilled
+		res.TuplesReplayed += ln.replayed
+		res.TreesLost += ln.lostTrees
 	}
 	if len(s.faultLog) > 0 {
 		res.Faults = make([]FaultRecord, len(s.faultLog))
@@ -185,21 +189,46 @@ func (s *Simulation) buildResult() *Result {
 
 	for _, run := range s.runs {
 		tr := &TopologyResult{
-			Name:             run.topo.Name(),
-			Scheduler:        run.assignment.Scheduler,
-			ComponentSeries:  make(map[string][]float64),
-			TuplesEmitted:    run.emitted,
-			TuplesProcessed:  run.processed,
-			TuplesDelivered:  run.delivered,
-			TuplesExpired:    run.expired,
-			TuplesSent:       run.sent,
-			TuplesSentRemote: run.sentRemote,
-			NodesUsed:        len(run.assignment.NodesUsed()),
+			Name:            run.topo.Name(),
+			Scheduler:       run.assignment.Scheduler,
+			ComponentSeries: make(map[string][]float64),
+			NodesUsed:       len(run.assignment.NodesUsed()),
 		}
+		var latSum time.Duration
+		var latN int64
+		for _, st := range run.ordered {
+			tr.TuplesEmitted += st.totEmitted
+			tr.TuplesProcessed += st.totProcessed
+			tr.TuplesDelivered += st.totDelivered
+			tr.TuplesExpired += st.totExpired
+			tr.TuplesSent += st.totSent
+			tr.TuplesSentRemote += st.totSentRemote
+			latSum += st.totLatSum
+			latN += st.totLatN
+		}
+		// Per-sink-component series, summed over the component's tasks.
+		// Bucket values are integer tuple counts (exact in float64), so
+		// per-task sums reproduce the old shared-series values exactly. A
+		// component with no recording task contributes no series, matching
+		// the old lazily-populated maps.
 		var sinkSeries [][]float64
 		for _, comp := range run.topo.Sinks() {
-			if w, ok := run.sinkWin[comp.Name]; ok {
-				sinkSeries = append(sinkSeries, w.Series(s.cfg.Duration))
+			var agg []float64
+			for _, st := range run.ordered {
+				if st.comp.Name != comp.Name || st.sinkWin == nil {
+					continue
+				}
+				series := st.sinkWin.Series(s.cfg.Duration)
+				if agg == nil {
+					agg = series
+					continue
+				}
+				for i := range series {
+					agg[i] += series[i]
+				}
+			}
+			if agg != nil {
+				sinkSeries = append(sinkSeries, agg)
 			}
 		}
 		tr.SinkSeries = metrics.SumSeries(sinkSeries...)
@@ -207,11 +236,21 @@ func (s *Simulation) buildResult() *Result {
 			tr.SinkSeries = make([]float64, int(s.cfg.Duration/s.cfg.MetricsWindow))
 		}
 		tr.MeanSinkThroughput = metrics.MeanTail(tr.SinkSeries, s.cfg.WarmupWindows)
-		for comp, w := range run.procWin {
-			tr.ComponentSeries[comp] = w.Series(s.cfg.Duration)
+		for _, st := range run.ordered {
+			if st.procWin == nil {
+				continue
+			}
+			series := st.procWin.Series(s.cfg.Duration)
+			if cur, ok := tr.ComponentSeries[st.comp.Name]; ok {
+				for i := range series {
+					cur[i] += series[i]
+				}
+				continue
+			}
+			tr.ComponentSeries[st.comp.Name] = series
 		}
-		if run.latencyN > 0 {
-			tr.MeanLatency = run.latencySum / time.Duration(run.latencyN)
+		if latN > 0 {
+			tr.MeanLatency = latSum / time.Duration(latN)
 		}
 		if run.cumHist != nil {
 			sum := run.cumHist.Summarize()

@@ -7,18 +7,22 @@ import (
 
 	"rstorm/internal/cluster"
 	"rstorm/internal/core"
-	"rstorm/internal/des"
 	"rstorm/internal/faults"
 	"rstorm/internal/metrics"
+	"rstorm/internal/pardes"
 	"rstorm/internal/topology"
 	"rstorm/internal/trace"
 )
 
 // simNode is a worker machine at runtime.
 type simNode struct {
-	id        cluster.NodeID
-	rack      cluster.RackID
-	spec      cluster.NodeSpec
+	id   cluster.NodeID
+	rack cluster.RackID
+	spec cluster.NodeSpec
+	// lane is the event loop that owns this node — fixed for the whole run
+	// (lanes partition by rack, and machines do not change racks). Tasks
+	// move between lanes only by moving between nodes.
+	lane      *simLane
 	nic       *link
 	tasks     []*simTask
 	cpuDemand float64 // true CPU points of all hosted tasks
@@ -59,10 +63,11 @@ type simTask struct {
 	// service is the stretched per-tuple cost, frozen at Run start once
 	// the node's overcommit factor is known.
 	service time.Duration
-	// procWin / sinkWin cache the component's metric series after first
-	// use, keeping map lookups out of the per-tuple path. Lazily bound so
-	// a component that never records keeps no series (matching the
-	// Result contents of the lazy map-based implementation).
+	// procWin / sinkWin are the task's own metric series, lazily allocated
+	// on first record so a task that never processes (or never sinks)
+	// keeps no series. Per-task ownership keeps the hot path free of map
+	// lookups and of cross-lane writes; buildResult sums tasks into the
+	// per-component series the Result reports.
 	procWin *metrics.Windowed
 	sinkWin *metrics.Windowed
 
@@ -89,6 +94,11 @@ type simTask struct {
 	isSpout  int // 1 if spout (int for alignment clarity; 0 otherwise)
 	inFlight int
 	parked   bool // waiting for a max-pending credit
+	// rngState is the spout's private splitmix64 key stream, used by the
+	// sharded kernel in place of the simulation-wide RNG (lane.go). Seeded
+	// from (seed, topology, task ID) only, so it is placement- and
+	// shard-count-independent. Unused by the legacy kernel.
+	rngState uint64
 	// replayQ holds failed tuple trees awaiting re-emission (at-least-once
 	// replay, faultinject.go). Each entry's max-pending credit is still
 	// held, so re-emission does not take a new one. Always empty with
@@ -104,6 +114,19 @@ type simTask struct {
 	winBytesOut  int64
 	winLatSum    time.Duration
 	winLatN      int64
+
+	// Whole-run totals, summed across the run's tasks at buildResult.
+	// Keeping them per task (not per run) means a lane only ever writes
+	// counters of tasks it owns; integer sums commute, so the aggregated
+	// totals match the old shared counters exactly.
+	totEmitted    int64
+	totProcessed  int64
+	totDelivered  int64
+	totExpired    int64
+	totLatSum     time.Duration
+	totLatN       int64
+	totSent       int64
+	totSentRemote int64
 
 	// hist is the task's complete-tree latency histogram, allocated only
 	// for sink tasks under Config.LatencyHistograms (recordSink is the
@@ -164,17 +187,8 @@ type topoRun struct {
 	topo       *topology.Topology
 	assignment *core.Assignment
 	tasks      map[int]*simTask
-	ordered    []*simTask                   // dense task-ID order, for iteration
-	maxPending int                          // per-spout-task tuple-tree cap
-	sinkWin    map[string]*metrics.Windowed // per sink component
-	procWin    map[string]*metrics.Windowed // per component, processed
-
-	emitted    int64
-	processed  int64
-	delivered  int64
-	expired    int64
-	latencySum time.Duration
-	latencyN   int64
+	ordered    []*simTask // dense task-ID order, for iteration
+	maxPending int        // per-spout-task tuple-tree cap
 
 	// winHist / cumHist aggregate the run's sink-task histograms per
 	// window and over the whole run (Config.LatencyHistograms); latP99
@@ -184,38 +198,46 @@ type topoRun struct {
 	winHist *trace.Histogram
 	cumHist *trace.Histogram
 	latP99  []float64
-
-	// sent / sentRemote count tuple deliveries entering the wire path over
-	// the whole run, and the subset that crossed the network (inter-node or
-	// inter-rack) — the denominator and numerator of the run's inter-node
-	// tuple fraction. Maintained unconditionally: two int adds on the hot
-	// path, independent of any observer.
-	sent       int64
-	sentRemote int64
 }
 
 // Simulation wires topologies, assignments, and a cluster into a
 // discrete-event run. A simulation either runs in one shot (Run) or in
 // epochs: Start, then RunTo as many times as needed — with Reassign calls
 // between epochs migrating tasks — then Finish.
+//
+// Two kernels share this type (DESIGN.md §11). With Config.Shards == 0 the
+// legacy single-threaded kernel runs: one lane holds every node and one
+// engine drives the whole cluster, byte-identical to the pre-sharding
+// simulator. With Shards >= 1 the sharded kernel runs: one lane per rack,
+// advanced in conservative lookahead windows by a pardes.Coordinator over
+// Shards workers. The sharded kernel's refinements (cross-rack ack delay,
+// per-spout key streams) make it a slightly different — equally valid —
+// model than the legacy kernel, but its results are byte-identical across
+// every Shards value, which is what makes the parallelism trustworthy.
 type Simulation struct {
-	cfg       Config
-	cluster   *cluster.Cluster
-	engine    *des.Engine
-	rng       *rand.Rand
-	nodes     map[cluster.NodeID]*simNode
-	order     []cluster.NodeID
-	uplinks   map[cluster.RackID]*link
-	runs      []*topoRun
-	schedule  faults.Schedule // pre-start fault injections, applied in Start
-	faultLog  []FaultRecord   // faults actually applied, in virtual-time order
-	dropped   int64
-	migrated  int64
-	oomKilled int64
-	replayed  int64 // replay re-emissions (Config.Replay)
-	lostTrees int64 // failed trees abandoned: retries exhausted or spout dead
-	started   bool
-	finished  bool
+	cfg      Config
+	cluster  *cluster.Cluster
+	rng      *rand.Rand
+	nodes    map[cluster.NodeID]*simNode
+	order    []cluster.NodeID
+	uplinks  map[cluster.RackID]*link
+	runs     []*topoRun
+	schedule faults.Schedule // pre-start fault injections, applied in Start
+	faultLog []FaultRecord   // faults actually applied, in virtual-time order
+	started  bool
+	finished bool
+
+	// Kernel state. lanes is never empty: the legacy kernel is one lane
+	// spanning the cluster. lookahead is the inter-rack path latency — the
+	// conservative window bound. clock / nextFlush drive the sharded
+	// window loop (sharded.go); coord exists only while sharded and
+	// started.
+	sharded   bool
+	lanes     []*simLane
+	coord     *pardes.Coordinator
+	lookahead time.Duration
+	clock     time.Duration
+	nextFlush time.Duration // next flush barrier; 0 = flushes disabled
 
 	// Metrics tap (observer.go). lastFlush is the virtual time of the most
 	// recent window flush, bounding the partial tail window Finish (and
@@ -227,13 +249,9 @@ type Simulation struct {
 
 	// Observability attach points (trace.go). tracer exists iff
 	// Config.TraceSampleEvery > 0; journal is attached via SetJournal.
+	// Both require the legacy kernel (rejected otherwise).
 	tracer  *trace.Tracer
 	journal *trace.Journal
-
-	// Free lists (see events.go). Single-threaded LIFO stacks.
-	eventPool []*simEvent
-	tuplePool []*tuple
-	treePool  []*tree
 }
 
 // New returns a Simulation over the cluster.
@@ -245,7 +263,6 @@ func New(c *cluster.Cluster, cfg Config) (*Simulation, error) {
 	s := &Simulation{
 		cfg:     cfg,
 		cluster: c,
-		engine:  des.NewEngine(),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 		nodes:   make(map[cluster.NodeID]*simNode, c.Size()),
 		order:   c.NodeIDs(),
@@ -266,11 +283,57 @@ func New(c *cluster.Cluster, cfg Config) (*Simulation, error) {
 		s.uplinks[rack] = newLink(func() bool { return true },
 			c.Network().InterRackMbps, cfg.NICQueueCapacity*4, cfg.NICWindow*4)
 	}
+
+	// Lane partition. The sharded kernel slices the cluster one lane per
+	// rack — the partition depends only on the cluster, never on Shards,
+	// so results are identical for every worker count. A single-rack
+	// cluster (or a degenerate zero inter-rack latency, which would leave
+	// no conservative lookahead) collapses to one lane: still the sharded
+	// kernel's semantics, just with no parallelism to extract.
+	s.sharded = cfg.Shards > 0
+	s.lookahead = c.Network().Latency(cluster.PathInterRack)
+	racks := c.Racks()
+	laneCount := 1
+	var rackLane map[cluster.RackID]int
+	if s.sharded && s.lookahead > 0 && len(racks) > 1 {
+		laneCount = len(racks)
+		rackLane = make(map[cluster.RackID]int, laneCount)
+		for i, r := range racks {
+			rackLane[r] = i
+		}
+	}
+	s.lanes = make([]*simLane, laneCount)
+	for i := range s.lanes {
+		s.lanes[i] = newLane(s, i)
+		s.lanes[i].out = make([]pardes.Ring[laneMsg], laneCount)
+	}
+	for _, id := range s.order {
+		n := s.nodes[id]
+		li := 0
+		if rackLane != nil {
+			li = rackLane[n.rack]
+		}
+		n.lane = s.lanes[li]
+		n.nic.lane = n.lane
+		n.lane.nodes = append(n.lane.nodes, n)
+	}
+	for _, rack := range racks {
+		li := 0
+		if rackLane != nil {
+			li = rackLane[rack]
+		}
+		s.uplinks[rack].lane = s.lanes[li]
+	}
 	return s, nil
 }
 
 // Config returns the simulation's effective (default-filled) configuration.
 func (s *Simulation) Config() Config { return s.cfg }
+
+// now returns the current virtual time. Lane 0's clock is authoritative:
+// in the legacy kernel it is the only engine, and in the sharded kernel
+// every public entry point runs at a barrier, where all lanes agree.
+func (s *Simulation) now() time.Duration { return s.lanes[0].eng.Now() }
 
 // AddTopology registers a scheduled topology for execution. It must be
 // called before Start; SubmitTopology (tenancy.go) is the mid-run
@@ -303,8 +366,6 @@ func (s *Simulation) addRun(topo *topology.Topology, a *core.Assignment) (*topoR
 		assignment: a,
 		tasks:      make(map[int]*simTask, topo.TotalTasks()),
 		maxPending: topo.MaxSpoutPending(),
-		sinkWin:    make(map[string]*metrics.Windowed),
-		procWin:    make(map[string]*metrics.Windowed),
 	}
 	if run.maxPending <= 0 {
 		run.maxPending = s.cfg.MaxSpoutPending
@@ -332,6 +393,7 @@ func (s *Simulation) addRun(topo *topology.Topology, a *core.Assignment) (*topoR
 			placement: p,
 			queue:     newBoundedQueue(s.cfg.QueueCapacity),
 			isSink:    sinkSet[comp.Name],
+			rngState:  taskSeed(s.cfg.Seed, topo.Name(), task.ID),
 		}
 		if comp.Kind == topology.KindSpout {
 			st.isSpout = 1
@@ -433,36 +495,59 @@ func (s *Simulation) Start() error {
 	for _, id := range s.order {
 		s.freezeNode(s.nodes[id])
 	}
+	// Fault injections fire on the faulted node's lane: the crash mutates
+	// that lane's nodes and tasks, so it must run inside that lane's loop.
 	for _, f := range s.schedule {
 		f := f
-		s.engine.Schedule(f.At, func() { s.applyFault(f) })
+		ln := s.nodes[f.Node].lane
+		ln.eng.Schedule(f.At, func() { ln.applyFault(f) })
 	}
 	for _, run := range s.runs {
 		for _, st := range run.ordered {
 			if st.isSpout == 1 {
-				s.scheduleTask(0, evSpoutCycle, st)
+				st.node.lane.scheduleTask(0, evSpoutCycle, st)
 			}
 		}
 	}
 	// Latency histograms ride the same flush cadence as the observer:
 	// window boundaries close each topology's per-window percentile
-	// sample whether or not anyone taps the samples.
+	// sample whether or not anyone taps the samples. The legacy kernel
+	// flushes via an in-loop event; the sharded kernel flushes at merge
+	// barriers (sharded.go), where every lane is quiescent and cross-lane
+	// task state is safe to read.
 	if (s.observer != nil || s.cfg.LatencyHistograms) && s.cfg.MetricsWindow <= s.cfg.Duration {
-		s.scheduleTask(s.cfg.MetricsWindow, evWindowFlush, nil)
+		if s.sharded {
+			s.nextFlush = s.cfg.MetricsWindow
+		} else {
+			s.lanes[0].scheduleTask(s.cfg.MetricsWindow, evWindowFlush, nil)
+		}
 	}
 	// OOM enforcement shares the window cadence but not the observer: the
 	// memory hard axis is enforced whether or not anyone is watching. The
 	// check is scheduled after the flush, so at a shared boundary the
 	// observer samples the over-capacity window before the kill happens.
+	// Each lane enforces its own nodes.
 	if s.cfg.MemoryModel && s.cfg.MetricsWindow <= s.cfg.Duration {
-		s.scheduleTask(s.cfg.MetricsWindow, evOOMCheck, nil)
+		for _, ln := range s.lanes {
+			ln.scheduleTask(s.cfg.MetricsWindow, evOOMCheck, nil)
+		}
+	}
+	if s.sharded {
+		ifaces := make([]pardes.Lane, len(s.lanes))
+		for i, ln := range s.lanes {
+			ifaces[i] = ln.eng
+		}
+		s.coord = pardes.NewCoordinator(ifaces, s.cfg.Shards)
 	}
 	return nil
 }
 
 // RunTo advances virtual time to t (clamped to the configured duration).
 // It is the epoch boundary of the adaptive control loop: between RunTo
-// calls the simulation is paused and Reassign may migrate tasks.
+// calls the simulation is paused and Reassign may migrate tasks. The
+// sharded kernel advances in half-open windows, so events at exactly t
+// stay pending until the next epoch (or Finish); the legacy kernel keeps
+// its historical inclusive semantics.
 func (s *Simulation) RunTo(t time.Duration) error {
 	if !s.started {
 		return fmt.Errorf("simulation not started")
@@ -473,7 +558,11 @@ func (s *Simulation) RunTo(t time.Duration) error {
 	if t > s.cfg.Duration {
 		t = s.cfg.Duration
 	}
-	s.engine.RunUntil(t)
+	if s.sharded {
+		s.runWindows(t)
+	} else {
+		s.lanes[0].eng.RunUntil(t)
+	}
 	return nil
 }
 
@@ -486,7 +575,21 @@ func (s *Simulation) Finish() (*Result, error) {
 	if s.finished {
 		return nil, fmt.Errorf("simulation already finished")
 	}
-	s.engine.RunUntil(s.cfg.Duration)
+	if s.sharded {
+		s.runWindows(s.cfg.Duration)
+		// Events at exactly Duration are still pending (half-open
+		// windows). Run them serially, lane by lane: any cross-lane
+		// message they emit lands at or beyond Duration+lookahead — past
+		// the end of simulated time for every lane — so leaving the
+		// inboxes undrained afterwards is uniform and order-independent.
+		for _, ln := range s.lanes {
+			ln.eng.RunUntil(s.cfg.Duration)
+		}
+		s.mergeLaneFaults()
+		s.coord.Stop()
+	} else {
+		s.lanes[0].eng.RunUntil(s.cfg.Duration)
+	}
 	// Deliver the trailing partial window: when Duration is not a multiple
 	// of MetricsWindow the tail counters never see a scheduled flush, and
 	// the adaptive profiler would silently miss the final samples.
@@ -540,7 +643,7 @@ func (s *Simulation) serviceTime(t *simTask) time.Duration {
 // already held.
 //
 //rstorm:hotpath
-func (s *Simulation) spoutCycle(t *simTask) {
+func (ln *simLane) spoutCycle(t *simTask) {
 	if t.dead {
 		return
 	}
@@ -548,36 +651,43 @@ func (s *Simulation) spoutCycle(t *simTask) {
 		t.parked = true
 		return
 	}
-	s.scheduleTask(t.service, evSpoutFire, t)
+	ln.scheduleTask(t.service, evSpoutFire, t)
 }
 
 // spoutFire runs when a spout's per-tuple service completes: it emits one
 // root tuple tree and starts delivering its fan-out.
 //
 //rstorm:hotpath
-func (s *Simulation) spoutFire(t *simTask) {
+func (ln *simLane) spoutFire(t *simTask) {
 	if t.dead {
 		return
 	}
+	s := ln.sim
 	t.tracker.AddBusy(t.service)
 	t.winBusy += t.service
 	t.winEmitted++
 	t.handled++
-	now := s.engine.Now()
+	now := ln.eng.Now()
 	// A queued replay re-emits a failed tree's key on its held credit;
-	// otherwise a fresh root tuple draws a new key (and a new credit).
+	// otherwise a fresh root tuple draws a new key (and a new credit). The
+	// sharded kernel draws from the spout's private key stream — a shared
+	// RNG would be consumed in lane-interleaving order; the legacy kernel
+	// keeps the historical shared-RNG draw order bit-for-bit.
 	var key uint64
 	attempt := 0
 	replaying := len(t.replayQ) > 0
-	if replaying {
+	switch {
+	case replaying:
 		re := t.replayQ[0]
 		t.replayQ = t.replayQ[:copy(t.replayQ, t.replayQ[1:])]
 		key, attempt = re.key, re.attempt
-		s.replayed++
-	} else {
+		ln.replayed++
+	case s.sharded:
+		key = t.nextKey() % uint64(t.comp.Profile.KeyCardinality)
+	default:
 		key = s.rng.Uint64() % uint64(t.comp.Profile.KeyCardinality)
 	}
-	tr := s.newTree(t)
+	tr := ln.newTree(t)
 	tr.key = key
 	tr.attempt = attempt
 	if s.tracer != nil {
@@ -588,18 +698,18 @@ func (s *Simulation) spoutFire(t *simTask) {
 				Task: t.task.ID, From: -1, At: now})
 		}
 	}
-	outs := s.routeOutputs(t, key, now, tr, true)
-	t.run.emitted++
+	outs := ln.routeOutputs(t, key, now, tr, true)
+	t.totEmitted++
 	if t.isSink {
 		// A spout with no consumers is its own sink: count it.
-		s.recordSink(t, now, now)
+		ln.recordSink(t, now, now)
 	}
 	if len(outs) == 0 {
-		s.freeTree(tr)
+		ln.freeTree(tr)
 		if replaying {
 			t.inFlight-- // the held credit has nothing left to wait for
 		}
-		s.scheduleTask(0, evSpoutCycle, t)
+		ln.scheduleTask(0, evSpoutCycle, t)
 		return
 	}
 	tr.pending = len(outs)
@@ -607,13 +717,13 @@ func (s *Simulation) spoutFire(t *simTask) {
 		t.inFlight++
 	}
 	t.outIdx = 0
-	s.stepDeliver(t)
+	ln.stepDeliver(t)
 }
 
 // boltTry starts processing the next queued tuple if the task is idle.
 //
 //rstorm:hotpath
-func (s *Simulation) boltTry(t *simTask) {
+func (ln *simLane) boltTry(t *simTask) {
 	if t.busy || t.dead || t.queue.empty() {
 		return
 	}
@@ -622,36 +732,37 @@ func (s *Simulation) boltTry(t *simTask) {
 		return
 	}
 	if unblocked.kind != compNone {
-		s.scheduleComplete(0, unblocked)
+		ln.scheduleComplete(0, unblocked)
 	}
 	t.busy = true
-	ev := s.newEvent(evBoltFire)
+	ev := ln.newEvent(evBoltFire)
 	ev.task = t
 	ev.tup = tup
-	s.engine.ScheduleEvent(t.service, ev)
+	ln.eng.ScheduleEvent(t.service, ev)
 }
 
 // boltFire runs when a bolt's service completes: it records the processed
 // tuple and emits (then delivers) its outputs.
 //
 //rstorm:hotpath
-func (s *Simulation) boltFire(t *simTask, tup *tuple) {
+func (ln *simLane) boltFire(t *simTask, tup *tuple) {
+	s := ln.sim
 	t.tracker.AddBusy(t.service)
 	if t.dead {
 		// The task's node died mid-service: the tuple is lost. Count the
 		// drop and fail its tree so the spout's max-pending credit comes
 		// back instead of leaking (a small window could otherwise wedge
 		// the spout for the rest of the run).
-		s.dropTuple(tup)
+		ln.dropTuple(tup)
 		return
 	}
-	now := s.engine.Now()
-	t.run.processed++
+	now := ln.eng.Now()
+	t.totProcessed++
 	t.winBusy += t.service
 	t.winProcessed++
 	t.handled++
 	if t.procWin == nil {
-		t.procWin = t.run.procWinFor(t.comp.Name, s.cfg.MetricsWindow)
+		t.procWin = newWindowed(s.cfg.MetricsWindow)
 	}
 	t.procWin.Record(now, 1)
 	if id := s.traceOf(tup); id != 0 {
@@ -668,17 +779,18 @@ func (s *Simulation) boltFire(t *simTask, tup *tuple) {
 			Wait: wait, Service: t.service, Net: tup.arrivedAt - tup.sentAt})
 	}
 	if t.isSink {
-		s.recordSink(t, now, tup.created)
+		ln.recordSink(t, now, tup.created)
 	}
-	outs := s.routeOutputs(t, tup.key, tup.created, tup.tree, false)
+	outs := ln.routeOutputs(t, tup.key, tup.created, tup.tree, false)
 	tr := tup.tree
-	s.freeTuple(tup)
-	tr.pending += len(outs) - 1
-	if tr.pending == 0 {
-		s.completeTree(tr)
-	}
+	ln.freeTuple(tup)
+	// The combined delta (children added minus this instance consumed)
+	// must reach the tree before any child's own ack can: ackTree rides
+	// the same FIFO outbox the children's later acks will, so the tree's
+	// pending count never transiently hits zero.
+	ln.ackTree(tr, len(outs)-1, false)
 	t.outIdx = 0
-	s.stepDeliver(t)
+	ln.stepDeliver(t)
 }
 
 // outbound is one tuple instance headed to a destination task.
@@ -692,7 +804,7 @@ type outbound struct {
 // reusable scratch buffer.
 //
 //rstorm:hotpath
-func (s *Simulation) routeOutputs(
+func (ln *simLane) routeOutputs(
 	t *simTask, key uint64, created time.Duration, tr *tree, fromSpout bool,
 ) []outbound {
 	outs := t.outBuf[:0]
@@ -710,7 +822,7 @@ func (s *Simulation) routeOutputs(
 				// tuple is built and discarded.
 				for wi := range r.wires {
 					outs = append(outs, outbound{
-						tup:  s.newTuple(bytes, key, created, tr),
+						tup:  ln.newTuple(bytes, key, created, tr),
 						wire: r.wires[wi],
 					})
 				}
@@ -735,7 +847,7 @@ func (s *Simulation) routeOutputs(
 				r.rr++
 			}
 			outs = append(outs, outbound{
-				tup:  s.newTuple(bytes, key, created, tr),
+				tup:  ln.newTuple(bytes, key, created, tr),
 				wire: r.wires[wi],
 			})
 		}
@@ -750,25 +862,25 @@ func (s *Simulation) routeOutputs(
 // emitter on backpressure.
 //
 //rstorm:hotpath
-func (s *Simulation) stepDeliver(t *simTask) {
+func (ln *simLane) stepDeliver(t *simTask) {
 	if t.outIdx >= len(t.outBuf) {
-		s.finishDeliver(t)
+		ln.finishDeliver(t)
 		return
 	}
-	s.deliver(t, t.outBuf[t.outIdx], completion{kind: compDeliver, task: t})
+	ln.deliver(t, t.outBuf[t.outIdx], completion{kind: compDeliver, task: t})
 }
 
 // finishDeliver runs after the last outbound of an emission is accepted:
 // spouts loop, bolts go idle and poll their queue.
 //
 //rstorm:hotpath
-func (s *Simulation) finishDeliver(t *simTask) {
+func (ln *simLane) finishDeliver(t *simTask) {
 	if t.isSpout == 1 {
-		s.spoutCycle(t)
+		ln.spoutCycle(t)
 		return
 	}
 	t.busy = false
-	s.boltTry(t)
+	ln.boltTry(t)
 }
 
 // deliver moves one tuple instance toward its destination: directly (with
@@ -776,9 +888,10 @@ func (s *Simulation) finishDeliver(t *simTask) {
 // ones. comp fires when the sender may proceed.
 //
 //rstorm:hotpath
-func (s *Simulation) deliver(from *simTask, ob outbound, comp completion) {
+func (ln *simLane) deliver(from *simTask, ob outbound, comp completion) {
+	s := ln.sim
 	ob.edge.tuples++
-	from.run.sent++
+	from.totSent++
 	// Remote accounting classifies against *live* placements, not the
 	// wire-build-time ob.net: a sender mid-emission across a Reassign
 	// still delivers its buffered outbounds on the stale path (documented
@@ -788,28 +901,34 @@ func (s *Simulation) deliver(from *simTask, ob outbound, comp completion) {
 	// identical (a wire crosses the network iff its endpoints' nodes
 	// differ).
 	if ob.dest.node != from.node {
-		from.run.sentRemote++
+		from.totSentRemote++
 	}
 	if id := s.traceOf(ob.tup); id != 0 {
-		ob.tup.sentAt = s.engine.Now()
+		ob.tup.sentAt = ln.eng.Now()
 		ob.tup.fromTask = int32(from.task.ID)
 	}
-	if ob.dest.dead || ob.dest.node.dead {
+	// The early dead-destination drop applies only to same-lane targets:
+	// another lane's liveness may not be read mid-window (and could have
+	// changed by the tuple's arrival time anyway). Cross-lane tuples take
+	// the normal path and are dropped by the arrival-side check in
+	// enqueueAt, on the destination's own lane. The gate's outcome depends
+	// only on the rack partition, never on the worker count.
+	if ob.dest.node.lane == ln && (ob.dest.dead || ob.dest.node.dead) {
 		if id := s.traceOf(ob.tup); id != 0 {
 			s.tracer.Record(trace.Span{Trace: id, Kind: trace.SpanDrop,
 				Topology: from.run.topo.Name(), Component: ob.dest.comp.Name,
-				Task: ob.dest.task.ID, From: from.task.ID, At: s.engine.Now()})
+				Task: ob.dest.task.ID, From: from.task.ID, At: ln.eng.Now()})
 		}
-		s.dropTuple(ob.tup)
-		s.scheduleComplete(0, comp)
+		ln.dropTuple(ob.tup)
+		ln.scheduleComplete(0, comp)
 		return
 	}
 	if !ob.net {
-		s.scheduleArrive(ob.latency, ob.dest, ob.tup, comp)
+		ln.scheduleArrive(ob.latency, ob.dest, ob.tup, comp)
 		return
 	}
 	from.winBytesOut += int64(ob.tup.bytes)
-	from.node.nic.send(s, transfer{
+	from.node.nic.send(ln, transfer{
 		tup:      ob.tup,
 		dest:     ob.dest,
 		latency:  ob.latency,
@@ -819,28 +938,29 @@ func (s *Simulation) deliver(from *simTask, ob outbound, comp completion) {
 }
 
 // enqueueAt admits a tuple to a task's input queue, parking the producer
-// completion when full.
+// completion when full. Always runs on dest's own lane.
 //
 //rstorm:hotpath
-func (s *Simulation) enqueueAt(dest *simTask, tup *tuple, comp completion) {
+func (ln *simLane) enqueueAt(dest *simTask, tup *tuple, comp completion) {
+	s := ln.sim
 	if dest.dead || dest.node.dead {
 		if id := s.traceOf(tup); id != 0 {
 			s.tracer.Record(trace.Span{Trace: id, Kind: trace.SpanDrop,
 				Topology: dest.run.topo.Name(), Component: dest.comp.Name,
-				Task: dest.task.ID, From: int(tup.fromTask), At: s.engine.Now()})
+				Task: dest.task.ID, From: int(tup.fromTask), At: ln.eng.Now()})
 		}
-		s.dropTuple(tup)
-		s.scheduleComplete(0, comp)
+		ln.dropTuple(tup)
+		ln.scheduleComplete(0, comp)
 		return
 	}
 	if id := s.traceOf(tup); id != 0 {
 		// Arrival at the queue, including any time about to be spent
 		// parked as a waiter: queue wait measures from here.
-		tup.arrivedAt = s.engine.Now()
+		tup.arrivedAt = ln.eng.Now()
 	}
 	if dest.queue.tryEnqueue(tup) {
-		s.scheduleComplete(0, comp)
-		s.scheduleTask(0, evBoltTry, dest)
+		ln.scheduleComplete(0, comp)
+		ln.scheduleTask(0, evBoltTry, dest)
 		return
 	}
 	dest.winOverflows++
@@ -853,7 +973,8 @@ func (s *Simulation) enqueueAt(dest *simTask, tup *tuple, comp completion) {
 // toward throughput.
 //
 //rstorm:hotpath
-func (s *Simulation) recordSink(t *simTask, now, created time.Duration) {
+func (ln *simLane) recordSink(t *simTask, now, created time.Duration) {
+	s := ln.sim
 	age := now - created
 	t.winLatSum += age
 	t.winLatN++
@@ -863,118 +984,105 @@ func (s *Simulation) recordSink(t *simTask, now, created time.Duration) {
 		t.hist.Observe(age)
 	}
 	if s.cfg.TupleTimeout > 0 && age > s.cfg.TupleTimeout {
-		t.run.expired++
+		t.totExpired++
 		return
 	}
-	t.run.delivered++
+	t.totDelivered++
 	if t.sinkWin == nil {
-		t.sinkWin = t.run.sinkWinFor(t.comp.Name, s.cfg.MetricsWindow)
+		t.sinkWin = newWindowed(s.cfg.MetricsWindow)
 	}
 	t.sinkWin.Record(now, 1)
-	t.run.latencySum += age
-	t.run.latencyN++
+	t.totLatSum += age
+	t.totLatN++
 }
 
 // dropTuple abandons a tuple instance lost to a node failure.
-func (s *Simulation) dropTuple(tup *tuple) {
-	s.dropped++
-	s.failTuple(tup)
+func (ln *simLane) dropTuple(tup *tuple) {
+	ln.dropped++
+	ln.failTuple(tup)
 }
 
 // migrateTuple abandons a tuple drained from a migrating task's queue (the
 // rebalance analogue of Storm's worker restart: in-flight tuples fail and
 // would be replayed by the spout).
-func (s *Simulation) migrateTuple(tup *tuple) {
-	s.migrated++
-	s.failTuple(tup)
+func (ln *simLane) migrateTuple(tup *tuple) {
+	ln.migrated++
+	ln.failTuple(tup)
 }
 
 // failTuple releases a tuple instance and fails its tree so the spout
 // recovers its max-pending credit rather than wedging.
 //
 //rstorm:hotpath
-func (s *Simulation) failTuple(tup *tuple) {
+func (ln *simLane) failTuple(tup *tuple) {
 	tr := tup.tree
-	s.freeTuple(tup)
+	ln.freeTuple(tup)
 	if tr == nil {
 		return
 	}
-	tr.failed = true
-	tr.pending--
-	if tr.pending == 0 {
-		s.completeTree(tr)
-	}
+	ln.ackTree(tr, -1, true)
 }
 
 // completeTree returns a max-pending credit to the spout and wakes it.
 // With at-least-once replay on, a failed tree with retries left re-emits
 // from the spout after an exponential backoff instead — its credit stays
-// held until the retry chain completes or is exhausted.
+// held until the retry chain completes or is exhausted. Always runs on
+// the tree's home lane (applyAck is the only caller besides spoutFire's
+// empty-fanout path), so the spout it wakes is local.
 //
 //rstorm:hotpath
-func (s *Simulation) completeTree(tr *tree) {
+func (ln *simLane) completeTree(tr *tree) {
+	s := ln.sim
 	sp := tr.spout
 	if tr.failed && s.cfg.Replay && sp != nil {
 		if !sp.dead && tr.attempt < s.cfg.ReplayMaxRetries {
 			key, attempt := tr.key, tr.attempt
-			s.freeTree(tr)
-			ev := s.newEvent(evSpoutReplay)
+			ln.freeTree(tr)
+			ev := ln.newEvent(evSpoutReplay)
 			ev.task = sp
 			ev.key = key
 			ev.attempt = attempt + 1
-			s.engine.ScheduleEvent(s.cfg.ReplayBackoff<<uint(attempt), ev)
+			ln.eng.ScheduleEvent(s.cfg.ReplayBackoff<<uint(attempt), ev)
 			return
 		}
-		s.lostTrees++
+		ln.lostTrees++
 	}
-	s.freeTree(tr)
+	ln.freeTree(tr)
 	if sp == nil {
 		return
 	}
 	sp.inFlight--
 	if sp.parked && !sp.dead {
 		sp.parked = false
-		s.scheduleTask(0, evSpoutCycle, sp)
+		ln.scheduleTask(0, evSpoutCycle, sp)
 	}
 }
 
-// failNode kills a node mid-run.
-func (s *Simulation) failNode(id cluster.NodeID) {
-	n := s.nodes[id]
+// failNode kills a node mid-run. Runs on the node's own lane (fault
+// events are scheduled onto the faulted node's lane).
+func (ln *simLane) failNode(id cluster.NodeID) {
+	n := ln.sim.nodes[id]
 	if n == nil || n.dead {
 		return
 	}
 	n.dead = true
-	n.crashedAt = s.engine.Now()
+	n.crashedAt = ln.eng.Now()
 	for _, t := range n.tasks {
 		t.dead = true
 		tuples, unblocked := t.queue.drain()
 		for _, tup := range tuples {
-			s.dropTuple(tup)
+			ln.dropTuple(tup)
 		}
 		for _, comp := range unblocked {
-			s.scheduleComplete(0, comp)
+			ln.scheduleComplete(0, comp)
 		}
 	}
-	n.nic.fail(s)
+	n.nic.fail(ln)
 }
 
-// procWinFor returns (creating) the processed-count series of a component.
-func (r *topoRun) procWinFor(comp string, window time.Duration) *metrics.Windowed {
-	w, ok := r.procWin[comp]
-	if !ok {
-		w, _ = metrics.NewWindowed(window)
-		r.procWin[comp] = w
-	}
-	return w
-}
-
-// sinkWinFor returns (creating) the sink-arrival series of a component.
-func (r *topoRun) sinkWinFor(comp string, window time.Duration) *metrics.Windowed {
-	w, ok := r.sinkWin[comp]
-	if !ok {
-		w, _ = metrics.NewWindowed(window)
-		r.sinkWin[comp] = w
-	}
+// newWindowed allocates a per-task metric series. The window is always a
+// validated config value, so the error branch is unreachable.
+func newWindowed(window time.Duration) *metrics.Windowed {
+	w, _ := metrics.NewWindowed(window)
 	return w
 }

@@ -71,7 +71,7 @@ func (s *Simulation) SubmitTopology(topo *topology.Topology, a *core.Assignment)
 	s.refreeze(affected)
 	for _, st := range run.ordered {
 		if st.isSpout == 1 {
-			s.scheduleTask(0, evSpoutCycle, st)
+			st.node.lane.scheduleTask(0, evSpoutCycle, st)
 		}
 	}
 	s.journalRecord(trace.CodeTopologySubmitted, topo.Name(), "", -1, "")
@@ -120,12 +120,13 @@ func (s *Simulation) KillTopology(name string) error {
 		st.dead = true
 		st.busy = false
 		st.parked = false
+		ln := st.node.lane
 		tuples, unblocked := st.queue.drain()
 		for _, tup := range tuples {
-			s.migrateTuple(tup)
+			ln.migrateTuple(tup)
 		}
 		for _, comp := range unblocked {
-			s.scheduleComplete(0, comp)
+			ln.scheduleComplete(0, comp)
 		}
 		// Credit the busy time accrued on this host so end-of-run
 		// utilization attribution survives a later revival elsewhere.
@@ -194,9 +195,14 @@ func (s *Simulation) revive(run *topoRun, a *core.Assignment) error {
 	run.assignment = a
 	s.refreeze(affected)
 	s.buildRouters(run)
+	if s.sharded {
+		// Stale events homed by revived tasks (replay backoffs, in-flight
+		// arrivals) must follow them to their new lanes.
+		s.rehomeEvents()
+	}
 	for _, st := range run.ordered {
 		if st.isSpout == 1 {
-			s.scheduleTask(0, evSpoutCycle, st)
+			st.node.lane.scheduleTask(0, evSpoutCycle, st)
 		}
 	}
 	s.journalRecord(trace.CodeTopologySubmitted, name, "", -1, "revived")
@@ -215,4 +221,4 @@ func (s *Simulation) refreeze(affected map[*simNode]bool) {
 
 // Now exposes the simulation's current virtual time — epoch drivers log
 // admission and eviction against it.
-func (s *Simulation) Now() time.Duration { return s.engine.Now() }
+func (s *Simulation) Now() time.Duration { return s.now() }

@@ -20,6 +20,9 @@ func (s *Simulation) SetJournal(j *trace.Journal) error {
 	if s.started {
 		return fmt.Errorf("simulation already started")
 	}
+	if j != nil && s.cfg.Shards > 0 {
+		return fmt.Errorf("decision journal requires the single-threaded kernel (shards = 0)")
+	}
 	s.journal = j
 	return nil
 }
@@ -63,6 +66,6 @@ func (s *Simulation) traceOf(tup *tuple) uint64 {
 // journal is attached.
 func (s *Simulation) journalRecord(code, topo, node string, task int, detail string) {
 	if s.journal != nil {
-		s.journal.Record(s.engine.Now(), code, topo, node, task, detail)
+		s.journal.Record(s.now(), code, topo, node, task, detail)
 	}
 }
